@@ -1,0 +1,182 @@
+// Command areplica is a CLI for the simulated AReplica deployment: it
+// stands up the three-cloud world, deploys a replication rule, drives a
+// workload against the source bucket, and reports per-object replication
+// delays and itemized cost — the simulation equivalent of the paper's
+// public CLI.
+//
+// Examples:
+//
+//	areplica -src aws:us-east-1 -dst azure:eastus -size 128MB -count 5
+//	areplica -src gcp:us-east1 -dst aws:eu-west-1 -slo 30s -trace 10m -rate 60
+//	areplica -regions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		srcFlag   = flag.String("src", "aws:us-east-1", "source region (<provider>:<region>)")
+		dstFlag   = flag.String("dst", "azure:eastus", "destination region")
+		sizeFlag  = flag.String("size", "16MB", "object size for -count mode (e.g. 512KB, 16MB, 1GB)")
+		count     = flag.Int("count", 3, "number of objects to replicate")
+		sloFlag   = flag.Duration("slo", 0, "replication SLO (0 = fastest plan)")
+		pct       = flag.Float64("percentile", 0.99, "SLO percentile")
+		batching  = flag.Bool("batching", false, "enable SLO-bounded batching (requires -slo)")
+		traceDur  = flag.Duration("trace", 0, "replay a synthetic IBM-COS-like trace of this duration instead of -count mode")
+		traceRate = flag.Float64("rate", 60, "trace request rate (ops/minute)")
+		regions   = flag.Bool("regions", false, "list available regions and exit")
+		showStats = flag.Bool("stats", false, "print a per-region activity snapshot at the end")
+		verbose   = flag.Bool("v", false, "print per-object delays")
+	)
+	flag.Parse()
+
+	sim := areplica.NewSim()
+	if *regions {
+		for _, r := range sim.Regions() {
+			fmt.Println(r)
+		}
+		return
+	}
+	size, err := parseSize(*sizeFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	const srcBucket, dstBucket = "data", "data-replica"
+	if err := sim.CreateBucket(*srcFlag, srcBucket); err != nil {
+		fatal(err)
+	}
+	if err := sim.CreateBucket(*dstFlag, dstBucket); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("profiling %s -> %s ...\n", *srcFlag, *dstFlag)
+	rep, err := sim.Deploy(areplica.Rule{
+		SrcRegion: *srcFlag, SrcBucket: srcBucket,
+		DstRegion: *dstFlag, DstBucket: dstBucket,
+		SLO: *sloFlag, Percentile: *pct, Batching: *batching,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	profilingCost := sim.CostTotal()
+	profiledItems := sim.CostBreakdown()
+
+	if *traceDur > 0 {
+		ops := trace.Generate(trace.DefaultConfig(*traceDur, *traceRate))
+		fmt.Printf("replaying %d trace operations over %s (virtual time)...\n", len(ops), *traceDur)
+		w := sim.World()
+		trace.Replay(w.Clock, ops, func(op trace.Op) {
+			if op.Type == trace.OpDelete {
+				_ = sim.DeleteObject(*srcFlag, srcBucket, op.Key)
+				return
+			}
+			if _, err := sim.PutObject(*srcFlag, srcBucket, op.Key, op.Size); err != nil {
+				fatal(err)
+			}
+		})
+	} else {
+		fmt.Printf("replicating %d x %s objects...\n", *count, *sizeFlag)
+		for i := 0; i < *count; i++ {
+			key := fmt.Sprintf("object-%03d", i)
+			if _, err := sim.PutObject(*srcFlag, srcBucket, key, size); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	sim.Wait()
+
+	records := rep.Records()
+	if len(records) == 0 {
+		fatal(fmt.Errorf("no replications completed"))
+	}
+	delays := make([]float64, len(records))
+	for i, r := range records {
+		delays[i] = r.Delay.Seconds()
+		if *verbose {
+			fmt.Printf("  %-24s %10s  %8.2fs\n", r.Key, byteSize(r.Size), r.Delay.Seconds())
+		}
+	}
+	fmt.Printf("\nreplicated %d objects (pending %d)\n", len(records), rep.Pending())
+	fmt.Printf("delay: p50 %.2fs  p99 %.2fs  max %.2fs\n",
+		stats.Percentile(delays, 50), stats.Percentile(delays, 99), stats.Percentile(delays, 100))
+	if *sloFlag > 0 {
+		within := 0
+		for _, d := range delays {
+			if d <= sloFlag.Seconds() {
+				within++
+			}
+		}
+		fmt.Printf("SLO %s attainment: %.2f%%\n", *sloFlag, 100*float64(within)/float64(len(delays)))
+	}
+	fmt.Printf("\ncost (excluding one-time profiling of $%.4f):\n", profilingCost)
+	bd := sim.CostBreakdown()
+	var items []string
+	for k := range bd {
+		if bd[k]-profiledItems[k] > 0 {
+			items = append(items, k)
+		}
+	}
+	sort.Strings(items)
+	var total float64
+	for _, k := range items {
+		v := bd[k] - profiledItems[k]
+		fmt.Printf("  %-12s $%.6f\n", k, v)
+		total += v
+	}
+	fmt.Printf("  %-12s $%.6f\n", "total", total)
+
+	if *showStats {
+		fmt.Println()
+		sim.World().Snapshot().Print(os.Stdout)
+	}
+}
+
+// parseSize parses "512KB", "16MB", "1GB", or plain bytes.
+func parseSize(s string) (int64, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(u, "GB"):
+		mult, u = 1<<30, strings.TrimSuffix(u, "GB")
+	case strings.HasSuffix(u, "MB"):
+		mult, u = 1<<20, strings.TrimSuffix(u, "MB")
+	case strings.HasSuffix(u, "KB"):
+		mult, u = 1<<10, strings.TrimSuffix(u, "KB")
+	case strings.HasSuffix(u, "B"):
+		u = strings.TrimSuffix(u, "B")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(u), 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	return n * mult, nil
+}
+
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "areplica:", err)
+	os.Exit(1)
+}

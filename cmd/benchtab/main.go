@@ -1,0 +1,157 @@
+// Command benchtab regenerates the tables and figures of the paper's
+// evaluation on the simulated three-cloud world and prints the same rows
+// and series the paper reports.
+//
+// Usage:
+//
+//	benchtab -all            # every table and figure (slow)
+//	benchtab -all -quick     # reduced sizes/rounds, same shapes
+//	benchtab -table 1        # one table (1, 2, 3 or 4)
+//	benchtab -fig 23         # one figure (2-9, 12, 16-23)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		table = flag.Int("table", 0, "regenerate one table (1-4)")
+		fig   = flag.Int("fig", 0, "regenerate one figure (2-9, 12, 16-23)")
+		extra = flag.String("extra", "", "extension ablations: partsize | overlay")
+		all   = flag.Bool("all", false, "regenerate every table and figure")
+		quick = flag.Bool("quick", false, "reduced sizes and rounds")
+		csv   = flag.String("csv", "", "also export plottable CSV datasets into this directory")
+	)
+	flag.Parse()
+	csvDir = *csv
+
+	if !*all && *table == 0 && *fig == 0 && *extra == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	start := time.Now()
+	if *all {
+		for _, t := range []int{1, 2, 3, 4} {
+			runTable(t, *quick)
+		}
+		for _, f := range []int{2, 3, 4, 5, 6, 7, 8, 9, 12, 16, 17, 18, 19, 20, 21, 22, 23} {
+			runFig(f, *quick)
+		}
+		for _, e := range []string{"partsize", "overlay"} {
+			runExtra(e, *quick)
+		}
+	} else if *table != 0 {
+		runTable(*table, *quick)
+	} else if *extra != "" {
+		runExtra(*extra, *quick)
+	} else {
+		runFig(*fig, *quick)
+	}
+	fmt.Fprintf(os.Stderr, "\n(wall time %s)\n", time.Since(start).Round(time.Millisecond))
+}
+
+var csvDir string
+
+// emit prints a result and, with -csv, exports its datasets.
+func emit[T interface{ Print(w io.Writer) }](res T) {
+	res.Print(os.Stdout)
+	if csvDir == "" {
+		return
+	}
+	if exp, ok := any(res).(experiments.CSVExporter); ok {
+		if err := experiments.ExportCSV(csvDir, exp); err != nil {
+			fmt.Fprintf(os.Stderr, "csv export: %v\n", err)
+		}
+	}
+}
+
+func runTable(n int, quick bool) {
+	hdr(fmt.Sprintf("Table %d", n))
+	switch n {
+	case 1:
+		emit(experiments.RunTable(experiments.TableConfig{Source: experiments.AWSEast, Quick: quick}))
+	case 2:
+		emit(experiments.RunTable(experiments.TableConfig{Source: experiments.AzureEast, Quick: quick}))
+	case 3:
+		emit(experiments.RunTable(experiments.TableConfig{Source: experiments.GCPEast, Quick: quick}))
+	case 4:
+		experiments.RunTable4(quick).Print(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %d\n", n)
+		os.Exit(2)
+	}
+}
+
+func runFig(n int, quick bool) {
+	hdr(fmt.Sprintf("Figure %d", n))
+	switch n {
+	case 2:
+		emit(experiments.RunFig2(quick))
+	case 3:
+		emit(experiments.RunFig3(quick))
+	case 4:
+		experiments.RunFig4().Print(os.Stdout)
+	case 5:
+		experiments.RunFig5(quick).Print(os.Stdout)
+	case 6:
+		experiments.RunFig6(quick).Print(os.Stdout)
+	case 7:
+		emit(experiments.RunFig7(quick))
+	case 8:
+		emit(experiments.RunFig8(quick))
+	case 9:
+		emit(experiments.RunFig9())
+	case 12:
+		experiments.RunFig12().Print(os.Stdout)
+	case 16:
+		emit(experiments.RunFig16(quick))
+	case 17:
+		emit(experiments.RunFig17(quick))
+	case 18:
+		emit(experiments.RunModelAccuracy("aws:us-east-1", "azure:eastus", quick))
+	case 19:
+		emit(experiments.RunModelAccuracy("azure:eastus", "gcp:asia-northeast1", quick))
+	case 20:
+		emit(experiments.RunFig20("azure:southeastasia", []cloud.RegionID{
+			"gcp:europe-west6", "gcp:us-east1", "gcp:asia-northeast1",
+		}, quick))
+		emit(experiments.RunFig20("gcp:europe-west6", []cloud.RegionID{
+			"azure:westus2", "azure:southeastasia", "azure:uksouth",
+		}, quick))
+	case 21:
+		emit(experiments.RunFig21(quick))
+	case 22:
+		emit(experiments.RunFig22(quick))
+	case 23:
+		emit(experiments.RunFig23(quick))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %d\n", n)
+		os.Exit(2)
+	}
+}
+
+func runExtra(name string, quick bool) {
+	switch name {
+	case "partsize":
+		hdr("Extra: part-size ablation")
+		experiments.RunPartSizeAblation(quick).Print(os.Stdout)
+	case "overlay":
+		hdr("Extra: overlay relay ablation")
+		experiments.RunOverlayAblation(quick).Print(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown extra %q\n", name)
+		os.Exit(2)
+	}
+}
+
+func hdr(title string) {
+	fmt.Printf("\n================ %s ================\n", title)
+}

@@ -1,0 +1,129 @@
+// Command profile runs AReplica's offline performance profiler against the
+// simulated clouds for one replication path and prints the fitted model
+// parameters (§5.3): I, D, P per execution region; S, C, C' per
+// (src,dst,loc) path with the between-/within-instance variance split; the
+// notification delay T_n; and the resulting replication-time predictions
+// across parallelism levels.
+//
+// Usage:
+//
+//	profile -src aws:us-east-1 -dst azure:eastus
+//	profile -src gcp:us-east1 -dst aws:eu-west-1 -rounds 20 -size 1GB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cloud"
+	"repro/internal/model"
+	"repro/internal/profiler"
+	"repro/internal/world"
+)
+
+func main() {
+	var (
+		srcFlag  = flag.String("src", "aws:us-east-1", "source region")
+		dstFlag  = flag.String("dst", "azure:eastus", "destination region")
+		rounds   = flag.Int("rounds", 12, "profiling samples per parameter")
+		sizeFlag = flag.String("size", "1GB", "object size for the prediction sweep")
+		pct      = flag.Float64("percentile", 0.99, "prediction percentile")
+		out      = flag.String("o", "", "write the fitted profile as JSON to this file")
+	)
+	flag.Parse()
+
+	src, err := cloud.ParseRegionID(*srcFlag)
+	if err != nil {
+		fatal(err)
+	}
+	dst, err := cloud.ParseRegionID(*dstFlag)
+	if err != nil {
+		fatal(err)
+	}
+	size, err := parseSize(*sizeFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := world.New()
+	p := profiler.New(w)
+	p.Rounds = *rounds
+	m := model.New()
+	fmt.Printf("profiling %s -> %s (%d rounds per parameter)...\n\n", src, dst, *rounds)
+	p.FitRule(m, src, dst)
+
+	fmt.Printf("notification delay T_n(%s): %s s\n\n", src, m.Notify(src))
+	for _, loc := range []cloud.RegionID{src, dst} {
+		lp, _ := m.Loc(loc)
+		fmt.Printf("execution region %s:\n", loc)
+		fmt.Printf("  I (invoke API)        %s s\n", lp.I)
+		fmt.Printf("  D (startup delay)     %s s\n", lp.D)
+		fmt.Printf("  P (sched postponement)%s s\n", lp.P)
+		pp, _ := m.Path(model.PathKey{Src: src, Dst: dst, Loc: loc})
+		fmt.Printf("  S (client setup)      %s s\n", pp.S)
+		fmt.Printf("  C (per 8MB chunk)     mu=%.4f between=%.4f within=%.4f s\n", pp.C.Mu, pp.C.Between, pp.C.Within)
+		fmt.Printf("  C' (pool scheduling)  mu=%.4f between=%.4f within=%.4f s\n\n", pp.Cp.Mu, pp.Cp.Between, pp.Cp.Within)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.Export(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote profile to %s\n\n", *out)
+	}
+
+	fmt.Printf("predicted replication time for %s at p%.0f (seconds):\n", *sizeFlag, *pct*100)
+	fmt.Printf("%6s %14s %14s\n", "n", "at "+shortName(src), "at "+shortName(dst))
+	for n := 1; n <= 512; n *= 2 {
+		fmt.Printf("%6d", n)
+		for _, loc := range []cloud.RegionID{src, dst} {
+			local := n == 1 && loc == src && size <= 32<<20
+			d, err := m.ReplTime(src, dst, loc, size, n, local)
+			if err != nil {
+				fmt.Printf(" %14s", "-")
+				continue
+			}
+			fmt.Printf(" %14.2f", d.Quantile(*pct))
+		}
+		fmt.Println()
+	}
+}
+
+func shortName(id cloud.RegionID) string {
+	s := string(id)
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func parseSize(s string) (int64, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(u, "GB"):
+		mult, u = 1<<30, strings.TrimSuffix(u, "GB")
+	case strings.HasSuffix(u, "MB"):
+		mult, u = 1<<20, strings.TrimSuffix(u, "MB")
+	case strings.HasSuffix(u, "KB"):
+		mult, u = 1<<10, strings.TrimSuffix(u, "KB")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(u), 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	return n * mult, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "profile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command tracegen generates a synthetic IBM-COS-like object storage
+// trace (the distributional stand-in for the proprietary SNIA IOTTA
+// download) and writes it as CSV, optionally printing the Figure 2/3
+// summary statistics.
+//
+// Usage:
+//
+//	tracegen -duration 1h -rate 600 -o trace.csv
+//	tracegen -duration 24h -rate 400 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		duration = flag.Duration("duration", time.Hour, "trace duration")
+		rate     = flag.Float64("rate", 600, "base request rate (ops/minute)")
+		keys     = flag.Int("keys", 5000, "working-set size")
+		seed     = flag.String("seed", "ibm-cos", "generator seed")
+		out      = flag.String("o", "", "output CSV path (default stdout)")
+		showStat = flag.Bool("stats", false, "print summary statistics instead of CSV")
+	)
+	flag.Parse()
+
+	cfg := trace.DefaultConfig(*duration, *rate)
+	cfg.Keys = *keys
+	cfg.Seed = *seed
+	ops := trace.Generate(cfg)
+
+	if *showStat {
+		st := trace.Summarize(ops)
+		fmt.Printf("operations: %d (%d PUT, %d DELETE)\n", st.Ops, st.Puts, st.Deletes)
+		fmt.Printf("bytes written: %.2f GB\n", float64(st.Bytes)/(1<<30))
+		fmt.Printf("PUTs <= 1MB: %.1f%%\n", 100*float64(st.PutsLE1MB)/float64(st.Puts))
+		labels, counts, capacity := trace.SizeHistogram(ops)
+		fmt.Printf("%-10s %12s %14s\n", "bucket", "count", "capacity(MB)")
+		for i, l := range labels {
+			fmt.Printf("%-10s %12d %14.1f\n", l, counts[i], float64(capacity[i])/(1<<20))
+		}
+		series := trace.ThroughputSeries(ops)
+		lo, hi := series[0], series[0]
+		for _, v := range series {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		fmt.Printf("write throughput: %.1f-%.1f MB/s per minute\n", lo, hi)
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteCSV(w, ops); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d operations to %s\n", len(ops), *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Trace replay: drive AReplica with a bursty, production-like object
+// storage workload (the synthetic stand-in for the IBM COS traces) and
+// report tail replication delay against the SLO — a small-scale version of
+// the paper's Figure 23 experiment.
+//
+//	go run ./examples/trace-replay
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	const (
+		src, dst = "aws:us-east-1", "aws:us-east-2"
+		slo      = 10 * time.Second
+	)
+	sim := areplica.NewSim()
+	sim.MustCreateBucket(src, "tenant")
+	sim.MustCreateBucket(dst, "tenant-replica")
+
+	rep, err := sim.Deploy(areplica.Rule{
+		SrcRegion: src, SrcBucket: "tenant",
+		DstRegion: dst, DstBucket: "tenant-replica",
+		SLO: slo, Percentile: 0.99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 15-minute busy-tenant trace: skewed sizes, bursty minute rates.
+	ops := trace.Generate(trace.DefaultConfig(15*time.Minute, 120))
+	st := trace.Summarize(ops)
+	fmt.Printf("replaying %d ops (%d PUT / %d DELETE, %.2f GB, %.0f%% PUTs <= 1MB)\n",
+		st.Ops, st.Puts, st.Deletes, float64(st.Bytes)/(1<<30),
+		100*float64(st.PutsLE1MB)/float64(st.Puts))
+
+	w := sim.World()
+	trace.Replay(w.Clock, ops, func(op trace.Op) {
+		if op.Type == trace.OpDelete {
+			_ = sim.DeleteObject(src, "tenant", op.Key)
+			return
+		}
+		if _, err := sim.PutObject(src, "tenant", op.Key, op.Size); err != nil {
+			log.Fatal(err)
+		}
+	})
+	sim.Wait()
+
+	records := rep.Records()
+	delays := make([]float64, len(records))
+	within := 0
+	for i, r := range records {
+		delays[i] = r.Delay.Seconds()
+		if r.Delay <= slo {
+			within++
+		}
+	}
+	fmt.Printf("resolved %d replications (pending %d)\n", len(records), rep.Pending())
+	fmt.Printf("delay: p50 %.2fs  p99 %.2fs  p99.99 %.2fs  max %.2fs\n",
+		stats.Percentile(delays, 50), stats.Percentile(delays, 99),
+		stats.Percentile(delays, 99.99), stats.Percentile(delays, 100))
+	fmt.Printf("SLO %s attainment: %.2f%%\n", slo, 100*float64(within)/float64(len(records)))
+	fmt.Printf("total spend: $%.4f\n", sim.CostTotal())
+}

@@ -1,0 +1,274 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/objstore"
+	"repro/internal/stats"
+	"repro/internal/world"
+)
+
+const (
+	use1 = cloud.RegionID("aws:us-east-1")
+	use2 = cloud.RegionID("aws:us-east-2")
+	azE  = cloud.RegionID("azure:eastus")
+	azW  = cloud.RegionID("azure:westus2")
+)
+
+func setupBuckets(t *testing.T, w *world.World, src, dst cloud.RegionID) {
+	t.Helper()
+	if err := w.Region(src).Obj.CreateBucket("src", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Region(dst).Obj.CreateBucket("dst", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkyplaneColdTransferBreakdown(t *testing.T) {
+	w := world.New()
+	setupBuckets(t, w, use1, use2)
+	sp := NewSkyplane(w, use1, use2, "src", "dst", 1, 0)
+	blob := objstore.BlobOfSize(10<<20, 1)
+	if _, err := w.Region(use1).Obj.Put("src", "obj", blob); err != nil {
+		t.Fatal(err)
+	}
+	bd, err := sp.ReplicateMeasured("obj", 10<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Clock.Quiesce()
+	// Figure 4's shape: provisioning+container dominates; transfer is a
+	// tiny fraction.
+	if bd.Provisioning < 20*time.Second || bd.Container < 15*time.Second {
+		t.Fatalf("startup too fast: %+v", bd)
+	}
+	if bd.Transfer > bd.Total()/10 {
+		t.Fatalf("transfer (%v) should be <10%% of total (%v)", bd.Transfer, bd.Total())
+	}
+	if bd.Total() < time.Minute || bd.Total() > 3*time.Minute {
+		t.Fatalf("total = %v, want ~76s", bd.Total())
+	}
+	// VM cost dominates the money too.
+	vm := w.Meter.Item("vm:compute")
+	egress := w.Meter.Item("net:egress")
+	if vm < egress*10 {
+		t.Fatalf("vm cost %v should dwarf egress %v", vm, egress)
+	}
+}
+
+func TestSkyplaneEventDrivenWithKeepAlive(t *testing.T) {
+	w := world.New()
+	setupBuckets(t, w, use1, use2)
+	sp := NewSkyplane(w, use1, use2, "src", "dst", 1, 5*time.Minute)
+	if err := w.Region(use1).Obj.Subscribe("src", sp.HandleEvent); err != nil {
+		t.Fatal(err)
+	}
+	// First PUT: cold path. The second PUT lands two minutes later, inside
+	// the keep-alive window, so it takes the warm path. (A Quiesce here
+	// would drain the idle reaper and kill the warm VMs.)
+	w.Region(use1).Obj.Put("src", "a", objstore.BlobOfSize(1<<20, 1))
+	w.Clock.Sleep(2 * time.Minute)
+	w.Region(use1).Obj.Put("src", "b", objstore.BlobOfSize(1<<20, 2))
+	w.Clock.Quiesce()
+	sp.Shutdown()
+	w.Clock.Quiesce()
+
+	recs := sp.Tracker.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	var cold, warm time.Duration
+	for _, r := range recs {
+		switch r.Key {
+		case "a":
+			cold = r.Delay
+		case "b":
+			warm = r.Delay
+		}
+	}
+	if cold < time.Minute {
+		t.Fatalf("cold delay %v, want >1min (provisioning)", cold)
+	}
+	if warm > 15*time.Second || warm >= cold {
+		t.Fatalf("warm delay %v should be a few seconds (cold %v)", warm, cold)
+	}
+	// Both objects landed.
+	if _, err := w.Region(use2).Obj.Get("dst", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Region(use2).Obj.Get("dst", "b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkyplaneQueueingUnderBurst(t *testing.T) {
+	// One VM pair, several simultaneous objects: later transfers queue, so
+	// max delay grows well past a single transfer's time.
+	w := world.New()
+	setupBuckets(t, w, use1, use2)
+	sp := NewSkyplane(w, use1, use2, "src", "dst", 1, 5*time.Minute)
+	w.Region(use1).Obj.Subscribe("src", sp.HandleEvent)
+	for i := 0; i < 5; i++ {
+		w.Region(use1).Obj.Put("src", key(i), objstore.BlobOfSize(1<<20, uint64(i)+1))
+	}
+	w.Clock.Quiesce()
+	sp.Shutdown()
+	w.Clock.Quiesce()
+	delays := sp.Tracker.DelaysSeconds()
+	if len(delays) != 5 {
+		t.Fatalf("%d records", len(delays))
+	}
+	if mx := stats.Percentile(delays, 100); mx < 65 {
+		t.Fatalf("max delay %v s; queueing on one VM pair should push it past the cold start", mx)
+	}
+}
+
+func TestSkyplaneBulkStriping(t *testing.T) {
+	w := world.New()
+	setupBuckets(t, w, use1, use2)
+	sp := NewSkyplane(w, use1, use2, "src", "dst", 8, time.Minute)
+	size := int64(10) << 30 // 10 GB (keeps the test quick; same path as 100 GB)
+	blob := objstore.BlobOfSize(size, 3)
+	w.Region(use1).Obj.Put("src", "big", blob)
+	dur, err := sp.ReplicateBulk("big", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Shutdown()
+	w.Clock.Quiesce()
+	obj, err := w.Region(use2).Obj.Get("dst", "big")
+	if err != nil || obj.ETag != blob.ETag() {
+		t.Fatalf("bulk object wrong: %v", err)
+	}
+	// 8 parallel VM stripes: the transfer itself is fast but provisioning
+	// still dominates; total must be minutes-scale, not hours.
+	if dur < 30*time.Second || dur > 5*time.Minute {
+		t.Fatalf("bulk duration = %v", dur)
+	}
+}
+
+func TestS3RTCTypicalDelay(t *testing.T) {
+	w := world.New()
+	setupBuckets(t, w, use1, use2)
+	rtc, err := NewS3RTC(w, use1, use2, "src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Region(use1).Obj.Subscribe("src", rtc.HandleEvent)
+	for i := 0; i < 10; i++ {
+		w.Region(use1).Obj.Put("src", key(i), objstore.BlobOfSize(1<<20, uint64(i)+1))
+	}
+	w.Clock.Quiesce()
+	delays := rtc.Tracker.DelaysSeconds()
+	if len(delays) != 10 {
+		t.Fatalf("%d records", len(delays))
+	}
+	mean := stats.Mean(delays)
+	if mean < 12 || mean > 30 {
+		t.Fatalf("mean delay %v s, want ~20 s", mean)
+	}
+}
+
+func TestS3RTCRejectsNonAWS(t *testing.T) {
+	w := world.New()
+	if _, err := NewS3RTC(w, use1, azE, "s", "d"); err == nil {
+		t.Fatal("cross-cloud S3 RTC must be rejected")
+	}
+}
+
+func TestS3RTCQueueingUnderSustainedBurst(t *testing.T) {
+	w := world.New()
+	setupBuckets(t, w, use1, use2)
+	rtc, _ := NewS3RTC(w, use1, use2, "src", "dst")
+	rtc.RatePerSec, rtc.Burst = 50, 100 // small service for a small test
+	rtc.tokens = newTokenBucket(w.Clock, 50, 100)
+	w.Region(use1).Obj.Subscribe("src", rtc.HandleEvent)
+	// 600 objects at once: 100 burst tokens, then 50/s: ~10s extra queueing.
+	for i := 0; i < 600; i++ {
+		w.Region(use1).Obj.Put("src", key(i), objstore.BlobOfSize(1<<10, uint64(i)+1))
+	}
+	w.Clock.Quiesce()
+	delays := rtc.Tracker.DelaysSeconds()
+	p50 := stats.Percentile(delays, 50)
+	p100 := stats.Percentile(delays, 100)
+	if p100 < p50+5 {
+		t.Fatalf("tail (%v) should exceed median (%v) by queueing", p100, p50)
+	}
+}
+
+func TestAZRepDelayAboveMinute(t *testing.T) {
+	w := world.New()
+	setupBuckets(t, w, azE, azW)
+	az, err := NewAZRep(w, azE, azW, "src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Region(azE).Obj.Subscribe("src", az.HandleEvent)
+	for i := 0; i < 5; i++ {
+		w.Region(azE).Obj.Put("src", key(i), objstore.BlobOfSize(1<<20, uint64(i)+1))
+	}
+	w.Clock.Quiesce()
+	delays := az.Tracker.DelaysSeconds()
+	if len(delays) != 5 {
+		t.Fatalf("%d records", len(delays))
+	}
+	if mn := stats.Percentile(delays, 0); mn < 50 {
+		t.Fatalf("min delay %v s, want >50 s (no SLO service)", mn)
+	}
+	// Free service: no rtc fee, only egress.
+	if w.Meter.Item("rtc:fee") != 0 {
+		t.Fatal("azrep should have no replication fee")
+	}
+	if w.Meter.Item("net:egress") <= 0 {
+		t.Fatal("egress must accrue")
+	}
+}
+
+func TestAZRepRejectsNonAzure(t *testing.T) {
+	w := world.New()
+	if _, err := NewAZRep(w, use1, azE, "s", "d"); err == nil {
+		t.Fatal("non-Azure AZRep must be rejected")
+	}
+}
+
+func TestTokenBucketRate(t *testing.T) {
+	w := world.New()
+	tb := newTokenBucket(w.Clock, 10, 10)
+	start := w.Clock.Now()
+	// 10 burst + 40 at 10/s: last token at ~4s.
+	for i := 0; i < 50; i++ {
+		tb.take()
+	}
+	elapsed := w.Clock.Since(start).Seconds()
+	if elapsed < 3.5 || elapsed > 5 {
+		t.Fatalf("50 tokens took %v s, want ~4 s", elapsed)
+	}
+}
+
+func TestSemFIFO(t *testing.T) {
+	w := world.New()
+	s := newSem(w.Clock, 1)
+	var order []int
+	s.acquire()
+	for i := 0; i < 3; i++ {
+		i := i
+		w.Clock.Delay(time.Duration(i+1)*time.Millisecond, func() {
+			s.acquire()
+			order = append(order, i)
+			w.Clock.Sleep(time.Millisecond)
+			s.release()
+		})
+	}
+	w.Clock.Delay(10*time.Millisecond, s.release)
+	w.Clock.Quiesce()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func key(i int) string { return "obj-" + string(rune('a'+i%26)) + string(rune('0'+i/26)) }

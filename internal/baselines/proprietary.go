@@ -1,0 +1,192 @@
+package baselines
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/engine"
+	"repro/internal/objstore"
+	"repro/internal/pricing"
+	"repro/internal/simclock"
+	"repro/internal/simrand"
+	"repro/internal/stats"
+	"repro/internal/world"
+)
+
+// S3RTC models AWS S3 Replication Time Control: managed asynchronous
+// replication between two AWS buckets with a 15-minute SLA. Typical delay
+// is ~15-26 seconds (Tables 1-2), but the service's internal replication
+// capacity is bounded, so sustained bursts queue and push the p99.99
+// delay past 30 seconds (Figure 23). Versioning must be enabled on both
+// buckets; the fee is $0.015/GB on top of inter-region egress.
+type S3RTC struct {
+	W                    *world.World
+	Src, Dst             cloud.RegionID
+	SrcBucket, DstBucket string
+
+	// BaseDelay is the service's internal processing time; SizeDelayPerGB
+	// adds the size-dependent component.
+	BaseDelay      stats.Normal
+	SizeDelayPerGB float64
+
+	// RatePerSec is the service's sustained replication capacity for this
+	// bucket pair; Burst is the token bucket depth.
+	RatePerSec float64
+	Burst      float64
+
+	Tracker *engine.Tracker
+
+	tokens *tokenBucket
+}
+
+// NewS3RTC returns an S3 RTC deployment. Both regions must be AWS.
+func NewS3RTC(w *world.World, src, dst cloud.RegionID, srcBucket, dstBucket string) (*S3RTC, error) {
+	if cloud.MustLookup(src).Provider != cloud.AWS || cloud.MustLookup(dst).Provider != cloud.AWS {
+		return nil, fmt.Errorf("s3rtc: both regions must be AWS, got %s -> %s", src, dst)
+	}
+	r := &S3RTC{
+		W: w, Src: src, Dst: dst,
+		SrcBucket: srcBucket, DstBucket: dstBucket,
+		BaseDelay:      stats.N(19.5, 2.8),
+		SizeDelayPerGB: 4.0,
+		RatePerSec:     400,
+		Burst:          1200,
+		Tracker:        engine.NewTracker(),
+	}
+	r.tokens = newTokenBucket(w.Clock, r.RatePerSec, r.Burst)
+	return r, nil
+}
+
+// SetCapacity reconfigures the service's sustained replication rate and
+// burst depth (experiments scale it alongside scaled-down traces).
+func (r *S3RTC) SetCapacity(ratePerSec, burst float64) {
+	r.RatePerSec, r.Burst = ratePerSec, burst
+	r.tokens = newTokenBucket(r.W.Clock, ratePerSec, burst)
+}
+
+// HandleEvent consumes a source notification.
+func (r *S3RTC) HandleEvent(ev objstore.Event) {
+	r.Tracker.OnSource(ev)
+	r.W.Clock.Go(func() {
+		// Queue on the service's replication capacity.
+		r.tokens.take()
+		if ev.Type == objstore.EventDelete {
+			r.W.Region(r.Dst).Obj.Delete(r.DstBucket, ev.Key)
+			r.Tracker.Resolve(ev.Key, ev.Seq, r.W.Clock.Now())
+			return
+		}
+		rng := simrand.New("s3rtc", ev.Key, fmt.Sprint(ev.Seq))
+		d := r.BaseDelay.Sample(rng) + r.SizeDelayPerGB*float64(ev.Size)/(1<<30)
+		if d < 5 {
+			d = 5
+		}
+		r.W.Clock.Sleep(simclock.Seconds(d))
+		src := r.W.Region(r.Src)
+		obj, err := src.Obj.Get(r.SrcBucket, ev.Key)
+		if err != nil {
+			return // superseded or deleted; a newer event resolves the key
+		}
+		if _, err := r.W.Region(r.Dst).Obj.Put(r.DstBucket, ev.Key, obj.Blob); err != nil {
+			return
+		}
+		// Egress plus the RTC fee, billed by AWS.
+		r.W.Meter.Add("net:egress", pricing.EgressCost(cloud.MustLookup(r.Src), cloud.MustLookup(r.Dst), obj.Size))
+		r.W.Meter.Add("rtc:fee", pricing.BookFor(cloud.AWS).RTCPerGB*float64(obj.Size)/(1<<30))
+		r.Tracker.Resolve(ev.Key, obj.Seq, r.W.Clock.Now())
+	})
+}
+
+// AZRep models Azure object replication for block blobs: free of charge
+// (beyond egress) but with no SLO — measured delays sit above a minute
+// (Table 2) regardless of object size class.
+type AZRep struct {
+	W                    *world.World
+	Src, Dst             cloud.RegionID
+	SrcBucket, DstBucket string
+
+	BaseDelay      stats.Normal
+	SizeDelayPerGB float64
+
+	Tracker *engine.Tracker
+}
+
+// NewAZRep returns an Azure object replication deployment. Both regions
+// must be Azure.
+func NewAZRep(w *world.World, src, dst cloud.RegionID, srcBucket, dstBucket string) (*AZRep, error) {
+	if cloud.MustLookup(src).Provider != cloud.Azure || cloud.MustLookup(dst).Provider != cloud.Azure {
+		return nil, fmt.Errorf("azrep: both regions must be Azure, got %s -> %s", src, dst)
+	}
+	return &AZRep{
+		W: w, Src: src, Dst: dst,
+		SrcBucket: srcBucket, DstBucket: dstBucket,
+		BaseDelay:      stats.N(62.0, 4.5),
+		SizeDelayPerGB: 2.0,
+		Tracker:        engine.NewTracker(),
+	}, nil
+}
+
+// HandleEvent consumes a source notification.
+func (a *AZRep) HandleEvent(ev objstore.Event) {
+	a.Tracker.OnSource(ev)
+	a.W.Clock.Go(func() {
+		if ev.Type == objstore.EventDelete {
+			a.W.Region(a.Dst).Obj.Delete(a.DstBucket, ev.Key)
+			a.Tracker.Resolve(ev.Key, ev.Seq, a.W.Clock.Now())
+			return
+		}
+		rng := simrand.New("azrep", ev.Key, fmt.Sprint(ev.Seq))
+		d := a.BaseDelay.Sample(rng) + a.SizeDelayPerGB*float64(ev.Size)/(1<<30)
+		if d < 30 {
+			d = 30
+		}
+		a.W.Clock.Sleep(simclock.Seconds(d))
+		src := a.W.Region(a.Src)
+		obj, err := src.Obj.Get(a.SrcBucket, ev.Key)
+		if err != nil {
+			return
+		}
+		if _, err := a.W.Region(a.Dst).Obj.Put(a.DstBucket, ev.Key, obj.Blob); err != nil {
+			return
+		}
+		a.W.Meter.Add("net:egress", pricing.EgressCost(cloud.MustLookup(a.Src), cloud.MustLookup(a.Dst), obj.Size))
+		a.Tracker.Resolve(ev.Key, obj.Seq, a.W.Clock.Now())
+	})
+}
+
+// tokenBucket rate-limits a service on the virtual clock.
+type tokenBucket struct {
+	clock *simclock.Clock
+	rate  float64 // tokens per second
+	burst float64
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(clock *simclock.Clock, rate, burst float64) *tokenBucket {
+	return &tokenBucket{clock: clock, rate: rate, burst: burst, tokens: burst, last: clock.Now()}
+}
+
+// take blocks until one token is available. Instead of polling, a caller
+// arriving at an empty bucket *reserves* the next slot by driving the
+// balance negative and sleeping exactly once until its slot matures —
+// FIFO service in O(1) wakeups per caller, which matters when tens of
+// thousands of trace operations queue at once.
+func (tb *tokenBucket) take() {
+	tb.mu.Lock()
+	now := tb.clock.Now()
+	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+	tb.last = now
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	tb.tokens--
+	deficit := -tb.tokens / tb.rate
+	tb.mu.Unlock()
+	if deficit > 0 {
+		tb.clock.Sleep(simclock.Seconds(deficit))
+	}
+}

@@ -1,0 +1,49 @@
+package baselines
+
+import (
+	"sync"
+
+	"repro/internal/simclock"
+)
+
+// sem is a FIFO counting semaphore on the virtual clock, used to queue
+// replication requests on a bounded VM fleet.
+type sem struct {
+	clock *simclock.Clock
+
+	mu      sync.Mutex
+	avail   int
+	waiters []*simclock.Event
+}
+
+func newSem(clock *simclock.Clock, n int) *sem {
+	return &sem{clock: clock, avail: n}
+}
+
+// acquire blocks (in virtual time) until a slot is available.
+func (s *sem) acquire() {
+	s.mu.Lock()
+	if s.avail > 0 {
+		s.avail--
+		s.mu.Unlock()
+		return
+	}
+	ev := s.clock.NewEvent()
+	s.waiters = append(s.waiters, ev)
+	s.mu.Unlock()
+	ev.Wait()
+}
+
+// release frees a slot, handing it to the oldest waiter if any.
+func (s *sem) release() {
+	s.mu.Lock()
+	if len(s.waiters) > 0 {
+		ev := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.mu.Unlock()
+		ev.Trigger()
+		return
+	}
+	s.avail++
+	s.mu.Unlock()
+}

@@ -1,0 +1,155 @@
+// Package changelog implements AReplica's changelog propagation (§5.4).
+// When an application creates a new object *from existing objects* — a
+// copy, or a concatenation — it registers a changelog hint in the source
+// region's KV store. When the orchestrator sees the new object's PUT
+// notification, it looks the changelog up; if all of the changelog's
+// source objects already exist at the destination with matching ETags, the
+// operation is mirrored with destination-local server-side requests and no
+// data ever crosses the wide area — near-zero cost (Figure 21).
+package changelog
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/kvstore"
+	"repro/internal/objstore"
+)
+
+// Op is a changelog operation kind.
+type Op string
+
+// Supported operations.
+const (
+	// OpCopy creates the new object as an exact copy of one source.
+	OpCopy Op = "copy"
+	// OpConcat creates the new object by concatenating the sources in
+	// order (covers append when the tail is itself an object).
+	OpConcat Op = "concat"
+)
+
+// Source references an existing object a new version derives from. The
+// ETag pins the exact version, so applying against a stale destination
+// replica is detected rather than silently producing wrong content.
+type Source struct {
+	Key  string `json:"key"`
+	ETag string `json:"etag"`
+}
+
+// Log is one changelog entry: how the object version (Key, ETag) was
+// produced from existing objects.
+type Log struct {
+	Key     string   `json:"key"`
+	ETag    string   `json:"etag"`
+	Op      Op       `json:"op"`
+	Sources []Source `json:"sources"`
+}
+
+// Validate checks structural sanity.
+func (l Log) Validate() error {
+	switch l.Op {
+	case OpCopy:
+		if len(l.Sources) != 1 {
+			return fmt.Errorf("changelog: copy needs exactly 1 source, got %d", len(l.Sources))
+		}
+	case OpConcat:
+		if len(l.Sources) < 2 {
+			return fmt.Errorf("changelog: concat needs >= 2 sources, got %d", len(l.Sources))
+		}
+	default:
+		return fmt.Errorf("changelog: unknown op %q", l.Op)
+	}
+	if l.Key == "" || l.ETag == "" {
+		return fmt.Errorf("changelog: key and etag are required")
+	}
+	return nil
+}
+
+// Store keeps changelog entries in a region's KV database, keyed by the
+// new object's (key, etag) so the orchestrator can match them to PUT
+// notifications.
+type Store struct {
+	kv    *kvstore.Store
+	table string
+}
+
+// NewStore returns a Store backed by kv.
+func NewStore(kv *kvstore.Store) *Store {
+	return &Store{kv: kv, table: "areplica-changelogs"}
+}
+
+func entryKey(key, etag string) string { return key + "\x00" + etag }
+
+// Register records a changelog entry. Applications (or program analysis,
+// per the paper) call this right after issuing the producing operation.
+func (s *Store) Register(l Log) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	blob, err := json.Marshal(l)
+	if err != nil {
+		return err
+	}
+	s.kv.Put(s.table, entryKey(l.Key, l.ETag), kvstore.Item{"log": string(blob)})
+	return nil
+}
+
+// Lookup fetches the changelog for an object version, if any.
+func (s *Store) Lookup(key, etag string) (Log, bool) {
+	it, ok := s.kv.Get(s.table, entryKey(key, etag))
+	if !ok {
+		return Log{}, false
+	}
+	var l Log
+	if err := json.Unmarshal([]byte(it.Str("log")), &l); err != nil {
+		return Log{}, false
+	}
+	return l, true
+}
+
+// Applier mirrors changelog operations at the destination.
+type Applier struct {
+	Dst       *objstore.Store
+	DstBucket string
+	// Origin tags the applier's destination writes so sibling rules in an
+	// active-active pair do not re-replicate them.
+	Origin string
+}
+
+// Apply attempts to reproduce the changelog's operation with
+// destination-local server-side requests. It returns true only when the
+// destination now holds exactly the expected version (ETag match); any
+// missing or stale source makes it return false so the caller falls back
+// to full replication.
+func (a *Applier) Apply(l Log) bool {
+	if err := l.Validate(); err != nil {
+		return false
+	}
+	switch l.Op {
+	case OpCopy:
+		src := l.Sources[0]
+		res, err := a.Dst.CopyWithOrigin(a.DstBucket, src.Key, a.DstBucket, l.Key, src.ETag, a.Origin)
+		if err != nil {
+			return false
+		}
+		if res.ETag != l.ETag {
+			// The copy produced unexpected content (the hint was wrong);
+			// full replication will overwrite it.
+			return false
+		}
+		return true
+	case OpConcat:
+		keys := make([]string, len(l.Sources))
+		etags := make([]string, len(l.Sources))
+		for i, s := range l.Sources {
+			keys[i] = s.Key
+			etags[i] = s.ETag
+		}
+		res, err := a.Dst.ComposeWithOrigin(a.DstBucket, l.Key, keys, etags, a.Origin)
+		if err != nil {
+			return false
+		}
+		return res.ETag == l.ETag
+	}
+	return false
+}

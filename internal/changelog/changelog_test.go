@@ -1,0 +1,143 @@
+package changelog
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/objstore"
+	"repro/internal/world"
+)
+
+func setup(t *testing.T) (*world.World, *Store, *Applier, *objstore.Store) {
+	t.Helper()
+	w := world.New()
+	src := w.Region(cloud.RegionID("aws:us-east-1"))
+	dst := w.Region(cloud.RegionID("azure:eastus"))
+	if err := dst.Obj.CreateBucket("dst", false); err != nil {
+		t.Fatal(err)
+	}
+	return w, NewStore(src.KV), &Applier{Dst: dst.Obj, DstBucket: "dst"}, dst.Obj
+}
+
+func TestValidate(t *testing.T) {
+	good := Log{Key: "k", ETag: "e", Op: OpCopy, Sources: []Source{{Key: "a", ETag: "ea"}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Log{
+		{Key: "k", ETag: "e", Op: OpCopy, Sources: nil},
+		{Key: "k", ETag: "e", Op: OpCopy, Sources: []Source{{}, {}}},
+		{Key: "k", ETag: "e", Op: OpConcat, Sources: []Source{{}}},
+		{Key: "k", ETag: "e", Op: "move", Sources: []Source{{}}},
+		{Key: "", ETag: "e", Op: OpCopy, Sources: []Source{{}}},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestRegisterLookupRoundTrip(t *testing.T) {
+	_, store, _, _ := setup(t)
+	l := Log{Key: "new", ETag: "e2", Op: OpConcat,
+		Sources: []Source{{Key: "a", ETag: "ea"}, {Key: "b", ETag: "eb"}}}
+	if err := store.Register(l); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := store.Lookup("new", "e2")
+	if !ok {
+		t.Fatal("lookup missed")
+	}
+	if got.Op != OpConcat || len(got.Sources) != 2 || got.Sources[1].Key != "b" {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if _, ok := store.Lookup("new", "other-etag"); ok {
+		t.Fatal("lookup must match the exact version")
+	}
+	if err := store.Register(Log{Key: "x", ETag: "e", Op: "bogus"}); err == nil {
+		t.Fatal("invalid log registered")
+	}
+}
+
+func TestApplyCopy(t *testing.T) {
+	_, _, applier, dstObj := setup(t)
+	orig := objstore.BlobOfSize(1000, 42)
+	res, err := dstObj.Put("dst", "orig", orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := applier.Apply(Log{Key: "copy", ETag: orig.ETag(), Op: OpCopy,
+		Sources: []Source{{Key: "orig", ETag: res.ETag}}})
+	if !ok {
+		t.Fatal("apply failed")
+	}
+	got, err := dstObj.Get("dst", "copy")
+	if err != nil || got.ETag != orig.ETag() {
+		t.Fatalf("copied object wrong: %v %v", err, got.ETag)
+	}
+}
+
+func TestApplyCopyStaleSourceFails(t *testing.T) {
+	_, _, applier, dstObj := setup(t)
+	dstObj.Put("dst", "orig", objstore.BlobOfSize(1000, 1))
+	ok := applier.Apply(Log{Key: "copy", ETag: `"whatever"`, Op: OpCopy,
+		Sources: []Source{{Key: "orig", ETag: `"stale"`}}})
+	if ok {
+		t.Fatal("stale source must not apply")
+	}
+	if _, err := dstObj.Get("dst", "copy"); err == nil {
+		t.Fatal("failed apply should not leave an object")
+	}
+}
+
+func TestApplyCopyMissingSourceFails(t *testing.T) {
+	_, _, applier, _ := setup(t)
+	if applier.Apply(Log{Key: "copy", ETag: "e", Op: OpCopy,
+		Sources: []Source{{Key: "nope", ETag: "e"}}}) {
+		t.Fatal("missing source must not apply")
+	}
+}
+
+func TestApplyConcat(t *testing.T) {
+	_, _, applier, dstObj := setup(t)
+	whole := objstore.BlobOfSize(300, 7)
+	r0, _ := dstObj.Put("dst", "p0", whole.Slice(0, 100))
+	r1, _ := dstObj.Put("dst", "p1", whole.Slice(100, 200))
+	ok := applier.Apply(Log{Key: "joined", ETag: whole.ETag(), Op: OpConcat,
+		Sources: []Source{{Key: "p0", ETag: r0.ETag}, {Key: "p1", ETag: r1.ETag}}})
+	if !ok {
+		t.Fatal("concat apply failed")
+	}
+	got, err := dstObj.Get("dst", "joined")
+	if err != nil || got.ETag != whole.ETag() {
+		t.Fatalf("joined object wrong: %v", err)
+	}
+}
+
+func TestApplyConcatWrongResultETag(t *testing.T) {
+	_, _, applier, dstObj := setup(t)
+	r0, _ := dstObj.Put("dst", "a", objstore.BlobOfSize(10, 1))
+	r1, _ := dstObj.Put("dst", "b", objstore.BlobOfSize(10, 2))
+	// Expected ETag does not match what the concat produces.
+	ok := applier.Apply(Log{Key: "j", ETag: `"expected-something-else"`, Op: OpConcat,
+		Sources: []Source{{Key: "a", ETag: r0.ETag}, {Key: "b", ETag: r1.ETag}}})
+	if ok {
+		t.Fatal("mismatched result must report failure")
+	}
+}
+
+func TestApplyIsCheap(t *testing.T) {
+	// A changelog apply must not touch the wide area: no egress accrues.
+	w, _, applier, dstObj := setup(t)
+	blob := objstore.BlobOfSize(1<<30, 9) // 1 GB copied for free
+	res, _ := dstObj.Put("dst", "big", blob)
+	before := w.Meter.Item("net:egress")
+	if !applier.Apply(Log{Key: "big-copy", ETag: blob.ETag(), Op: OpCopy,
+		Sources: []Source{{Key: "big", ETag: res.ETag}}}) {
+		t.Fatal("apply failed")
+	}
+	if after := w.Meter.Item("net:egress"); after != before {
+		t.Fatalf("server-side copy accrued egress: %v", after-before)
+	}
+}

@@ -1,0 +1,182 @@
+// Package core assembles AReplica's components into a deployed service
+// (§4, Figure 10): the offline profiler fits the performance model, the
+// strategy planner turns it into SLO-compliant plans, the replication
+// engine executes them, the logger keeps the model honest at runtime, and
+// the optional changelog store and SLO-bounded batcher cut replication
+// cost. Deploy wires one service to a source bucket's notifications.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/batching"
+	"repro/internal/changelog"
+	"repro/internal/cloud"
+	"repro/internal/engine"
+	"repro/internal/logger"
+	"repro/internal/model"
+	"repro/internal/objstore"
+	"repro/internal/planner"
+	"repro/internal/profiler"
+	"repro/internal/world"
+)
+
+// Options configures a deployment.
+type Options struct {
+	Rule engine.Rule
+
+	// EnableChangelog turns on changelog propagation (§5.4): applications
+	// register hints via Service.RegisterChangelog and eligible versions
+	// are mirrored without wide-area transfer.
+	EnableChangelog bool
+	// EnableBatching turns on SLO-bounded batching (§5.4, Algorithm 4);
+	// it requires a positive Rule.SLO.
+	EnableBatching bool
+	// BatchEpsilon is the batcher's deadline safety margin (default 1s).
+	BatchEpsilon time.Duration
+
+	// Relays are optional overlay execution regions the planner may pick
+	// (§6's extension); they are profiled alongside the rule's own paths.
+	Relays []cloud.RegionID
+
+	// ProfileRounds overrides the profiler's sampling effort (default 12).
+	ProfileRounds int
+	// Model, when non-nil, is used (and extended) instead of a fresh
+	// model; deployments sharing region pairs share profiling work.
+	Model *model.Model
+
+	// OnTaskDone, when set, observes finished tasks in addition to the
+	// logger.
+	OnTaskDone func(engine.TaskResult)
+}
+
+// Service is one deployed replication rule.
+type Service struct {
+	W       *world.World
+	Rule    engine.Rule
+	Model   *model.Model
+	Planner *planner.Planner
+	Engine  *engine.Engine
+	Logger  *logger.Logger
+
+	Batcher    *batching.Batcher
+	Changelogs *changelog.Store
+
+	estMu    sync.Mutex
+	estCache map[int64]time.Duration
+}
+
+// Deploy profiles (if needed), builds, and wires a Service to the source
+// bucket's notifications. Buckets must already exist.
+func Deploy(w *world.World, opts Options) (*Service, error) {
+	rule := opts.Rule.WithDefaults()
+	if rule.Src == rule.Dst {
+		return nil, fmt.Errorf("core: source and destination regions are both %s", rule.Src)
+	}
+	if opts.EnableBatching && rule.SLO <= 0 {
+		return nil, fmt.Errorf("core: batching requires a positive SLO")
+	}
+
+	m := opts.Model
+	if m == nil {
+		m = model.New()
+	}
+	if rule.ForceN == 0 {
+		prof := profiler.New(w)
+		if opts.ProfileRounds > 0 {
+			prof.Rounds = opts.ProfileRounds
+		}
+		prof.FitRuleWithRelays(m, rule.Src, rule.Dst, opts.Relays)
+	}
+
+	pl := planner.New(m)
+	pl.Relays = opts.Relays
+	eng := engine.New(w, pl, rule)
+	lg := logger.New(m, rule.Src, rule.Dst)
+	userHook := opts.OnTaskDone
+	eng.OnTaskDone = func(r engine.TaskResult) {
+		lg.Observe(r)
+		if userHook != nil {
+			userHook(r)
+		}
+	}
+
+	s := &Service{
+		W: w, Rule: rule, Model: m, Planner: pl, Engine: eng, Logger: lg,
+		estCache: make(map[int64]time.Duration),
+	}
+
+	if opts.EnableChangelog {
+		s.Changelogs = changelog.NewStore(w.Region(rule.Src).KV)
+		applier := &changelog.Applier{
+			Dst: w.Region(rule.Dst).Obj, DstBucket: rule.DstBucket,
+			Origin: engine.OriginPrefix + fmt.Sprintf("%s/%s->%s/%s", rule.Src, rule.SrcBucket, rule.Dst, rule.DstBucket),
+		}
+		eng.TryChangelog = func(key, etag string) bool {
+			log, ok := s.Changelogs.Lookup(key, etag)
+			if !ok {
+				return false
+			}
+			return applier.Apply(log)
+		}
+	}
+
+	handler := eng.HandleEvent
+	if opts.EnableBatching {
+		head := func(key string) (objstore.Meta, error) {
+			return w.Region(rule.Src).Obj.Head(rule.SrcBucket, key)
+		}
+		s.Batcher = batching.New(w.Clock, rule.SLO, opts.BatchEpsilon, s.estimate, head, eng.Dispatch)
+		// Delayed tasks run on the source region's serverless workflow
+		// service (§7), so their Wait states are billed.
+		s.Batcher.SetDelayer(w.Region(rule.Src).Wf.Delay)
+		handler = func(ev objstore.Event) {
+			if !eng.Matches(ev.Key) {
+				return
+			}
+			// Every source version is registered for delay accounting even
+			// if batching later coalesces it away.
+			eng.Tracker.OnSource(ev)
+			s.Batcher.Submit(ev)
+		}
+	}
+	if err := w.Region(rule.Src).Obj.Subscribe(rule.SrcBucket, handler); err != nil {
+		return nil, fmt.Errorf("core: subscribing to %s/%s: %w", rule.Src, rule.SrcBucket, err)
+	}
+	return s, nil
+}
+
+// estimate predicts the fastest replication time for a size (the T_rep
+// term of Algorithm 4), cached per chunk count.
+func (s *Service) estimate(size int64) time.Duration {
+	chunks := s.Model.Chunks(size)
+	s.estMu.Lock()
+	if d, ok := s.estCache[chunks]; ok {
+		s.estMu.Unlock()
+		return d
+	}
+	s.estMu.Unlock()
+	p, err := s.Planner.Plan(s.Rule.Src, s.Rule.Dst, size, 0, s.Rule.Percentile)
+	d := 5 * time.Second
+	if err == nil {
+		d = time.Duration(p.EstSeconds * float64(time.Second))
+	}
+	s.estMu.Lock()
+	s.estCache[chunks] = d
+	s.estMu.Unlock()
+	return d
+}
+
+// RegisterChangelog records a changelog hint for an upcoming or just-made
+// PUT (requires EnableChangelog).
+func (s *Service) RegisterChangelog(l changelog.Log) error {
+	if s.Changelogs == nil {
+		return fmt.Errorf("core: changelog propagation is not enabled")
+	}
+	return s.Changelogs.Register(l)
+}
+
+// Tracker exposes the engine's delay records.
+func (s *Service) Tracker() *engine.Tracker { return s.Engine.Tracker }

@@ -1,0 +1,594 @@
+// Package engine implements AReplica's replication engine (§5.1-5.2): the
+// serverless workflow of notification → orchestrator → replicator
+// functions, with decentralized part-granularity scheduling (Algorithm 1),
+// the object-granularity replication lock (Algorithm 2), and optimistic
+// validation with ETags. Slow instances naturally replicate fewer parts
+// because every part is claimed from a shared pool in the location
+// region's KV store — two KV accesses per part, as the paper costs it.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/faas"
+	"repro/internal/kvstore"
+	"repro/internal/model"
+	"repro/internal/objstore"
+	"repro/internal/planner"
+	"repro/internal/simrand"
+	"repro/internal/world"
+)
+
+// SchedulingMode selects how data parts are distributed to replicators.
+type SchedulingMode int
+
+// Scheduling modes.
+const (
+	// PartPool is decentralized part-granularity scheduling: replicators
+	// claim parts from a shared pool as they become available (Algorithm 1).
+	PartPool SchedulingMode = iota
+	// FairDispatch statically assigns each replicator an equal contiguous
+	// range of parts, the strawman of Figure 12 used in the Figure 17
+	// ablation.
+	FairDispatch
+)
+
+// OriginPrefix tags destination writes made by any AReplica engine. Events
+// carrying it are never re-replicated, which breaks the ping-pong loop of
+// bidirectional (active-active) rule pairs, mirroring how S3 replication
+// skips replica-created objects.
+const OriginPrefix = "areplica/"
+
+func (m SchedulingMode) String() string {
+	if m == FairDispatch {
+		return "fair"
+	}
+	return "part-pool"
+}
+
+// Rule configures replication of one bucket pair.
+type Rule struct {
+	Src, Dst             cloud.RegionID
+	SrcBucket, DstBucket string
+
+	// SLO is the replication-delay objective measured from the source PUT;
+	// zero requests the fastest plan for every object.
+	SLO time.Duration
+	// Percentile is the model percentile plans must satisfy (default 0.99).
+	Percentile float64
+	// PartSize is the distributed-replication part size (default 8 MB).
+	PartSize int64
+	// Scheduling selects PartPool (default) or FairDispatch.
+	Scheduling SchedulingMode
+	// MaxRetries bounds optimistic-validation retries before an event goes
+	// to the dead-letter queue (default 3).
+	MaxRetries int
+
+	// KeyPrefix, when non-empty, scopes the rule to keys with the prefix
+	// (as in S3 replication rule filters); other keys are ignored.
+	KeyPrefix string
+
+	// ForceN and ForceLoc, when set, bypass the planner and pin the
+	// parallelism and execution region. Ablation experiments (Figures 8,
+	// 17, 18-19) use them to hold the strategy fixed.
+	ForceN   int
+	ForceLoc cloud.RegionID
+}
+
+// WithDefaults fills unset fields with the paper's defaults.
+func (r Rule) WithDefaults() Rule {
+	if r.Percentile <= 0 || r.Percentile >= 1 {
+		r.Percentile = 0.99
+	}
+	if r.PartSize <= 0 {
+		r.PartSize = model.DefaultChunk
+	}
+	if r.MaxRetries <= 0 {
+		r.MaxRetries = 3
+	}
+	return r
+}
+
+// InstanceStat records one replicator instance's contribution to a
+// distributed task (Figure 17's per-instance data).
+type InstanceStat struct {
+	ID     string
+	Chunks int
+	Busy   time.Duration
+}
+
+// TaskResult summarizes one finished replication task.
+type TaskResult struct {
+	Key       string
+	ETag      string
+	Size      int64
+	Plan      planner.Plan
+	Start     time.Time // orchestration start (lock held)
+	End       time.Time // destination object retrievable
+	OK        bool
+	Changelog bool   // satisfied by changelog propagation, no data moved
+	Reason    string // failure reason when OK is false
+	Retries   int
+	Instances []InstanceStat
+}
+
+// ExecSeconds is the measured replication time T_rep of the task.
+func (t TaskResult) ExecSeconds() float64 { return t.End.Sub(t.Start).Seconds() }
+
+// Engine replicates objects for one Rule on a simulated world.
+type Engine struct {
+	W       *world.World
+	Planner *planner.Planner
+	Rule    Rule
+	Tracker *Tracker
+
+	// TryChangelog, when set, is consulted before planning a full
+	// replication; returning true means the version was propagated via its
+	// changelog (§5.4) and no data transfer is needed.
+	TryChangelog func(key, etag string) bool
+	// OnTaskDone, when set, observes every finished task (the logger hooks
+	// in here).
+	OnTaskDone func(TaskResult)
+
+	lock    *replLock
+	ruleID  string
+	taskSeq atomic.Int64
+
+	mu  sync.Mutex
+	dlq []objstore.Event
+}
+
+// New returns an Engine for rule. The replication lock lives in the source
+// region's KV store.
+func New(w *world.World, pl *planner.Planner, rule Rule) *Engine {
+	rule = rule.WithDefaults()
+	ruleID := fmt.Sprintf("%s/%s->%s/%s", rule.Src, rule.SrcBucket, rule.Dst, rule.DstBucket)
+	return &Engine{
+		W:       w,
+		Planner: pl,
+		Rule:    rule,
+		Tracker: NewTracker(),
+		ruleID:  ruleID,
+		lock:    newReplLock(w.Region(rule.Src).KV, ruleID),
+	}
+}
+
+// DLQ returns the events that exhausted their retries.
+func (e *Engine) DLQ() []objstore.Event {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]objstore.Event(nil), e.dlq...)
+}
+
+// HandleEvent is the notification entry point: it registers the event for
+// delay measurement and dispatches an orchestrator invocation. Wire it to
+// the source bucket via objstore.Subscribe (or through the batcher).
+// Events outside the rule's key prefix, and events originated by a
+// replication engine (replica writes in an active-active pair), are
+// ignored.
+func (e *Engine) HandleEvent(ev objstore.Event) {
+	if !e.Matches(ev.Key) || strings.HasPrefix(ev.Origin, OriginPrefix) {
+		return
+	}
+	e.Tracker.OnSource(ev)
+	e.Dispatch(ev)
+}
+
+// origin returns the tag this engine stamps on its destination writes.
+func (e *Engine) origin() string { return OriginPrefix + e.ruleID }
+
+// Matches reports whether a key falls under this rule's prefix filter.
+func (e *Engine) Matches(key string) bool {
+	return e.Rule.KeyPrefix == "" || strings.HasPrefix(key, e.Rule.KeyPrefix)
+}
+
+// Backfill walks the source bucket and dispatches replication for every
+// object that is missing or stale at the destination — the initial sync a
+// freshly deployed rule needs so that notifications alone keep the pair
+// converged afterwards. It returns how many objects were scheduled.
+// Delays for backfilled objects are measured from the backfill itself.
+func (e *Engine) Backfill() (int, error) {
+	src := e.W.Region(e.Rule.Src)
+	dst := e.W.Region(e.Rule.Dst)
+	metas, err := src.Obj.List(e.Rule.SrcBucket)
+	if err != nil {
+		return 0, fmt.Errorf("engine: backfill list: %w", err)
+	}
+	scheduled := 0
+	for _, m := range metas {
+		if !e.Matches(m.Key) {
+			continue
+		}
+		if cur, err := dst.Obj.Head(e.Rule.DstBucket, m.Key); err == nil && cur.ETag == m.ETag {
+			continue // already converged
+		}
+		ev := objstore.Event{
+			Type: objstore.EventPut, Bucket: e.Rule.SrcBucket, Key: m.Key,
+			Size: m.Size, ETag: m.ETag, Seq: m.Seq, Time: e.W.Clock.Now(),
+		}
+		e.Tracker.OnSource(ev)
+		e.Dispatch(ev)
+		scheduled++
+	}
+	return scheduled, nil
+}
+
+// Dispatch invokes the orchestrator function for ev without registering it
+// for delay measurement (the batcher registers events itself and delays
+// dispatch).
+func (e *Engine) Dispatch(ev objstore.Event) {
+	src := e.W.Region(e.Rule.Src)
+	src.Fn.Invoke(1, func(ctx *faas.Ctx) { e.orchestrate(ctx, ev) })
+}
+
+// orchestrate runs inside the orchestrator function: acquire the object's
+// replication lock, replicate (with retries), then release and chase any
+// version that arrived while the lock was held.
+func (e *Engine) orchestrate(ctx *faas.Ctx, ev objstore.Event) {
+	if !e.lock.acquire(ev.Key, ev.ETag, ev.Seq) {
+		// Another orchestrator holds the lock; it will observe our version
+		// as pending on release and re-trigger.
+		return
+	}
+	replicatedSeq := e.replicateHeld(ctx, ev)
+	_, pendingSeq, retrigger := e.lock.release(ev.Key, replicatedSeq)
+	if !retrigger {
+		return
+	}
+	// A newer version arrived while we held the lock (its orchestrator
+	// lost the lock race and recorded itself as pending). Re-drive
+	// replication for the current head.
+	src := e.W.Region(e.Rule.Src)
+	head, err := src.Obj.Head(e.Rule.SrcBucket, ev.Key)
+	if errors.Is(err, objstore.ErrNoSuchKey) {
+		// The newest pending operation was a DELETE whose orchestrator
+		// already gave up on the lock; mirror it now. The synthetic event
+		// carries the pending sequence so the tracker resolves the
+		// original DELETE's delay record.
+		e.Dispatch(objstore.Event{
+			Type: objstore.EventDelete, Bucket: ev.Bucket, Key: ev.Key,
+			Seq: pendingSeq, Time: e.W.Clock.Now(),
+		})
+		return
+	}
+	if err != nil || head.Seq <= replicatedSeq {
+		return
+	}
+	e.Dispatch(objstore.Event{
+		Type: objstore.EventPut, Bucket: ev.Bucket, Key: ev.Key,
+		Size: head.Size, ETag: head.ETag, Seq: head.Seq, Time: head.Created,
+	})
+}
+
+// replicateHeld performs the replication while the lock is held and
+// returns the sequence number of the version it made durable at the
+// destination (0 on failure).
+func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
+	src := e.W.Region(e.Rule.Src)
+	dst := e.W.Region(e.Rule.Dst)
+	clock := e.W.Clock
+
+	if ev.Type == objstore.EventDelete {
+		if err := dst.Obj.DeleteWithOrigin(e.Rule.DstBucket, ev.Key, e.origin()); err != nil {
+			return 0
+		}
+		e.Tracker.Resolve(ev.Key, ev.Seq, clock.Now())
+		return ev.Seq
+	}
+
+	key := ev.Key
+	etag, seq, size, evTime := ev.ETag, ev.Seq, ev.Size, ev.Time
+	for attempt := 0; attempt <= e.Rule.MaxRetries; attempt++ {
+		start := clock.Now()
+		if e.TryChangelog != nil && e.TryChangelog(key, etag) {
+			end := clock.Now()
+			e.Tracker.Resolve(key, seq, end)
+			e.report(TaskResult{Key: key, ETag: etag, Size: size, Start: start, End: end,
+				OK: true, Changelog: true, Retries: attempt})
+			return seq
+		}
+
+		var plan planner.Plan
+		if e.Rule.ForceN > 0 {
+			loc := e.Rule.ForceLoc
+			if loc == "" {
+				loc = e.Rule.Src
+			}
+			plan = planner.Plan{N: e.Rule.ForceN, Loc: loc}
+		} else {
+			var remaining time.Duration
+			if e.Rule.SLO > 0 {
+				remaining = e.Rule.SLO - clock.Since(evTime)
+			}
+			var err error
+			plan, err = e.Planner.Plan(e.Rule.Src, e.Rule.Dst, size, remaining, e.Rule.Percentile)
+			if err != nil {
+				break
+			}
+		}
+
+		out := e.execute(ctx, key, etag, size, plan)
+		if out.ok {
+			// Single-function transfers may have replicated a *newer*
+			// snapshot than the event's version (Figure 13's workflow);
+			// resolve up to what actually landed.
+			doneSeq := seq
+			if out.seq > doneSeq {
+				doneSeq = out.seq
+			}
+			e.Tracker.Resolve(key, doneSeq, out.doneAt)
+			e.report(TaskResult{Key: key, ETag: out.etag, Size: size, Plan: plan,
+				Start: start, End: out.doneAt, OK: true, Retries: attempt, Instances: out.insts})
+			return doneSeq
+		}
+		e.report(TaskResult{Key: key, ETag: etag, Size: size, Plan: plan,
+			Start: start, End: out.doneAt, OK: false, Reason: out.reason, Retries: attempt, Instances: out.insts})
+
+		// Optimistic validation failed (the source version changed
+		// mid-flight) or a request hit a transient fault. Chase the
+		// current head and try again.
+		head, err := src.Obj.Head(e.Rule.SrcBucket, key)
+		switch {
+		case errors.Is(err, objstore.ErrNoSuchKey), errors.Is(err, objstore.ErrNoSuchBucket):
+			return 0 // deleted concurrently; the DELETE event converges us
+		case err != nil:
+			continue // transient fault: burn a retry, keep the same version
+		}
+		etag, seq, size, evTime = head.ETag, head.Seq, head.Size, head.Created
+	}
+	e.mu.Lock()
+	e.dlq = append(e.dlq, ev)
+	e.mu.Unlock()
+	return 0
+}
+
+func (e *Engine) report(t TaskResult) {
+	if e.OnTaskDone != nil {
+		e.OnTaskDone(t)
+	}
+}
+
+// execResult is the outcome of one replication attempt.
+type execResult struct {
+	ok     bool
+	seq    uint64 // sequence of the version made durable (single-fn paths)
+	etag   string // its ETag
+	reason string // failure reason when !ok
+	doneAt time.Time
+	insts  []InstanceStat
+}
+
+// execute runs one replication attempt under the chosen plan.
+func (e *Engine) execute(ctx *faas.Ctx, key, etag string, size int64, plan planner.Plan) execResult {
+	clock := e.W.Clock
+	switch {
+	case plan.Local:
+		start := clock.Now()
+		out := e.transferWhole(ctx, key)
+		out.insts = []InstanceStat{{ID: ctx.Instance.ID, Chunks: int(e.chunks(size)), Busy: clock.Since(start)}}
+		out.doneAt = clock.Now()
+		return out
+	case plan.N == 1:
+		loc := e.W.Region(plan.Loc)
+		var out execResult
+		group := clock.NewGroup(1)
+		loc.Fn.Invoke(1, func(rctx *faas.Ctx) {
+			defer group.Done()
+			start := clock.Now()
+			out = e.transferWhole(rctx, key)
+			out.insts = []InstanceStat{{ID: rctx.Instance.ID, Chunks: int(e.chunks(size)), Busy: clock.Since(start)}}
+		})
+		group.Wait()
+		out.doneAt = clock.Now()
+		return out
+	default:
+		return e.distributed(key, etag, size, plan)
+	}
+}
+
+func (e *Engine) chunks(size int64) int64 {
+	if size <= 0 {
+		return 1
+	}
+	return (size + e.Rule.PartSize - 1) / e.Rule.PartSize
+}
+
+// transferWhole replicates the object's *current* version with the
+// calling function instance, chunk by chunk (a single data stream in
+// practice; chunked so per-chunk bandwidth draws match the profiler's C
+// parameter). The GET is an atomic snapshot, so no optimistic validation
+// is needed on this path: the engine replicates whatever version it read,
+// exactly as in the paper's Figure 13 workflow, and reports its sequence.
+func (e *Engine) transferWhole(ctx *faas.Ctx, key string) execResult {
+	src := e.W.Region(e.Rule.Src)
+	dst := e.W.Region(e.Rule.Dst)
+
+	obj, err := src.Obj.Get(e.Rule.SrcBucket, key)
+	if err != nil {
+		return execResult{reason: "source read: " + err.Error()}
+	}
+	rng := simrand.New("engine-single", ctx.Instance.ID, key, obj.ETag)
+	e.W.SetupSleep(src.Region, dst.Region, rng)
+	downScale := ctx.BandwidthScaleFor(src.Region.Provider)
+	upScale := ctx.BandwidthScaleFor(dst.Region.Provider)
+	for off := int64(0); off < obj.Size; off += e.Rule.PartSize {
+		n := min64(e.Rule.PartSize, obj.Size-off)
+		e.W.MoveBytes(src.Region, ctx.Region, ctx.Region.Provider, n, downScale, rng)
+		e.W.MoveBytes(ctx.Region, dst.Region, ctx.Region.Provider, n, upScale, rng)
+	}
+	if _, err := dst.Obj.PutWithOrigin(e.Rule.DstBucket, key, obj.Blob, e.origin()); err != nil {
+		return execResult{reason: "destination write: " + err.Error()}
+	}
+	return execResult{ok: true, seq: obj.Seq, etag: obj.ETag}
+}
+
+// distState is the shared state of one distributed replication task.
+type distState struct {
+	key, etag string
+	size      int64
+	parts     int64
+	taskID    string
+	mpu       string
+
+	aborted   atomic.Bool
+	completed atomic.Bool
+
+	mu     sync.Mutex
+	reason string
+	doneAt time.Time
+}
+
+// abort marks the task failed with a reason (first reason wins).
+func (ds *distState) abort(reason string) {
+	ds.mu.Lock()
+	if ds.reason == "" {
+		ds.reason = reason
+	}
+	ds.mu.Unlock()
+	ds.aborted.Store(true)
+}
+
+// distributed replicates a large object with plan.N replicator functions
+// at plan.Loc using the part pool (or fair dispatch, for the ablation).
+// Unlike the single-function path, parts are pinned to the task's ETag and
+// any mid-flight change aborts the task (Figure 14's correctness rule).
+func (e *Engine) distributed(key, etag string, size int64, plan planner.Plan) execResult {
+	src := e.W.Region(e.Rule.Src)
+	dst := e.W.Region(e.Rule.Dst)
+	loc := e.W.Region(plan.Loc)
+	clock := e.W.Clock
+
+	ds := &distState{
+		key: key, etag: etag, size: size,
+		parts: e.chunks(size),
+		// Task ids embed the rule identity: several rules may share the
+		// location region's database, and their part pools must not collide.
+		taskID: fmt.Sprintf("%s#task-%d", e.ruleID, e.taskSeq.Add(1)),
+	}
+	// init_replication + create_part_pool (Algorithm 1, lines 2-4): the
+	// task record with its claim and completion counters.
+	loc.KV.Put("areplica-tasks", ds.taskID, kvstore.Item{
+		"etag": etag, "total": ds.parts, "next": int64(0), "done": int64(0),
+	})
+	mpu, err := dst.Obj.CreateMultipartWithOrigin(e.Rule.DstBucket, key, e.origin())
+	if err != nil {
+		return execResult{reason: "create multipart: " + err.Error(), doneAt: clock.Now()}
+	}
+	ds.mpu = mpu
+
+	var instMu sync.Mutex
+	var insts []InstanceStat
+	var fairNext atomic.Int64
+	group := clock.NewGroup(plan.N)
+	loc.Fn.Invoke(plan.N, func(rctx *faas.Ctx) {
+		defer group.Done()
+		idx := int(fairNext.Add(1) - 1)
+		stat := e.replicator(rctx, ds, src, dst, loc, idx, plan.N)
+		instMu.Lock()
+		insts = append(insts, stat)
+		instMu.Unlock()
+	})
+	group.Wait()
+
+	if !ds.completed.Load() {
+		dst.Obj.AbortMultipart(mpu)
+		ds.mu.Lock()
+		reason := ds.reason
+		ds.mu.Unlock()
+		if reason == "" {
+			reason = "no replicator completed the task"
+		}
+		return execResult{reason: reason, doneAt: clock.Now(), insts: insts}
+	}
+	ds.mu.Lock()
+	doneAt := ds.doneAt
+	ds.mu.Unlock()
+	return execResult{ok: true, etag: etag, doneAt: doneAt, insts: insts}
+}
+
+// replicator is the body of one replicator function (Algorithm 1, lines
+// 7-13): claim a part, download it from the source, upload it to the
+// destination, update completion; the instance that delivers the last part
+// concludes the task.
+func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.Services, fairIdx, n int) InstanceStat {
+	clock := e.W.Clock
+	rng := simrand.New("engine-dist", ds.taskID, ctx.Instance.ID)
+	start := clock.Now()
+	stat := InstanceStat{ID: ctx.Instance.ID}
+
+	e.W.SetupSleep(src.Region, dst.Region, rng)
+
+	// Fair dispatch: a fixed contiguous range per instance.
+	per := (ds.parts + int64(n) - 1) / int64(n)
+	fairLo := int64(fairIdx) * per
+	fairHi := min64(fairLo+per, ds.parts)
+	fairNext := fairLo
+
+	claim := func() int64 {
+		if e.Rule.Scheduling == FairDispatch {
+			if fairNext >= fairHi {
+				return ds.parts // exhausted
+			}
+			idx := fairNext
+			fairNext++
+			return idx
+		}
+		// get_part_from_pool: one KV access to claim.
+		return loc.KV.Increment("areplica-tasks", ds.taskID, "next", 1) - 1
+	}
+
+	for !ds.aborted.Load() {
+		idx := claim()
+		if idx >= ds.parts {
+			break
+		}
+		off := idx * e.Rule.PartSize
+		length := min64(e.Rule.PartSize, ds.size-off)
+
+		blob, cur, err := src.Obj.GetRange(e.Rule.SrcBucket, ds.key, off, length)
+		if err != nil || cur != ds.etag {
+			// Optimistic validation: the object changed mid-replication
+			// (Figure 14); abort the whole task.
+			ds.abort(fmt.Sprintf("optimistic validation: part %d sees a different source version", idx))
+			break
+		}
+		e.W.MoveBytes(src.Region, ctx.Region, ctx.Region.Provider, length, ctx.BandwidthScaleFor(src.Region.Provider), rng)
+		e.W.MoveBytes(ctx.Region, dst.Region, ctx.Region.Provider, length, ctx.BandwidthScaleFor(dst.Region.Provider), rng)
+		if _, err := dst.Obj.UploadPart(ds.mpu, int(idx)+1, blob); err != nil {
+			ds.abort("upload part: " + err.Error())
+			break
+		}
+		stat.Chunks++
+		// Second KV access: update the part's completion.
+		done := loc.KV.Increment("areplica-tasks", ds.taskID, "done", 1)
+		if done == ds.parts {
+			// finish_replication (Algorithm 1, line 13).
+			res, err := dst.Obj.CompleteMultipart(ds.mpu)
+			if err != nil {
+				ds.abort("complete multipart: " + err.Error())
+			} else if res.ETag != ds.etag {
+				ds.abort("assembled object does not match the source version")
+			} else {
+				ds.mu.Lock()
+				ds.doneAt = clock.Now()
+				ds.mu.Unlock()
+				ds.completed.Store(true)
+			}
+		}
+	}
+	stat.Busy = clock.Since(start)
+	return stat
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

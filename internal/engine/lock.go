@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/kvstore"
+)
+
+// replLock is the object-granularity replication lock of Algorithm 2,
+// backed by a conditional-write KV table. It serializes replication tasks
+// per object key and records the newest version that arrived while the
+// lock was held, so the holder can re-trigger replication for it on
+// release — preventing the concurrent-PUT race of Figure 13 without
+// enabling versioning.
+type replLock struct {
+	kv    *kvstore.Store
+	table string
+	// lease bounds how long a crashed holder can wedge a key: every
+	// acquire/pending write refreshes it, and an expired lock reads as
+	// free (the KV store's TTL, §6's fault-tolerance posture).
+	lease time.Duration
+}
+
+// newReplLock scopes the lock table by rule identity: replication of the
+// same source object toward *different* destinations is independent (a
+// fan-out deployment must not serialize across rules), while tasks within
+// one rule serialize per key.
+func newReplLock(kv *kvstore.Store, ruleID string) *replLock {
+	return &replLock{kv: kv, table: "areplica-locks:" + ruleID, lease: 15 * time.Minute}
+}
+
+// acquire attempts to take the lock for key on behalf of a replication of
+// (etag, seq). On failure the version is recorded as pending if it is
+// newer than what the holder already knows about. The whole operation is
+// one conditional KV write.
+func (l *replLock) acquire(key, etag string, seq uint64) bool {
+	acquired := false
+	l.kv.UpdateWithTTL(l.table, key, l.lease, func(cur kvstore.Item, exists bool) (kvstore.Item, bool) {
+		if !exists {
+			acquired = true
+			return kvstore.Item{"held": true, "pending_etag": "", "pending_seq": int64(0)}, true
+		}
+		if cur.Int("pending_seq") < int64(seq) {
+			cur["pending_seq"] = int64(seq)
+			cur["pending_etag"] = etag
+		}
+		return cur, true
+	})
+	return acquired
+}
+
+// release drops the lock and returns the pending version recorded while it
+// was held, if that version is newer than the one just replicated
+// (replicatedSeq). The caller must re-trigger replication for it.
+func (l *replLock) release(key string, replicatedSeq uint64) (pendingETag string, pendingSeq uint64, retrigger bool) {
+	l.kv.Update(l.table, key, func(cur kvstore.Item, exists bool) (kvstore.Item, bool) {
+		if exists {
+			pendingETag = cur.Str("pending_etag")
+			pendingSeq = uint64(cur.Int("pending_seq"))
+		}
+		return nil, false // delete: lock released
+	})
+	return pendingETag, pendingSeq, pendingSeq > replicatedSeq
+}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/objstore"
+)
+
+// DelayRecord is one source write's measured replication delay: the time
+// from PUT completion in the source bucket until that version *or a newer
+// one* was retrievable in the destination — the paper's delay metric (§8).
+type DelayRecord struct {
+	Key       string
+	Seq       uint64
+	Size      int64
+	EventTime time.Time
+	DoneTime  time.Time
+	Delay     time.Duration
+}
+
+// Tracker resolves replication delays. Every source event registers here
+// when the notification arrives; completions resolve all registered events
+// of the key whose version is not newer than the replicated one, so
+// SLO-bounded batching and lock-coalesced versions are measured correctly.
+type Tracker struct {
+	mu      sync.Mutex
+	pending map[string][]pendingEvent
+	records []DelayRecord
+}
+
+type pendingEvent struct {
+	seq  uint64
+	size int64
+	at   time.Time
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{pending: make(map[string][]pendingEvent)}
+}
+
+// OnSource registers a source-bucket event awaiting replication.
+func (t *Tracker) OnSource(ev objstore.Event) {
+	t.mu.Lock()
+	t.pending[ev.Key] = append(t.pending[ev.Key], pendingEvent{seq: ev.Seq, size: ev.Size, at: ev.Time})
+	t.mu.Unlock()
+}
+
+// Resolve marks every pending event of key with version <= seq as
+// replicated at time done, recording their delays.
+func (t *Tracker) Resolve(key string, seq uint64, done time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	evs := t.pending[key]
+	remaining := evs[:0]
+	for _, ev := range evs {
+		if ev.seq <= seq {
+			t.records = append(t.records, DelayRecord{
+				Key:       key,
+				Seq:       ev.seq,
+				Size:      ev.size,
+				EventTime: ev.at,
+				DoneTime:  done,
+				Delay:     done.Sub(ev.at),
+			})
+		} else {
+			remaining = append(remaining, ev)
+		}
+	}
+	if len(remaining) == 0 {
+		delete(t.pending, key)
+	} else {
+		t.pending[key] = append([]pendingEvent(nil), remaining...)
+	}
+}
+
+// Records returns a copy of the resolved delay records.
+func (t *Tracker) Records() []DelayRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]DelayRecord(nil), t.records...)
+}
+
+// DelaysSeconds returns the resolved delays in seconds.
+func (t *Tracker) DelaysSeconds() []float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]float64, len(t.records))
+	for i, r := range t.records {
+		out[i] = r.Delay.Seconds()
+	}
+	return out
+}
+
+// PendingCount reports events that have not been resolved yet.
+func (t *Tracker) PendingCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, evs := range t.pending {
+		n += len(evs)
+	}
+	return n
+}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/objstore"
+)
+
+// Property: for any interleaving of registrations and resolutions, (a) a
+// resolution covers exactly the registered events with seq <= its seq, (b)
+// delays are never negative when resolutions happen after event times, and
+// (c) replaying the same schedule yields the same records.
+func TestTrackerResolutionProperty(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := func(seed int64, nEvents, nResolves uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ne := int(nEvents%40) + 1
+		nr := int(nResolves%10) + 1
+
+		run := func() ([]DelayRecord, int) {
+			tr := NewTracker()
+			seq := uint64(0)
+			registered := map[string][]uint64{}
+			for i := 0; i < ne; i++ {
+				seq++
+				key := string(rune('a' + rng.Intn(3)))
+				tr.OnSource(objstore.Event{
+					Key: key, Seq: seq,
+					Time: base.Add(time.Duration(i) * time.Second),
+				})
+				registered[key] = append(registered[key], seq)
+			}
+			for i := 0; i < nr; i++ {
+				key := string(rune('a' + rng.Intn(3)))
+				upTo := uint64(rng.Intn(ne + 2))
+				tr.Resolve(key, upTo, base.Add(time.Duration(ne+i)*time.Second))
+			}
+			return tr.Records(), tr.PendingCount()
+		}
+
+		recs, pending := run()
+		// (a) accounting: records + pending == registered.
+		if len(recs)+pending != ne {
+			return false
+		}
+		// (b) non-negative delays (resolutions are after all event times).
+		for _, r := range recs {
+			if r.Delay < 0 {
+				return false
+			}
+		}
+		// (c) determinism: same seed => same outcome.
+		rng = rand.New(rand.NewSource(seed))
+		recs2, pending2 := run()
+		if len(recs2) != len(recs) || pending2 != pending {
+			return false
+		}
+		for i := range recs {
+			if recs[i] != recs2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a resolution never covers an event with a larger sequence.
+func TestTrackerNeverResolvesNewer(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := func(evSeq, resolveSeq uint16) bool {
+		tr := NewTracker()
+		tr.OnSource(objstore.Event{Key: "k", Seq: uint64(evSeq) + 1, Time: base})
+		tr.Resolve("k", uint64(resolveSeq), base.Add(time.Second))
+		resolved := len(tr.Records()) == 1
+		shouldResolve := uint64(resolveSeq) >= uint64(evSeq)+1
+		return resolved == shouldResolve
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

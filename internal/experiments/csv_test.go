@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	f2 := RunFig2(true)
+	f7 := RunFig7(true)
+	if err := ExportCSV(dir, f2, f7); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig2_put_sizes", "fig7_scaling"} {
+		f, err := os.Open(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rows, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rows) < 3 {
+			t.Fatalf("%s: only %d rows", name, len(rows))
+		}
+		for i, r := range rows {
+			if len(r) != len(rows[0]) {
+				t.Fatalf("%s row %d: ragged (%d vs %d cols)", name, i, len(r), len(rows[0]))
+			}
+		}
+	}
+}
+
+func TestCSVTableShapes(t *testing.T) {
+	res := RunTable(TableConfig{Source: AWSEast, Quick: true})
+	tables := res.CSV()
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	tb := tables[0]
+	// 2 sizes x 3 dests x (areplica + skyplane + rtc-on-aws-dests).
+	if len(tb.Rows) < 12 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if len(r) != len(tb.Header) {
+			t.Fatal("ragged row")
+		}
+	}
+}

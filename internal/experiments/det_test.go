@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRunToRunDeterminism pins the simulator's reproducibility contract:
+// identical runs produce bit-identical delays (every random draw is seeded
+// by entity identity, and virtual time is scheduling-independent), and
+// costs equal to within floating-point accumulation order.
+func TestRunToRunDeterminism(t *testing.T) {
+	a := RunTable(TableConfig{Source: AWSEast, Quick: true})
+	b := RunTable(TableConfig{Source: AWSEast, Quick: true})
+	for si := range a.Sizes {
+		for di := range a.Dests {
+			ca, cb := a.AReplica[si][di], b.AReplica[si][di]
+			if ca.DelayS != cb.DelayS {
+				t.Errorf("cell %d/%d delay differs: %v vs %v", si, di, ca.DelayS, cb.DelayS)
+			}
+			if math.Abs(ca.CostUSD-cb.CostUSD) > 1e-9*math.Max(ca.CostUSD, 1e-9) {
+				t.Errorf("cell %d/%d cost differs beyond round-off: %v vs %v", si, di, ca.CostUSD, cb.CostUSD)
+			}
+			sa, sb := a.Skyplane[si][di], b.Skyplane[si][di]
+			if sa.DelayS != sb.DelayS {
+				t.Errorf("cell %d/%d skyplane delay differs", si, di)
+			}
+		}
+	}
+}

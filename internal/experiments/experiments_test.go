@@ -1,0 +1,417 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/cloud"
+)
+
+// These tests run every experiment in quick mode and assert the paper's
+// qualitative claims — who wins, by roughly what factor — rather than
+// absolute numbers.
+
+func TestTable1ShapeAWS(t *testing.T) {
+	res := RunTable(TableConfig{Source: AWSEast, Quick: true})
+	for si := range res.Sizes {
+		for di := range res.Dests {
+			a := res.AReplica[si][di]
+			s := res.Skyplane[si][di]
+			if !a.Valid || !s.Valid {
+				t.Fatalf("missing cell %d/%d", si, di)
+			}
+			// AReplica beats Skyplane by a large factor on delay.
+			if a.DelayS >= s.DelayS/2 {
+				t.Errorf("size %s dest %s: AReplica %.1fs vs Skyplane %.1fs",
+					fmtSize(res.Sizes[si]), res.Dests[di], a.DelayS, s.DelayS)
+			}
+			// And costs far less.
+			if a.CostUSD >= s.CostUSD {
+				t.Errorf("size %s dest %s: AReplica cost %.5f vs Skyplane %.5f",
+					fmtSize(res.Sizes[si]), res.Dests[di], a.CostUSD, s.CostUSD)
+			}
+			if red := res.DelayReduction(si, di); red < 0.5 {
+				t.Errorf("delay reduction %.2f below the paper's 61%%-99%% band", red)
+			}
+		}
+	}
+	// S3 RTC exists for the AWS destinations and sits between the two.
+	for si := range res.Sizes {
+		for di := range res.Dests {
+			p := res.Prop[si][di]
+			if !p.Valid {
+				continue
+			}
+			if p.DelayS < 10 || p.DelayS > 40 {
+				t.Errorf("S3RTC delay %.1fs out of its 15-26s band", p.DelayS)
+			}
+		}
+	}
+	res.Print(io.Discard)
+}
+
+func TestTable2ShapeAzure(t *testing.T) {
+	res := RunTable(TableConfig{Source: AzureEast, Quick: true})
+	for si := range res.Sizes {
+		for di := range res.Dests {
+			if red := res.DelayReduction(si, di); red < 0.5 {
+				t.Errorf("delay reduction %.2f below the paper's band (dest %s)", red, res.Dests[di])
+			}
+		}
+	}
+	res.Print(io.Discard)
+}
+
+func TestFig4SkyplaneBreakdown(t *testing.T) {
+	res := RunFig4()
+	bd := res.Breakdown
+	// Paper: only ~2% of time is data transfer; >99% of cost is VMs.
+	if frac := float64(bd.Transfer) / float64(bd.Total()); frac > 0.10 {
+		t.Errorf("transfer fraction %.2f, want tiny", frac)
+	}
+	if bd.Provisioning.Seconds() < 20 || bd.Container.Seconds() < 15 {
+		t.Errorf("startup too fast: %+v", bd)
+	}
+	var total float64
+	for _, v := range res.Costs {
+		total += v
+	}
+	if vmFrac := res.Costs["vm:compute"] / total; vmFrac < 0.95 {
+		t.Errorf("VM cost fraction %.3f, want >0.95", vmFrac)
+	}
+	res.Print(io.Discard)
+}
+
+func TestFig5KeepAlivePolicies(t *testing.T) {
+	res := RunFig5(true)
+	if len(res.Policies) != 3 {
+		t.Fatalf("policies = %d", len(res.Policies))
+	}
+	// Max delay reaches minutes when provisioning hits the critical path.
+	for _, p := range res.Policies {
+		if p.MaxS < 60 {
+			t.Errorf("idle %v: max %.0fs, expected minutes-scale spikes", p.IdleTimeout, p.MaxS)
+		}
+	}
+	// Aggressive shutdown saves only modest VM cost versus keep-alive
+	// (paper: <30% saving for the 20s policy vs 5min).
+	fiveMin, twentySec := res.Policies[0].VMCost, res.Policies[2].VMCost
+	if twentySec >= fiveMin {
+		t.Errorf("20s policy (%v) should cost less than 5min (%v)", twentySec, fiveMin)
+	}
+	res.Print(io.Discard)
+}
+
+func TestFig6SweetSpot(t *testing.T) {
+	res := RunFig6(true)
+	aws := res.Panels["aws:us-east-1"]
+	if len(aws) == 0 {
+		t.Fatal("no AWS panel")
+	}
+	// Find the same remote at low and sweet-spot memory: bandwidth grows,
+	// then flattens beyond the sweet spot.
+	byMem := map[int]float64{}
+	for _, p := range aws {
+		if p.Remote == "aws:ca-central-1" {
+			byMem[p.MemMB] = p.DownloadMBps
+		}
+	}
+	if !(byMem[128] < byMem[1024]) {
+		t.Errorf("bandwidth should grow with memory: %v", byMem)
+	}
+	if byMem[8192] > byMem[1024]*1.25 {
+		t.Errorf("beyond the sweet spot should be flat: 1024=%v 8192=%v", byMem[1024], byMem[8192])
+	}
+	res.Print(io.Discard)
+}
+
+func TestFig7NearLinearScaling(t *testing.T) {
+	res := RunFig7(true)
+	for _, s := range res.Series {
+		base := s.MBps[0] / float64(s.Counts[0])
+		last := s.MBps[len(s.MBps)-1] / float64(s.Counts[len(s.Counts)-1])
+		if last < base*0.7 || last > base*1.4 {
+			t.Errorf("%s: per-fn bandwidth drifted %v -> %v", s.Label, base, last)
+		}
+	}
+	res.Print(io.Discard)
+}
+
+func TestFig8AsymmetricExecution(t *testing.T) {
+	res := RunFig8(true)
+	byLabel := map[string]Fig8Bar{}
+	for _, b := range res.Bars {
+		byLabel[b.Label] = b
+	}
+	// Running on AWS functions beats running on Azure functions for the
+	// same AWS<->Azure pair (the paper's core asymmetry finding).
+	if byLabel["AWS2Azure@AWS"].MeanMBps <= byLabel["AWS2Azure@Azure"].MeanMBps {
+		t.Errorf("AWS-side should be faster: %+v vs %+v",
+			byLabel["AWS2Azure@AWS"], byLabel["AWS2Azure@Azure"])
+	}
+	if len(res.Bars) != 12 {
+		t.Fatalf("bars = %d, want 12", len(res.Bars))
+	}
+	res.Print(io.Discard)
+}
+
+func TestFig9InstanceSpread(t *testing.T) {
+	res := RunFig9()
+	if len(res.Instances) != 5 {
+		t.Fatalf("instances = %d", len(res.Instances))
+	}
+	var means []float64
+	for _, samples := range res.Instances {
+		var sum float64
+		for _, s := range samples {
+			sum += s.MBps
+		}
+		means = append(means, sum/float64(len(samples)))
+	}
+	lo, hi := means[0], means[0]
+	for _, m := range means {
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+	if hi/lo < 1.2 {
+		t.Errorf("instance spread %.2fx too tight", hi/lo)
+	}
+	res.Print(io.Discard)
+}
+
+func TestFig12Example(t *testing.T) {
+	res := RunFig12()
+	if res.EqualSeconds != 2.0 {
+		t.Errorf("equal = %v, want 2.0", res.EqualSeconds)
+	}
+	if res.OptimalSeconds != 1.5 {
+		t.Errorf("optimal = %v, want 1.5", res.OptimalSeconds)
+	}
+	if res.PoolSeconds > res.EqualSeconds || res.PoolSeconds < res.OptimalSeconds-0.01 {
+		t.Errorf("pool = %v, want between optimal and equal", res.PoolSeconds)
+	}
+	res.Print(io.Discard)
+}
+
+func TestFig17PoolBeatsFair(t *testing.T) {
+	res := RunFig17(true)
+	if res.PoolTaskSeconds >= res.FairTaskSeconds {
+		t.Errorf("pool task %.1fs should beat fair %.1fs", res.PoolTaskSeconds, res.FairTaskSeconds)
+	}
+	// Under the pool, chunk counts vary across instances; under fair they
+	// are (nearly) equal.
+	minmax := func(insts []Fig17Instance) (int, int) {
+		mn, mx := 1<<30, 0
+		for _, in := range insts {
+			if in.Chunks < mn {
+				mn = in.Chunks
+			}
+			if in.Chunks > mx {
+				mx = in.Chunks
+			}
+		}
+		return mn, mx
+	}
+	fMin, fMax := minmax(res.Fair)
+	pMin, pMax := minmax(res.Pool)
+	if fMax-fMin > 1 {
+		t.Errorf("fair dispatch should assign equal chunks, got %d-%d", fMin, fMax)
+	}
+	if pMax-pMin < 2 {
+		t.Errorf("pool should let fast instances take more chunks, got %d-%d", pMin, pMax)
+	}
+	res.Print(io.Discard)
+}
+
+func TestModelAccuracyOverestimatesButTracks(t *testing.T) {
+	res := RunModelAccuracy("aws:us-east-1", "azure:eastus", true)
+	// The paper's model "tends to overestimate" but tracks relative
+	// behaviour: predicted mean within a 0.6x-2.5x band of measured.
+	checkBand := func(name string, actual []float64, pred float64) {
+		var sum float64
+		for _, a := range actual {
+			sum += a
+		}
+		meas := sum / float64(len(actual))
+		if pred < meas*0.6 || pred > meas*2.5 {
+			t.Errorf("%s: predicted %.2f vs measured %.2f", name, pred, meas)
+		}
+	}
+	checkBand("n=1", res.ActualN1, res.PredictedN1Mean)
+	checkBand("n=32", res.ActualN32, res.PredictedN32Mean)
+	res.Print(io.Discard)
+}
+
+func TestTable4PredictionsTrack(t *testing.T) {
+	res := RunTable4(true)
+	if len(res.Entries) != 6 {
+		t.Fatalf("entries = %d", len(res.Entries))
+	}
+	for _, e := range res.Entries {
+		if e.PredMean < e.MeasuredMean*0.6 || e.PredMean > e.MeasuredMean*3 {
+			t.Errorf("%s->%s: predicted %.2f vs measured %.2f", e.Src, e.Dst, e.PredMean, e.MeasuredMean)
+		}
+	}
+	res.Print(io.Discard)
+}
+
+func TestFig20DynamicPicksGoodSide(t *testing.T) {
+	res := RunFig20("azure:southeastasia",
+		[]cloud.RegionID{"gcp:europe-west6", "gcp:us-east1", "gcp:asia-northeast1"}, true)
+	for _, row := range res.Rows {
+		better := row.SrcSideS
+		if row.DstSideS < better {
+			better = row.DstSideS
+		}
+		worse := row.SrcSideS
+		if row.DstSideS > worse {
+			worse = row.DstSideS
+		}
+		// Dynamic should be near the better static side, never near the
+		// worse one when the gap is large.
+		if worse > 1.5*better && row.DynamicS > (better+worse)/2 {
+			t.Errorf("dest %s: dynamic %.1fs vs sides %.1f/%.1f", row.Dst, row.DynamicS, row.SrcSideS, row.DstSideS)
+		}
+	}
+	res.Print(io.Discard)
+}
+
+func TestFig21ChangelogNearZeroCost(t *testing.T) {
+	res := RunFig21(true)
+	for _, row := range res.Rows {
+		// Changelog propagation is orders of magnitude cheaper than any
+		// full transfer.
+		if row.AReplicaLogCost > row.AReplicaFullCost/20 {
+			t.Errorf("size %s: log cost %.5f vs full %.5f", fmtSize(row.SizeBytes), row.AReplicaLogCost, row.AReplicaFullCost)
+		}
+		if row.AReplicaLogCost > row.SkyplaneCost/100 {
+			t.Errorf("size %s: log cost %.5f vs skyplane %.5f", fmtSize(row.SizeBytes), row.AReplicaLogCost, row.SkyplaneCost)
+		}
+		// And fast.
+		if row.AReplicaLogS > row.S3RTCS {
+			t.Errorf("size %s: log delay %.1fs vs rtc %.1fs", fmtSize(row.SizeBytes), row.AReplicaLogS, row.S3RTCS)
+		}
+	}
+	res.Print(io.Discard)
+}
+
+func TestFig22BatchingFlattensCost(t *testing.T) {
+	res := RunFig22(true)
+	if len(res.Points) < 2 {
+		t.Fatal("need at least two frequencies")
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	// Without batching, cost grows with update frequency; with batching it
+	// stays nearly flat.
+	unbatchedGrowth := last.CostPerMinUnbatched / first.CostPerMinUnbatched
+	batchedGrowth := last.CostPerMinBatched / first.CostPerMinBatched
+	if unbatchedGrowth < 3 {
+		t.Errorf("unbatched cost should grow with frequency: %.1fx", unbatchedGrowth)
+	}
+	if batchedGrowth > unbatchedGrowth/2 {
+		t.Errorf("batched growth %.1fx should be far flatter than unbatched %.1fx", batchedGrowth, unbatchedGrowth)
+	}
+	// SLO attainment with batching stays high.
+	for _, p := range res.Points {
+		if p.AttainmentBatched < 0.9 {
+			t.Errorf("freq %d: batched attainment %.2f", p.UpdatesPerMin, p.AttainmentBatched)
+		}
+	}
+	res.Print(io.Discard)
+}
+
+func TestFig16BulkShape(t *testing.T) {
+	res := RunFig16(true)
+	for _, p := range res.Pairs {
+		// AReplica finishes the bulk object several times faster.
+		if p.AReplicaS >= p.SkyplaneS {
+			t.Errorf("%s->%s: AReplica %.0fs vs Skyplane %.0fs", p.Src, p.Dst, p.AReplicaS, p.SkyplaneS)
+		}
+		// Cost parity-ish: egress dominates for bulk objects, so neither
+		// side wins by an order of magnitude.
+		if p.AReplicaCost > p.SkyplaneCost*1.5 {
+			t.Errorf("%s->%s: AReplica cost %.2f vs Skyplane %.2f", p.Src, p.Dst, p.AReplicaCost, p.SkyplaneCost)
+		}
+	}
+	res.Print(io.Discard)
+}
+
+func TestFig23TailShape(t *testing.T) {
+	res := RunFig23(true)
+	if res.AReplicaResolved == 0 || res.S3RTCResolved == 0 {
+		t.Fatal("no resolved records")
+	}
+	// The paper's headline: AReplica p99.99 stays below 10s; S3 RTC sits
+	// near 20s and spikes past 30s under bursts.
+	if res.AReplicaOverall >= res.S3RTCOverall {
+		t.Errorf("AReplica p99.99 %.1fs should beat S3RTC %.1fs", res.AReplicaOverall, res.S3RTCOverall)
+	}
+	if res.AReplicaOverall > 15 {
+		t.Errorf("AReplica p99.99 = %.1fs, want near the paper's <10s", res.AReplicaOverall)
+	}
+	res.Print(io.Discard)
+}
+
+func TestFig2And3TraceShapes(t *testing.T) {
+	f2 := RunFig2(true)
+	var le1MB float64
+	for i, l := range f2.Labels {
+		if strings.HasSuffix(l, "1M") || i <= 4 {
+			le1MB += f2.CountPct[i]
+		}
+	}
+	if le1MB < 70 || le1MB > 90 {
+		t.Errorf("count%% at or below 1MB = %.1f, want ~80", le1MB)
+	}
+	f2.Print(io.Discard)
+
+	f3 := RunFig3(true)
+	if len(f3.MBps) < 60 {
+		t.Fatalf("series = %d minutes", len(f3.MBps))
+	}
+	f3.Print(io.Discard)
+}
+
+func TestPartSizeAblationTradeoff(t *testing.T) {
+	res := RunPartSizeAblation(true)
+	if len(res.Rows) < 3 {
+		t.Fatal("need at least three part sizes")
+	}
+	// The largest part size should be slower than the 8MB middle ground
+	// (scheduling inflexibility), reproducing the paper's reasoning.
+	var eight, biggest PartSizeRow
+	for _, row := range res.Rows {
+		if row.PartSize == 8*MB {
+			eight = row
+		}
+	}
+	biggest = res.Rows[len(res.Rows)-1]
+	if eight.PartSize == 0 {
+		eight = res.Rows[len(res.Rows)/2]
+	}
+	if biggest.MeanS <= eight.MeanS {
+		t.Errorf("giant parts (%.1fs) should be slower than 8MB parts (%.1fs)", biggest.MeanS, eight.MeanS)
+	}
+	res.Print(io.Discard)
+}
+
+func TestOverlayRelayTradeoff(t *testing.T) {
+	res := RunOverlayAblation(true)
+	// The relay's shorter legs should win on this trans-continental path...
+	if !res.RelayChosen {
+		t.Fatalf("planner never chose the relay: %+v", res)
+	}
+	if res.RelayS >= res.DirectS {
+		t.Errorf("relay (%v s) should beat direct (%v s)", res.RelayS, res.DirectS)
+	}
+	// ...while paying for the second cross-region hop.
+	if res.RelayCost <= res.DirectCost*1.3 {
+		t.Errorf("relay cost %v should clearly exceed direct %v", res.RelayCost, res.DirectCost)
+	}
+	res.Print(io.Discard)
+}

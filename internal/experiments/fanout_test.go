@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/world"
+)
+
+// TestFanoutRulesDoNotCollide is a regression test: several replication
+// rules sharing one source bucket (a fan-out deployment) must keep their
+// part pools and locks separate in the shared location-region database.
+// An earlier bug let their task counters collide, corrupting assemblies.
+func TestFanoutRulesDoNotCollide(t *testing.T) {
+	w := world.New()
+	m := model.New()
+	mustCreate(w, "aws:us-east-1", "models", false)
+	dests := []struct{ r, b string }{
+		{"aws:ap-northeast-1", "d1"}, {"azure:uksouth", "d2"}, {"gcp:us-west1", "d3"},
+	}
+	var svcs []*core.Service
+	for _, d := range dests {
+		mustCreate(w, cloud.RegionID(d.r), d.b, false)
+		svcs = append(svcs, deployService(w, m, engine.Rule{
+			Src: "aws:us-east-1", Dst: cloud.RegionID(d.r), SrcBucket: "models", DstBucket: d.b,
+		}, core.Options{ProfileRounds: 6}))
+	}
+	// A large object forces overlapping distributed tasks on all rules.
+	res := putObject(w, "aws:us-east-1", "models", "m.bin", 20*GB, 0)
+	w.Clock.Quiesce()
+	for i, s := range svcs {
+		if got := len(s.Engine.DLQ()); got != 0 {
+			t.Errorf("rule %d: %d events in DLQ", i, got)
+		}
+		if got := len(s.Engine.Tracker.Records()); got != 1 {
+			t.Errorf("rule %d: %d records, want 1", i, got)
+		}
+		obj, err := w.Region(cloud.RegionID(dests[i].r)).Obj.Get(dests[i].b, "m.bin")
+		if err != nil || obj.ETag != res.ETag {
+			t.Errorf("rule %d: replica wrong: %v", i, err)
+		}
+	}
+}

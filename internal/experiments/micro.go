@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/cloud"
+	"repro/internal/faas"
+	"repro/internal/netsim"
+	"repro/internal/simrand"
+	"repro/internal/world"
+)
+
+// Fig4Result reproduces Figure 4: the time and cost breakdown of Skyplane
+// replicating a 10 MB object from AWS us-east-1 to us-east-2.
+type Fig4Result struct {
+	Breakdown baselines.Breakdown
+	Costs     map[string]float64 // vm:compute, net:egress, obj:*
+}
+
+// RunFig4 measures one cold Skyplane transfer.
+func RunFig4() *Fig4Result {
+	w := world.New()
+	src, dst := cloud.RegionID("aws:us-east-1"), cloud.RegionID("aws:us-east-2")
+	mustCreate(w, src, "src", false)
+	mustCreate(w, dst, "dst", false)
+	sky := baselines.NewSkyplane(w, src, dst, "src", "dst", 1, 0)
+	putObject(w, src, "src", "obj", 10*MB, 0)
+
+	before := w.Meter.Breakdown()
+	bd, err := sky.ReplicateMeasured("obj", 10*MB)
+	if err != nil {
+		panic(err)
+	}
+	w.Clock.Quiesce()
+	after := w.Meter.Breakdown()
+	costs := make(map[string]float64)
+	for k, v := range after {
+		if d := v - before[k]; d > 0 {
+			costs[k] = d
+		}
+	}
+	return &Fig4Result{Breakdown: bd, Costs: costs}
+}
+
+// Print writes the two breakdown panels.
+func (r *Fig4Result) Print(w io.Writer) {
+	total := r.Breakdown.Total()
+	fprintf(w, "Skyplane 10MB aws:us-east-1 -> aws:us-east-2 (Figure 4)\n")
+	fprintf(w, "(a) Time: total %.2fs\n", total.Seconds())
+	fprintf(w, "    VM provisioning    %6.2fs (%4.1f%%)\n", r.Breakdown.Provisioning.Seconds(), 100*float64(r.Breakdown.Provisioning)/float64(total))
+	fprintf(w, "    Container startup  %6.2fs (%4.1f%%)\n", r.Breakdown.Container.Seconds(), 100*float64(r.Breakdown.Container)/float64(total))
+	fprintf(w, "    Data transfer      %6.2fs (%4.1f%%)\n", r.Breakdown.Transfer.Seconds(), 100*float64(r.Breakdown.Transfer)/float64(total))
+	fprintf(w, "    Others             %6.2fs (%4.1f%%)\n", r.Breakdown.Others.Seconds(), 100*float64(r.Breakdown.Others)/float64(total))
+	var sum float64
+	for _, v := range r.Costs {
+		sum += v
+	}
+	fprintf(w, "(b) Cost: total $%.6f\n", sum)
+	fprintf(w, "    VM                 $%.6f\n", r.Costs["vm:compute"])
+	fprintf(w, "    Data transfer      $%.6f\n", r.Costs["net:egress"])
+	fprintf(w, "    Storage requests   $%.6f\n", r.Costs["obj:put"]+r.Costs["obj:get"])
+}
+
+// Fig6Point is one configuration's measured bandwidth on one link.
+type Fig6Point struct {
+	MemMB        int
+	VCPU         float64
+	Remote       cloud.RegionID
+	DownloadMBps float64
+	UploadMBps   float64
+}
+
+// Fig6Result reproduces Figure 6: download/upload bandwidth versus
+// function configuration for each platform.
+type Fig6Result struct {
+	Panels map[cloud.RegionID][]Fig6Point // keyed by execution region
+}
+
+// RunFig6 sweeps function configurations on the three platforms' east-US
+// regions against representative remote regions.
+func RunFig6(quick bool) *Fig6Result {
+	res := &Fig6Result{Panels: make(map[cloud.RegionID][]Fig6Point)}
+	rounds := 5
+	if quick {
+		rounds = 2
+	}
+	type sweep struct {
+		exec    cloud.RegionID
+		mems    []int
+		cpus    []float64
+		remotes []cloud.RegionID
+	}
+	sweeps := []sweep{
+		{exec: "aws:us-east-1", mems: []int{128, 256, 512, 1024, 2048, 4096, 8192},
+			remotes: []cloud.RegionID{"aws:ca-central-1", "azure:uksouth", "gcp:us-east1"}},
+		{exec: "azure:eastus", mems: []int{2048, 4096},
+			remotes: []cloud.RegionID{"aws:us-east-1", "azure:uksouth", "gcp:us-east1"}},
+		{exec: "gcp:us-east1", mems: []int{1024}, cpus: []float64{1, 2, 4, 8},
+			remotes: []cloud.RegionID{"aws:us-east-1", "azure:uksouth", "gcp:us-west1"}},
+	}
+	for _, sw := range sweeps {
+		cpus := sw.cpus
+		if cpus == nil {
+			cpus = []float64{0}
+		}
+		for _, mem := range sw.mems {
+			for _, cpu := range cpus {
+				for _, remote := range sw.remotes {
+					down, up := measureLinkBandwidth(sw.exec, remote, mem, cpu, rounds)
+					res.Panels[sw.exec] = append(res.Panels[sw.exec], Fig6Point{
+						MemMB: mem, VCPU: cpu, Remote: remote,
+						DownloadMBps: down, UploadMBps: up,
+					})
+				}
+			}
+		}
+	}
+	return res
+}
+
+// measureLinkBandwidth runs single-function transfers of 64 MB each way
+// between exec and remote under a specific configuration and returns the
+// mean achieved MiB/s.
+func measureLinkBandwidth(exec, remote cloud.RegionID, memMB int, vcpu float64, rounds int) (down, up float64) {
+	w := world.New()
+	execRegion := cloud.MustLookup(exec)
+	cfg := faas.DefaultConfig(execRegion.Provider)
+	cfg.MemMB = memMB
+	if vcpu > 0 {
+		cfg.VCPU = vcpu
+	}
+	w.SetFnConfig(exec, cfg)
+	svc := w.Region(exec)
+	remoteRegion := cloud.MustLookup(remote)
+	const bytes = 64 * MB
+
+	var mu sync.Mutex
+	var downSum, upSum float64
+	for r := 0; r < rounds; r++ {
+		r := r
+		svc.Fn.FlushWarm()
+		group := w.Clock.NewGroup(1)
+		svc.Fn.Invoke(1, func(ctx *faas.Ctx) {
+			defer group.Done()
+			rng := simrand.NewIndexed(r, "fig6", string(exec), string(remote), fmt.Sprint(memMB, vcpu))
+			scale := ctx.BandwidthScaleFor(remoteRegion.Provider)
+			d := w.MoveBytes(remoteRegion, execRegion, execRegion.Provider, bytes, scale, rng)
+			u := w.MoveBytes(execRegion, remoteRegion, execRegion.Provider, bytes, scale, rng)
+			mu.Lock()
+			downSum += float64(bytes) / netsim.MiB / d.Seconds()
+			upSum += float64(bytes) / netsim.MiB / u.Seconds()
+			mu.Unlock()
+		})
+		group.Wait()
+	}
+	w.Clock.Quiesce()
+	return downSum / float64(rounds), upSum / float64(rounds)
+}
+
+// Print writes Figure 6's panels as MiB/s tables.
+func (r *Fig6Result) Print(w io.Writer) {
+	fprintf(w, "Bandwidth vs function configuration (Figure 6, MiB/s)\n")
+	for _, exec := range []cloud.RegionID{"aws:us-east-1", "azure:eastus", "gcp:us-east1"} {
+		fprintf(w, "-- executing on %s --\n", exec)
+		fprintf(w, "%8s %5s %-22s %10s %10s\n", "mem(MB)", "vcpu", "remote", "down", "up")
+		for _, p := range r.Panels[exec] {
+			fprintf(w, "%8d %5.0f %-22s %10.1f %10.1f\n", p.MemMB, p.VCPU, p.Remote, p.DownloadMBps, p.UploadMBps)
+		}
+	}
+}
+
+// Fig7Series is aggregate bandwidth versus function count for one link.
+type Fig7Series struct {
+	Label  string
+	Counts []int
+	MBps   []float64
+}
+
+// Fig7Result reproduces Figure 7: near-linear aggregate bandwidth scaling.
+type Fig7Result struct {
+	Series []Fig7Series
+}
+
+// RunFig7 measures aggregate bandwidth for fast and slow links on each
+// platform as the function count grows 1..64.
+func RunFig7(quick bool) *Fig7Result {
+	counts := []int{1, 2, 4, 8, 16, 32, 64}
+	if quick {
+		counts = []int{1, 4, 16}
+	}
+	links := []struct {
+		label        string
+		exec, remote cloud.RegionID
+		upload       bool
+	}{
+		{"AWS download (ca-central-1)", "aws:us-east-1", "aws:ca-central-1", false},
+		{"AWS upload (ap-northeast-1)", "aws:us-east-1", "aws:ap-northeast-1", true},
+		{"Azure download (uksouth)", "azure:eastus", "azure:uksouth", false},
+		{"Azure upload (southeastasia)", "azure:eastus", "azure:southeastasia", true},
+		{"GCP download (us-west1)", "gcp:us-east1", "gcp:us-west1", false},
+		{"GCP upload (asia-northeast1)", "gcp:us-east1", "gcp:asia-northeast1", true},
+	}
+	res := &Fig7Result{}
+	for _, link := range links {
+		series := Fig7Series{Label: link.label, Counts: counts}
+		for _, n := range counts {
+			series.MBps = append(series.MBps, aggregateBandwidth(link.exec, link.remote, link.upload, n))
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res
+}
+
+// aggregateBandwidth runs n concurrent single-leg transfers and sums the
+// per-instance achieved bandwidth.
+func aggregateBandwidth(exec, remote cloud.RegionID, upload bool, n int) float64 {
+	w := world.New()
+	execRegion := cloud.MustLookup(exec)
+	remoteRegion := cloud.MustLookup(remote)
+	svc := w.Region(exec)
+	const bytes = 64 * MB
+
+	var mu sync.Mutex
+	var agg float64
+	group := w.Clock.NewGroup(n)
+	idx := 0
+	svc.Fn.Invoke(n, func(ctx *faas.Ctx) {
+		defer group.Done()
+		mu.Lock()
+		i := idx
+		idx++
+		mu.Unlock()
+		rng := simrand.NewIndexed(i, "fig7", string(exec), string(remote), fmt.Sprint(upload, n))
+		from, to := remoteRegion, execRegion
+		if upload {
+			from, to = execRegion, remoteRegion
+		}
+		d := w.MoveBytes(from, to, execRegion.Provider, bytes, ctx.BandwidthScaleFor(remoteRegion.Provider), rng)
+		mu.Lock()
+		agg += float64(bytes) / netsim.MiB / d.Seconds()
+		mu.Unlock()
+	})
+	group.Wait()
+	w.Clock.Quiesce()
+	return agg
+}
+
+// Print writes the scaling series.
+func (r *Fig7Result) Print(w io.Writer) {
+	fprintf(w, "Aggregate bandwidth vs number of functions (Figure 7, MiB/s)\n")
+	for _, s := range r.Series {
+		fprintf(w, "%-32s", s.Label)
+		for i, n := range s.Counts {
+			fprintf(w, "  n=%d:%.0f", n, s.MBps[i])
+		}
+		fprintf(w, "\n")
+	}
+}
+
+// Fig9Sample is one timed transfer by one instance.
+type Fig9Sample struct {
+	AtSeconds float64
+	MBps      float64
+}
+
+// Fig9Result reproduces Figure 9: per-instance bandwidth over time for
+// five concurrently running instances on the same path.
+type Fig9Result struct {
+	Instances map[string][]Fig9Sample
+}
+
+// RunFig9 runs five instances repeatedly transferring chunks from AWS
+// us-east-1 to Azure eastus for a minute.
+func RunFig9() *Fig9Result {
+	w := world.New()
+	exec := cloud.MustLookup("aws:us-east-1")
+	remote := cloud.MustLookup("azure:eastus")
+	svc := w.Region("aws:us-east-1")
+	res := &Fig9Result{Instances: make(map[string][]Fig9Sample)}
+	var mu sync.Mutex
+
+	const chunk = 64 * MB
+	start := w.Clock.Now()
+	group := w.Clock.NewGroup(5)
+	svc.Fn.Invoke(5, func(ctx *faas.Ctx) {
+		defer group.Done()
+		rng := simrand.New("fig9", ctx.Instance.ID)
+		for w.Clock.Since(start) < time.Minute {
+			d := w.MoveBytes(exec, remote, exec.Provider, chunk, ctx.BandwidthScaleFor(remote.Provider), rng)
+			mu.Lock()
+			res.Instances[ctx.Instance.ID] = append(res.Instances[ctx.Instance.ID], Fig9Sample{
+				AtSeconds: w.Clock.Since(start).Seconds(),
+				MBps:      float64(chunk) / netsim.MiB / d.Seconds(),
+			})
+			mu.Unlock()
+		}
+	})
+	group.Wait()
+	w.Clock.Quiesce()
+	return res
+}
+
+// Print writes per-instance mean bandwidth and the spread across
+// instances.
+func (r *Fig9Result) Print(w io.Writer) {
+	fprintf(w, "Per-instance bandwidth, aws:us-east-1 -> azure:eastus (Figure 9, MiB/s)\n")
+	lo, hi := 1e18, 0.0
+	for id, samples := range r.Instances {
+		var sum float64
+		for _, s := range samples {
+			sum += s.MBps
+		}
+		mean := sum / float64(len(samples))
+		if mean < lo {
+			lo = mean
+		}
+		if mean > hi {
+			hi = mean
+		}
+		fprintf(w, "  %-28s mean %7.1f over %d transfers\n", id, mean, len(samples))
+	}
+	fprintf(w, "  spread: slowest %.1f vs fastest %.1f (%.1fx)\n", lo, hi, hi/lo)
+}

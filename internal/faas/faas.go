@@ -1,0 +1,307 @@
+// Package faas simulates a serverless function platform (AWS Lambda,
+// Azure Functions, Google Cloud Run Functions) on the virtual clock. It
+// models the paper's function-startup decomposition (§5.3):
+//
+//	T_func = I·n + D + P
+//
+// where I is the per-call async invocation API latency paid serially by
+// the invoker, D is instance startup delay (skipped on warm starts), and P
+// is the platform scheduler's postponement when new instances must be
+// added (Cloud Run's scheduler runs in ~5 s rounds; Azure behaves
+// similarly). Each instance carries a persistent bandwidth multiplier
+// drawn from the platform's lognormal (netsim), producing the >2x
+// inter-instance spread of Figure 9. Execution is billed per GB-second
+// plus a per-invocation fee.
+package faas
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/netsim"
+	"repro/internal/pricing"
+	"repro/internal/simclock"
+	"repro/internal/simrand"
+	"repro/internal/stats"
+)
+
+// Config describes a deployed function's runtime characteristics.
+type Config struct {
+	MemMB          int           // configured memory
+	VCPU           float64       // configured vCPUs (GCP only; 0 = platform default)
+	InvokeLatency  stats.Normal  // I: async invoke API call, seconds
+	ColdStart      stats.Normal  // D: instance startup, seconds
+	SchedulerRound time.Duration // P granularity; 0 means no postponement
+	ExecLimit      time.Duration // hard execution time limit
+	MaxConcurrency int           // account-level concurrent instance limit
+	KeepWarm       time.Duration // idle window before an instance is reaped
+}
+
+// DefaultConfig returns the calibrated configuration the paper's
+// evaluation uses for each platform (§8 Setup).
+func DefaultConfig(p cloud.Provider) Config {
+	switch p {
+	case cloud.AWS:
+		return Config{
+			MemMB:          1024,
+			InvokeLatency:  stats.N(0.008, 0.002),
+			ColdStart:      stats.N(0.25, 0.08),
+			SchedulerRound: 0,
+			ExecLimit:      15 * time.Minute,
+			MaxConcurrency: 1000,
+			KeepWarm:       10 * time.Minute,
+		}
+	case cloud.Azure:
+		return Config{
+			MemMB:          2048,
+			InvokeLatency:  stats.N(0.012, 0.004),
+			ColdStart:      stats.N(0.60, 0.20),
+			SchedulerRound: 5 * time.Second,
+			ExecLimit:      10 * time.Minute,
+			MaxConcurrency: 1000,
+			KeepWarm:       10 * time.Minute,
+		}
+	case cloud.GCP:
+		return Config{
+			MemMB:          1024,
+			VCPU:           1,
+			InvokeLatency:  stats.N(0.010, 0.003),
+			ColdStart:      stats.N(0.45, 0.15),
+			SchedulerRound: 5 * time.Second,
+			ExecLimit:      60 * time.Minute,
+			MaxConcurrency: 1000,
+			KeepWarm:       15 * time.Minute,
+		}
+	}
+	return Config{MemMB: 1024, InvokeLatency: stats.N(0.01, 0.003), ColdStart: stats.N(0.4, 0.1),
+		ExecLimit: 15 * time.Minute, MaxConcurrency: 1000, KeepWarm: 10 * time.Minute}
+}
+
+// Stats counts platform activity.
+type Stats struct {
+	Invocations   int64
+	ColdStarts    int64
+	WarmStarts    int64
+	Timeouts      int64
+	MaxConcurrent int
+}
+
+// Instance is one function instance. Its bandwidth multiplier persists
+// across warm reuses, so a slow instance stays slow (Figure 9).
+type Instance struct {
+	ID     string
+	BwMult float64
+
+	idleSince time.Time
+}
+
+// Ctx is the execution context handed to a function handler.
+type Ctx struct {
+	Instance *Instance
+	Region   cloud.Region
+	Config   Config
+	Started  time.Time
+	Clock    *simclock.Clock
+}
+
+// BandwidthScale returns the instance's end-to-end bandwidth factor:
+// per-instance multiplier times the configuration scale.
+func (c *Ctx) BandwidthScale() float64 {
+	return c.Instance.BwMult * netsim.ConfigScale(c.Region.Provider, c.Config.MemMB, c.Config.VCPU)
+}
+
+// BandwidthScaleFor is BandwidthScale with the per-instance path factor
+// toward a remote provider folded in; use it for a specific transfer leg.
+func (c *Ctx) BandwidthScaleFor(remote cloud.Provider) float64 {
+	return c.BandwidthScale() * netsim.PathInstanceFactor(c.Instance.ID, c.Region.Provider, remote)
+}
+
+// Platform is one region's function service.
+type Platform struct {
+	clock  *simclock.Clock
+	region cloud.Region
+	meter  *pricing.Meter
+	net    *netsim.Net
+	cfg    Config
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	warm    []*Instance
+	running int
+	nextID  int
+	stats   Stats
+}
+
+// New returns a Platform in region with the given configuration, billing
+// to meter and drawing instance multipliers from net.
+func New(clock *simclock.Clock, region cloud.Region, net *netsim.Net, meter *pricing.Meter, cfg Config) *Platform {
+	return &Platform{
+		clock:  clock,
+		region: region,
+		meter:  meter,
+		net:    net,
+		cfg:    cfg,
+		rng:    simrand.New("faas", string(region.ID())),
+	}
+}
+
+// Region returns the platform's region.
+func (p *Platform) Region() cloud.Region { return p.region }
+
+// Config returns the platform's function configuration.
+func (p *Platform) Config() Config { return p.cfg }
+
+// FlushWarm discards all warm instances, forcing the next invocations to
+// cold-start. The profiler uses it to sample cold-start delays.
+func (p *Platform) FlushWarm() {
+	p.mu.Lock()
+	p.warm = nil
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of activity counters.
+func (p *Platform) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// draw samples d with the platform's private rng, clamped at lo.
+func (p *Platform) draw(d stats.Normal, lo float64) float64 {
+	p.mu.Lock()
+	v := d.Sample(p.rng)
+	p.mu.Unlock()
+	if v < lo {
+		v = lo
+	}
+	return v
+}
+
+// acquire reserves capacity and returns a warm instance, or a fresh cold
+// one. It blocks (in virtual time) while the account concurrency limit is
+// saturated.
+func (p *Platform) acquire() (inst *Instance, cold bool) {
+	for {
+		p.mu.Lock()
+		if p.running < p.cfg.MaxConcurrency {
+			p.running++
+			if p.running > p.stats.MaxConcurrent {
+				p.stats.MaxConcurrent = p.running
+			}
+			now := p.clock.Now()
+			// Reap expired warm instances, then reuse the freshest.
+			live := p.warm[:0]
+			for _, w := range p.warm {
+				if now.Sub(w.idleSince) <= p.cfg.KeepWarm {
+					live = append(live, w)
+				}
+			}
+			p.warm = live
+			if n := len(p.warm); n > 0 {
+				inst = p.warm[n-1]
+				p.warm = p.warm[:n-1]
+				p.stats.WarmStarts++
+				p.mu.Unlock()
+				return inst, false
+			}
+			p.nextID++
+			p.stats.ColdStarts++
+			id := fmt.Sprintf("%s/fn-%d", p.region.ID(), p.nextID)
+			mult := p.net.InstanceMultiplier(p.region.Provider).Sample(p.rng)
+			p.mu.Unlock()
+			return &Instance{ID: id, BwMult: mult}, true
+		}
+		p.mu.Unlock()
+		p.clock.Sleep(50 * time.Millisecond) // throttled: retry as capacity frees
+	}
+}
+
+func (p *Platform) release(inst *Instance) {
+	p.mu.Lock()
+	p.running--
+	inst.idleSince = p.clock.Now()
+	p.warm = append(p.warm, inst)
+	p.mu.Unlock()
+}
+
+// Invoke launches n asynchronous executions of handler. The caller (an
+// orchestrator actor) pays the serial invocation API latency I per call;
+// each execution then starts after its startup delay and runs as its own
+// actor. Invoke returns after the API calls complete, not after the
+// executions finish.
+//
+// When the wave needs cold instances on a platform with a scheduler round,
+// one postponement P ~ U(0, round) is drawn for the wave, matching the
+// batching behaviour of Cloud Run's (and Azure's) instance scheduler.
+func (p *Platform) Invoke(n int, handler func(*Ctx)) {
+	if n <= 0 {
+		return
+	}
+	book := pricing.BookFor(p.region.Provider)
+
+	// One scheduler postponement per invocation wave, applied to cold starts.
+	var postpone time.Duration
+	if p.cfg.SchedulerRound > 0 {
+		p.mu.Lock()
+		needCold := len(p.warm) < n
+		if needCold {
+			postpone = time.Duration(p.rng.Float64() * float64(p.cfg.SchedulerRound))
+		}
+		p.mu.Unlock()
+	}
+
+	for i := 0; i < n; i++ {
+		p.clock.Sleep(simclock.Seconds(p.draw(p.cfg.InvokeLatency, 0.001)))
+		p.meter.Add("fn:invoke", book.FnInvocation)
+		p.mu.Lock()
+		p.stats.Invocations++
+		p.mu.Unlock()
+		p.clock.Go(func() {
+			inst, cold := p.acquire()
+			if cold {
+				d := simclock.Seconds(p.draw(p.cfg.ColdStart, 0.02))
+				p.clock.Sleep(d + postpone)
+			}
+			p.run(inst, handler, book)
+		})
+	}
+}
+
+// InvokeLocal runs handler inline on the caller's actor, modelling an
+// orchestrator that handles small work itself (T_func = 0 in the paper's
+// model). It still occupies an instance slot and bills execution time.
+func (p *Platform) InvokeLocal(handler func(*Ctx)) {
+	book := pricing.BookFor(p.region.Provider)
+	p.mu.Lock()
+	p.stats.Invocations++
+	p.mu.Unlock()
+	p.meter.Add("fn:invoke", book.FnInvocation)
+	inst, cold := p.acquire()
+	if cold {
+		// A local handler runs inside an already-running function; the cold
+		// path only happens on the first use, and is cheap.
+		p.clock.Sleep(simclock.Seconds(p.draw(p.cfg.ColdStart, 0.02)))
+	}
+	p.run(inst, handler, book)
+}
+
+// run executes handler on inst, enforcing the execution limit and billing.
+func (p *Platform) run(inst *Instance, handler func(*Ctx), book pricing.Book) {
+	start := p.clock.Now()
+	ctx := &Ctx{Instance: inst, Region: p.region, Config: p.cfg, Started: start, Clock: p.clock}
+	handler(ctx)
+	dur := p.clock.Since(start)
+	if dur > p.cfg.ExecLimit {
+		// The simulator cannot preempt a handler; account the overrun as a
+		// timeout and bill only up to the limit, as the platform would.
+		p.mu.Lock()
+		p.stats.Timeouts++
+		p.mu.Unlock()
+		dur = p.cfg.ExecLimit
+	}
+	p.meter.Add("fn:compute", pricing.FnComputeCost(p.region.Provider, float64(p.cfg.MemMB)/1024, dur))
+	p.release(inst)
+}

@@ -1,0 +1,281 @@
+// Package kvstore simulates the serverless NoSQL databases AReplica keeps
+// its replication state in (DynamoDB, Cosmos DB, Firestore): a regional
+// key-value store with conditional writes, atomic read-modify-write
+// updates and counters, single-digit-millisecond operation latency on the
+// virtual clock, and per-operation metering at the provider's list price.
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/pricing"
+	"repro/internal/simclock"
+	"repro/internal/simrand"
+	"repro/internal/stats"
+)
+
+// ErrConditionFailed is returned when a conditional write's predicate
+// rejects the current item state.
+var ErrConditionFailed = errors.New("kvstore: condition failed")
+
+// Item is one record: a flat attribute map. Values should be comparable
+// scalars (string, int64, float64, bool). Items are copied on read and
+// write, so callers can mutate their copies freely.
+type Item map[string]any
+
+// clone returns a shallow copy of the item.
+func (it Item) clone() Item {
+	if it == nil {
+		return nil
+	}
+	out := make(Item, len(it))
+	for k, v := range it {
+		out[k] = v
+	}
+	return out
+}
+
+// Int returns the attribute as int64, or 0 when absent/mistyped.
+func (it Item) Int(attr string) int64 {
+	v, _ := it[attr].(int64)
+	return v
+}
+
+// Str returns the attribute as string, or "" when absent/mistyped.
+func (it Item) Str(attr string) string {
+	v, _ := it[attr].(string)
+	return v
+}
+
+// Store is a regional serverless KV database.
+type Store struct {
+	clock   *simclock.Clock
+	region  cloud.Region
+	book    pricing.Book
+	meter   *pricing.Meter
+	latency stats.Normal
+
+	mu      sync.Mutex
+	rng     latencyRNG
+	tables  map[string]map[string]Item
+	expires map[string]map[string]time.Time // table -> key -> expiry
+	stats   OpStats
+}
+
+// OpStats counts operations, for tests and cost sanity checks.
+type OpStats struct {
+	Reads  int64
+	Writes int64
+}
+
+type latencyRNG struct {
+	mu  sync.Mutex
+	rng interface{ NormFloat64() float64 }
+}
+
+// New returns a Store for the given region, billing operations to meter.
+func New(clock *simclock.Clock, region cloud.Region, meter *pricing.Meter) *Store {
+	s := &Store{
+		clock:   clock,
+		region:  region,
+		book:    pricing.BookFor(region.Provider),
+		meter:   meter,
+		latency: stats.N(0.003, 0.001), // single-digit ms, as the paper notes
+		tables:  make(map[string]map[string]Item),
+		expires: make(map[string]map[string]time.Time),
+	}
+	s.rng.rng = simrand.New("kvstore", string(region.ID()))
+	return s
+}
+
+// Region returns the store's region.
+func (s *Store) Region() cloud.Region { return s.region }
+
+// Stats returns a snapshot of the operation counters.
+func (s *Store) Stats() OpStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// simulateOp sleeps one KV operation latency and meters its cost.
+func (s *Store) simulateOp(write bool) {
+	s.rng.mu.Lock()
+	d := s.latency.Mu + s.latency.Sigma*s.rng.rng.NormFloat64()
+	s.rng.mu.Unlock()
+	if d < 0.0005 {
+		d = 0.0005
+	}
+	s.clock.Sleep(simclock.Seconds(d))
+	s.mu.Lock()
+	if write {
+		s.stats.Writes++
+	} else {
+		s.stats.Reads++
+	}
+	s.mu.Unlock()
+	if write {
+		s.meter.Add("kv:write", s.book.KVWrite)
+	} else {
+		s.meter.Add("kv:read", s.book.KVRead)
+	}
+}
+
+func (s *Store) table(name string) map[string]Item {
+	t, ok := s.tables[name]
+	if !ok {
+		t = make(map[string]Item)
+		s.tables[name] = t
+	}
+	return t
+}
+
+// reapLocked lazily evicts an expired item, DynamoDB-TTL style. Caller
+// holds s.mu.
+func (s *Store) reapLocked(table, key string) {
+	if exp, ok := s.expires[table]; ok {
+		if at, ok := exp[key]; ok && !s.clock.Now().Before(at) {
+			delete(exp, key)
+			delete(s.tables[table], key)
+		}
+	}
+}
+
+// setTTLLocked installs or clears a key's expiry. Caller holds s.mu.
+func (s *Store) setTTLLocked(table, key string, ttl time.Duration) {
+	exp, ok := s.expires[table]
+	if !ok {
+		exp = make(map[string]time.Time)
+		s.expires[table] = exp
+	}
+	if ttl <= 0 {
+		delete(exp, key)
+		return
+	}
+	exp[key] = s.clock.Now().Add(ttl)
+}
+
+// PutWithTTL writes an item that expires (and reads as absent) after ttl —
+// the lease primitive real lock tables rely on so a crashed holder cannot
+// wedge a key forever.
+func (s *Store) PutWithTTL(table, key string, item Item, ttl time.Duration) {
+	s.simulateOp(true)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.table(table)[key] = item.clone()
+	s.setTTLLocked(table, key, ttl)
+}
+
+// Get reads one item. The boolean reports whether the item exists.
+func (s *Store) Get(table, key string) (Item, bool) {
+	s.simulateOp(false)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapLocked(table, key)
+	it, ok := s.table(table)[key]
+	return it.clone(), ok
+}
+
+// Put writes an item unconditionally.
+func (s *Store) Put(table, key string, item Item) {
+	s.simulateOp(true)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.table(table)[key] = item.clone()
+}
+
+// Delete removes an item; deleting a missing item is a no-op.
+func (s *Store) Delete(table, key string) {
+	s.simulateOp(true)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.table(table), key)
+}
+
+// ConditionalPut writes item if cond accepts the current state. cond
+// receives the existing item (nil-safe copy) and whether it exists.
+func (s *Store) ConditionalPut(table, key string, item Item, cond func(cur Item, exists bool) bool) error {
+	s.simulateOp(true)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapLocked(table, key)
+	cur, exists := s.table(table)[key]
+	if !cond(cur.clone(), exists) {
+		return ErrConditionFailed
+	}
+	s.table(table)[key] = item.clone()
+	s.setTTLLocked(table, key, 0)
+	return nil
+}
+
+// PutIfAbsent writes item only when the key does not exist.
+func (s *Store) PutIfAbsent(table, key string, item Item) error {
+	return s.ConditionalPut(table, key, item, func(_ Item, exists bool) bool { return !exists })
+}
+
+// Update applies fn atomically to the current item. fn receives a copy of
+// the current item (nil if absent) and the existence flag, and returns the
+// new item and whether to keep it (false deletes the key). Update returns
+// the stored item. Any existing TTL is preserved.
+func (s *Store) Update(table, key string, fn func(cur Item, exists bool) (Item, bool)) Item {
+	return s.UpdateWithTTL(table, key, 0, fn)
+}
+
+// UpdateWithTTL is Update that additionally refreshes the item's lease
+// when ttl > 0 (ttl == 0 preserves any existing expiry). Lock tables use
+// it so a crashed holder's lock expires instead of wedging the key.
+func (s *Store) UpdateWithTTL(table, key string, ttl time.Duration, fn func(cur Item, exists bool) (Item, bool)) Item {
+	s.simulateOp(true)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapLocked(table, key)
+	cur, exists := s.table(table)[key]
+	next, keep := fn(cur.clone(), exists)
+	if !keep {
+		delete(s.table(table), key)
+		s.setTTLLocked(table, key, 0)
+		return nil
+	}
+	s.table(table)[key] = next.clone()
+	if ttl > 0 {
+		s.setTTLLocked(table, key, ttl)
+	}
+	return next.clone()
+}
+
+// Increment atomically adds delta to an integer attribute (creating the
+// item or attribute at zero) and returns the new value.
+func (s *Store) Increment(table, key, attr string, delta int64) int64 {
+	var out int64
+	s.Update(table, key, func(cur Item, exists bool) (Item, bool) {
+		if cur == nil {
+			cur = Item{}
+		}
+		out = cur.Int(attr) + delta
+		cur[attr] = out
+		return cur, true
+	})
+	return out
+}
+
+// Len reports the number of items in a table (no latency; test helper).
+func (s *Store) Len(table string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tables[table])
+}
+
+// Dump returns a formatted listing of a table for debugging.
+func (s *Store) Dump(table string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := ""
+	for k, v := range s.tables[table] {
+		out += fmt.Sprintf("%s: %v\n", k, v)
+	}
+	return out
+}

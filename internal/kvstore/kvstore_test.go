@@ -1,0 +1,224 @@
+package kvstore
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/pricing"
+	"repro/internal/simclock"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func newStore() (*simclock.Clock, *Store, *pricing.Meter) {
+	clk := simclock.New(epoch)
+	meter := pricing.NewMeter()
+	s := New(clk, cloud.MustLookup("aws:us-east-1"), meter)
+	return clk, s, meter
+}
+
+func TestPutGetDelete(t *testing.T) {
+	_, s, _ := newStore()
+	if _, ok := s.Get("t", "k"); ok {
+		t.Fatal("unexpected item before put")
+	}
+	s.Put("t", "k", Item{"a": "x", "n": int64(3)})
+	it, ok := s.Get("t", "k")
+	if !ok || it.Str("a") != "x" || it.Int("n") != 3 {
+		t.Fatalf("got %v, %v", it, ok)
+	}
+	s.Delete("t", "k")
+	if _, ok := s.Get("t", "k"); ok {
+		t.Fatal("item survived delete")
+	}
+	s.Delete("t", "k") // idempotent
+}
+
+func TestItemsAreCopied(t *testing.T) {
+	_, s, _ := newStore()
+	orig := Item{"a": "x"}
+	s.Put("t", "k", orig)
+	orig["a"] = "mutated"
+	it, _ := s.Get("t", "k")
+	if it.Str("a") != "x" {
+		t.Fatal("store shared memory with caller on Put")
+	}
+	it["a"] = "mutated2"
+	it2, _ := s.Get("t", "k")
+	if it2.Str("a") != "x" {
+		t.Fatal("store shared memory with caller on Get")
+	}
+}
+
+func TestConditionalPut(t *testing.T) {
+	_, s, _ := newStore()
+	err := s.ConditionalPut("t", "k", Item{"v": int64(1)}, func(_ Item, exists bool) bool { return !exists })
+	if err != nil {
+		t.Fatalf("first put: %v", err)
+	}
+	err = s.ConditionalPut("t", "k", Item{"v": int64(2)}, func(_ Item, exists bool) bool { return !exists })
+	if !errors.Is(err, ErrConditionFailed) {
+		t.Fatalf("second put: %v, want ErrConditionFailed", err)
+	}
+	it, _ := s.Get("t", "k")
+	if it.Int("v") != 1 {
+		t.Fatalf("failed conditional put overwrote the item: %v", it)
+	}
+	// Condition reading current state.
+	err = s.ConditionalPut("t", "k", Item{"v": int64(2)}, func(cur Item, _ bool) bool { return cur.Int("v") == 1 })
+	if err != nil {
+		t.Fatalf("cas: %v", err)
+	}
+}
+
+func TestPutIfAbsent(t *testing.T) {
+	_, s, _ := newStore()
+	if err := s.PutIfAbsent("t", "k", Item{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutIfAbsent("t", "k", Item{}); !errors.Is(err, ErrConditionFailed) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestUpdateAndDeleteViaUpdate(t *testing.T) {
+	_, s, _ := newStore()
+	got := s.Update("t", "k", func(cur Item, exists bool) (Item, bool) {
+		if exists {
+			t.Error("item should not exist yet")
+		}
+		return Item{"v": int64(10)}, true
+	})
+	if got.Int("v") != 10 {
+		t.Fatalf("update returned %v", got)
+	}
+	s.Update("t", "k", func(cur Item, exists bool) (Item, bool) { return nil, false })
+	if _, ok := s.Get("t", "k"); ok {
+		t.Fatal("update-delete left the item")
+	}
+}
+
+func TestIncrementConcurrent(t *testing.T) {
+	clk, s, _ := newStore()
+	const actors, perActor = 20, 25
+	var last atomic.Int64
+	for i := 0; i < actors; i++ {
+		clk.Go(func() {
+			for j := 0; j < perActor; j++ {
+				last.Store(s.Increment("t", "ctr", "n", 1))
+			}
+		})
+	}
+	clk.Quiesce()
+	it, _ := s.Get("t", "ctr")
+	if it.Int("n") != actors*perActor {
+		t.Fatalf("counter = %d, want %d", it.Int("n"), actors*perActor)
+	}
+	if last.Load() != actors*perActor {
+		t.Fatalf("some increment observed %d as the final value", last.Load())
+	}
+}
+
+func TestLatencyIsMilliseconds(t *testing.T) {
+	clk, s, _ := newStore()
+	start := clk.Now()
+	for i := 0; i < 100; i++ {
+		s.Put("t", "k", Item{})
+	}
+	elapsed := clk.Since(start)
+	per := elapsed / 100
+	if per < 500*time.Microsecond || per > 10*time.Millisecond {
+		t.Fatalf("per-op latency %v, want single-digit ms", per)
+	}
+}
+
+func TestMetering(t *testing.T) {
+	_, s, m := newStore()
+	s.Put("t", "a", Item{})
+	s.Get("t", "a")
+	s.Increment("t", "a", "n", 1)
+	st := s.Stats()
+	if st.Writes != 2 || st.Reads != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	wantWrites := 2 * pricing.BookFor(cloud.AWS).KVWrite
+	if got := m.Item("kv:write"); got != wantWrites {
+		t.Fatalf("write cost = %v, want %v", got, wantWrites)
+	}
+	if m.Item("kv:read") != pricing.BookFor(cloud.AWS).KVRead {
+		t.Fatalf("read cost = %v", m.Item("kv:read"))
+	}
+}
+
+func TestTablesAreIsolated(t *testing.T) {
+	_, s, _ := newStore()
+	s.Put("t1", "k", Item{"v": int64(1)})
+	if _, ok := s.Get("t2", "k"); ok {
+		t.Fatal("tables leaked into each other")
+	}
+	if s.Len("t1") != 1 || s.Len("t2") != 0 {
+		t.Fatalf("lens: %d, %d", s.Len("t1"), s.Len("t2"))
+	}
+}
+
+func TestConditionalPutRace(t *testing.T) {
+	// Many actors race PutIfAbsent on the same key; exactly one must win.
+	clk, s, _ := newStore()
+	var wins atomic.Int32
+	for i := 0; i < 32; i++ {
+		i := i
+		clk.Go(func() {
+			if err := s.PutIfAbsent("t", "lock", Item{"owner": int64(i)}); err == nil {
+				wins.Add(1)
+			}
+		})
+	}
+	clk.Quiesce()
+	if wins.Load() != 1 {
+		t.Fatalf("%d winners, want exactly 1", wins.Load())
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	clk, s, _ := newStore()
+	s.PutWithTTL("t", "lease", Item{"owner": "a"}, 10*time.Second)
+	if _, ok := s.Get("t", "lease"); !ok {
+		t.Fatal("item missing before expiry")
+	}
+	clk.Sleep(11 * time.Second)
+	if _, ok := s.Get("t", "lease"); ok {
+		t.Fatal("item survived its TTL")
+	}
+	// An expired key can be re-acquired conditionally.
+	if err := s.PutIfAbsent("t", "lease", Item{"owner": "b"}); err != nil {
+		t.Fatalf("expired key blocked a fresh acquire: %v", err)
+	}
+}
+
+func TestTTLClearedByPlainWrite(t *testing.T) {
+	clk, s, _ := newStore()
+	s.PutWithTTL("t", "k", Item{"v": int64(1)}, 5*time.Second)
+	// A conditional overwrite makes the item durable again.
+	if err := s.ConditionalPut("t", "k", Item{"v": int64(2)}, func(cur Item, ok bool) bool { return ok }); err != nil {
+		t.Fatal(err)
+	}
+	clk.Sleep(time.Minute)
+	if it, ok := s.Get("t", "k"); !ok || it.Int("v") != 2 {
+		t.Fatal("durable overwrite expired")
+	}
+}
+
+func TestTTLVisibleInUpdate(t *testing.T) {
+	clk, s, _ := newStore()
+	s.PutWithTTL("t", "k", Item{"v": int64(1)}, time.Second)
+	clk.Sleep(2 * time.Second)
+	s.Update("t", "k", func(cur Item, exists bool) (Item, bool) {
+		if exists {
+			t.Error("expired item visible in Update")
+		}
+		return Item{"v": int64(9)}, true
+	})
+}

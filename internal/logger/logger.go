@@ -1,0 +1,141 @@
+// Package logger implements AReplica's runtime logger (§4): it tracks the
+// replication time of completed tasks against the performance model's
+// predictions and, when a significant deviation persists, refreshes the
+// model's path parameters (triggering Monte-Carlo resampling on demand)
+// so the model stays accurate as inter-region transfer rates drift.
+package logger
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/cloud"
+	"repro/internal/engine"
+	"repro/internal/model"
+)
+
+// Observation pairs a task's predicted and measured replication time.
+type Observation struct {
+	Loc       cloud.RegionID
+	N         int
+	Size      int64
+	Predicted float64 // model mean, seconds
+	Actual    float64 // measured T_rep, seconds
+}
+
+// Stats summarizes logger activity.
+type Stats struct {
+	Observed  int64
+	Refreshes int64
+}
+
+// Logger observes finished tasks for one replication rule.
+type Logger struct {
+	M        *model.Model
+	Src, Dst cloud.RegionID
+
+	// Alpha is the EWMA smoothing factor of the actual/predicted ratio.
+	Alpha float64
+	// Threshold is the relative deviation that, once persistent, triggers
+	// a parameter refresh.
+	Threshold float64
+	// MinSamples is how many observations a deviation must persist for.
+	MinSamples int
+
+	mu      sync.Mutex
+	state   map[cloud.RegionID]*ewma
+	history []Observation
+	stats   Stats
+}
+
+type ewma struct {
+	ratio  float64
+	streak int // consecutive observations deviating beyond Threshold
+}
+
+// New returns a Logger with the default sensitivity.
+func New(m *model.Model, src, dst cloud.RegionID) *Logger {
+	return &Logger{
+		M: m, Src: src, Dst: dst,
+		Alpha:      0.3,
+		Threshold:  0.25,
+		MinSamples: 8,
+		state:      make(map[cloud.RegionID]*ewma),
+	}
+}
+
+// Stats returns a snapshot of the logger's counters.
+func (lg *Logger) Stats() Stats {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	return lg.stats
+}
+
+// History returns the recorded observations.
+func (lg *Logger) History() []Observation {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	return append([]Observation(nil), lg.history...)
+}
+
+// Observe ingests one finished task. Hook it to engine.OnTaskDone.
+func (lg *Logger) Observe(res engine.TaskResult) {
+	if !res.OK || res.Changelog || res.Plan.EstMean <= 0 {
+		return
+	}
+	actual := res.ExecSeconds()
+	if actual <= 0 {
+		return
+	}
+	ratio := actual / res.Plan.EstMean
+
+	lg.mu.Lock()
+	lg.stats.Observed++
+	lg.history = append(lg.history, Observation{
+		Loc: res.Plan.Loc, N: res.Plan.N, Size: res.Size,
+		Predicted: res.Plan.EstMean, Actual: actual,
+	})
+	st, ok := lg.state[res.Plan.Loc]
+	if !ok {
+		st = &ewma{ratio: 1}
+		lg.state[res.Plan.Loc] = st
+	}
+	st.ratio = lg.Alpha*ratio + (1-lg.Alpha)*st.ratio
+	// A refresh needs the deviation to be *persistent*: MinSamples
+	// consecutive tasks beyond the threshold. Isolated spikes reset the
+	// streak and are absorbed by the EWMA.
+	if math.Abs(ratio-1) > lg.Threshold {
+		st.streak++
+	} else {
+		st.streak = 0
+	}
+	deviated := st.streak >= lg.MinSamples && math.Abs(st.ratio-1) > lg.Threshold
+	var correction float64
+	if deviated {
+		correction = st.ratio
+		st.ratio = 1
+		st.streak = 0
+		lg.stats.Refreshes++
+	}
+	lg.mu.Unlock()
+
+	if deviated {
+		lg.refresh(res.Plan.Loc, correction)
+	}
+}
+
+// refresh scales the path's transfer parameters by the observed ratio —
+// the "periodically updates the parameters" loop of §4 — and invalidates
+// the cached Monte-Carlo distributions so they are regenerated on demand.
+func (lg *Logger) refresh(loc cloud.RegionID, ratio float64) {
+	key := model.PathKey{Src: lg.Src, Dst: lg.Dst, Loc: loc}
+	pp, ok := lg.M.Path(key)
+	if !ok {
+		return
+	}
+	pp.C = pp.C.Scale(ratio)
+	pp.Cp = pp.Cp.Scale(ratio)
+	pp.S = pp.S.Scale(ratio)
+	lg.M.SetPath(key, pp) // also drops this path's MC cache
+	lg.M.InvalidatePath(lg.Src, lg.Dst)
+}

@@ -1,0 +1,302 @@
+// Package model implements AReplica's distribution-aware performance model
+// (§5.3). The model predicts the replication time of a candidate plan —
+// how many replicator functions n, executing at which region loc — as a
+// probability distribution, so the planner can reason about percentiles
+// rather than means.
+//
+// Single replicator:
+//
+//	T_rep = T_func + T_transfer
+//	T_func = 0                      (orchestrator-local)
+//	       = I(loc) + D(loc)        (one remote replicator)
+//	T_transfer = S(src,dst,loc) + C(src,dst,loc) · ceil(size/c)
+//
+// Parallel replicators:
+//
+//	T_func = I(loc)·n + D(loc) + P(loc)
+//	T_transfer = max_{1..n} ( S + C'·ceil(size/(c·n)) )
+//
+// All parameters are Normal distributions fitted by the profiler. Sums of
+// Normals stay Normal; the max over n instances is estimated by Monte
+// Carlo for moderate n and by the Gumbel extreme-value approximation for
+// large n, with Monte Carlo results cached per (path, n, chunks) — the
+// paper's on-demand resampling.
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/cloud"
+	"repro/internal/simrand"
+	"repro/internal/stats"
+)
+
+// DefaultChunk is the paper's empirically chosen 8 MB part size (§5.1).
+const DefaultChunk = 8 << 20
+
+// LocParams are the function-startup parameters of one execution region.
+type LocParams struct {
+	I stats.Normal // async invocation API latency, per call
+	D stats.Normal // instance startup delay
+	P stats.Normal // platform scheduler postponement on scale-out
+}
+
+// ChunkTime is the per-chunk replication time with its variance split
+// into a *between-instance* component (a slow instance is slow for every
+// chunk it handles: instance multiplier, peering path) and a
+// *within-instance* component (per-transfer jitter). The split matters
+// when extrapolating one instance's time over k chunks: the between part
+// scales linearly with k while the within part averages out as sqrt(k).
+// Treating the pooled sigma as fully correlated (a plain Normal scaled by
+// k) overestimates high-variance paths severalfold.
+type ChunkTime struct {
+	Mu      float64 // mean seconds per chunk
+	Between float64 // std of per-instance mean chunk times
+	Within  float64 // std of chunk times within one instance
+}
+
+// OverK returns the distribution of the total time one instance needs for
+// k chunks: N(k·mu, sqrt(k²·between² + k·within²)).
+func (c ChunkTime) OverK(k float64) stats.Normal {
+	return stats.N(k*c.Mu, math.Sqrt(k*k*c.Between*c.Between+k*c.Within*c.Within))
+}
+
+// Scale multiplies all components (used by the runtime logger's refresh).
+func (c ChunkTime) Scale(f float64) ChunkTime {
+	return ChunkTime{Mu: f * c.Mu, Between: f * c.Between, Within: f * c.Within}
+}
+
+// FitChunkTime estimates a ChunkTime from per-instance sample groups.
+func FitChunkTime(groups [][]float64) ChunkTime {
+	var all []float64
+	var means []float64
+	var withinSS float64
+	var withinN int
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		all = append(all, g...)
+		m := stats.Mean(g)
+		means = append(means, m)
+		for _, v := range g {
+			withinSS += (v - m) * (v - m)
+			withinN++
+		}
+	}
+	if len(all) == 0 {
+		panic("model: FitChunkTime with no samples")
+	}
+	ct := ChunkTime{Mu: stats.Mean(all)}
+	if len(means) > 1 {
+		ct.Between = stats.StdDev(means)
+	}
+	if withinN > len(means) {
+		ct.Within = math.Sqrt(withinSS / float64(withinN-len(means)))
+	}
+	return ct
+}
+
+// PathParams are the transfer parameters of one (src,dst,loc) path.
+type PathParams struct {
+	S  stats.Normal // client setup overhead before the first byte moves
+	C  ChunkTime    // per-chunk replication time, single function
+	Cp ChunkTime    // per-chunk time under pool scheduling (C' in the paper)
+}
+
+// PathKey identifies a replication path with its execution side.
+type PathKey struct {
+	Src, Dst, Loc cloud.RegionID
+}
+
+// Model stores fitted parameters and answers replication-time queries.
+type Model struct {
+	Chunk int64 // part size c
+
+	// MCRounds is the Monte-Carlo sample count; GumbelMinN is the
+	// parallelism at which the Gumbel approximation replaces Monte Carlo.
+	MCRounds   int
+	GumbelMinN int
+
+	mu      sync.Mutex
+	loc     map[cloud.RegionID]LocParams
+	path    map[PathKey]PathParams
+	notify  map[cloud.RegionID]stats.Normal
+	mcCache map[mcKey]*stats.Empirical
+}
+
+type mcKey struct {
+	path   PathKey
+	n      int
+	chunks int64
+}
+
+// New returns an empty model with the default chunk size.
+func New() *Model {
+	return &Model{
+		Chunk:      DefaultChunk,
+		MCRounds:   1500,
+		GumbelMinN: 128,
+		loc:        make(map[cloud.RegionID]LocParams),
+		path:       make(map[PathKey]PathParams),
+		notify:     make(map[cloud.RegionID]stats.Normal),
+		mcCache:    make(map[mcKey]*stats.Empirical),
+	}
+}
+
+// SetLoc installs the startup parameters of an execution region.
+func (m *Model) SetLoc(loc cloud.RegionID, p LocParams) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.loc[loc] = p
+}
+
+// Loc returns the startup parameters of a region.
+func (m *Model) Loc(loc cloud.RegionID) (LocParams, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.loc[loc]
+	return p, ok
+}
+
+// SetPath installs the transfer parameters of a path and invalidates any
+// cached Monte-Carlo distributions that used the old values.
+func (m *Model) SetPath(k PathKey, p PathParams) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.path[k] = p
+	for ck := range m.mcCache {
+		if ck.path == k {
+			delete(m.mcCache, ck)
+		}
+	}
+}
+
+// Path returns the transfer parameters of a path.
+func (m *Model) Path(k PathKey) (PathParams, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.path[k]
+	return p, ok
+}
+
+// SetNotify installs the notification-delay distribution T_n of a source
+// region.
+func (m *Model) SetNotify(src cloud.RegionID, d stats.Normal) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.notify[src] = d
+}
+
+// Notify returns T_n for a source region (zero Normal if unprofiled).
+func (m *Model) Notify(src cloud.RegionID) stats.Normal {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.notify[src]
+}
+
+// Chunks returns ceil(size/chunk) for the model's part size.
+func (m *Model) Chunks(size int64) int64 {
+	if size <= 0 {
+		return 0
+	}
+	return (size + m.Chunk - 1) / m.Chunk
+}
+
+// sumDist combines two independent positive components. Its Quantile is
+// the sum of the components' quantiles — an upper bound, which the paper
+// explicitly permits ("the model is allowed to overestimate").
+type sumDist struct {
+	a, b stats.Dist
+}
+
+func (s sumDist) Mean() float64 { return s.a.Mean() + s.b.Mean() }
+func (s sumDist) Std() float64  { return math.Hypot(s.a.Std(), s.b.Std()) }
+func (s sumDist) Quantile(p float64) float64 {
+	return s.a.Quantile(p) + s.b.Quantile(p)
+}
+
+// Dist is the model's prediction: a distribution over replication seconds.
+type Dist interface {
+	Mean() float64
+	Std() float64
+	Quantile(p float64) float64
+}
+
+// ReplTime returns the predicted distribution of T_rep for replicating an
+// object of size bytes with n parallel functions executing at loc. When
+// local is true (n must be 1 and loc the source region) the orchestrator
+// replicates inline and T_func is zero.
+func (m *Model) ReplTime(src, dst, loc cloud.RegionID, size int64, n int, local bool) (Dist, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("model: parallelism %d < 1", n)
+	}
+	lp, ok := m.Loc(loc)
+	if !ok {
+		return nil, fmt.Errorf("model: region %s not profiled", loc)
+	}
+	pk := PathKey{Src: src, Dst: dst, Loc: loc}
+	pp, ok := m.Path(pk)
+	if !ok {
+		return nil, fmt.Errorf("model: path %v not profiled", pk)
+	}
+	chunks := m.Chunks(size)
+	if chunks == 0 {
+		chunks = 1
+	}
+
+	if n == 1 {
+		transfer := pp.S.Plus(pp.C.OverK(float64(chunks)))
+		if local {
+			return transfer, nil
+		}
+		return stats.SumNormals(lp.I, lp.D, transfer), nil
+	}
+
+	tfunc := stats.SumNormals(lp.I.Scale(float64(n)), lp.D, lp.P)
+	perInst := (chunks + int64(n) - 1) / int64(n)
+	ttransfer := m.maxTransfer(pk, pp, n, perInst)
+	return sumDist{a: tfunc, b: ttransfer}, nil
+}
+
+// maxTransfer returns the distribution of max over n instances of
+// S + C'·perInst, via cached Monte Carlo or the Gumbel approximation.
+func (m *Model) maxTransfer(pk PathKey, pp PathParams, n int, perInst int64) stats.Dist {
+	base := pp.S.Plus(pp.Cp.OverK(float64(perInst)))
+	if n >= m.GumbelMinN {
+		return stats.MaxOfNormals(base, n)
+	}
+	key := mcKey{path: pk, n: n, chunks: perInst}
+	m.mu.Lock()
+	if e, ok := m.mcCache[key]; ok {
+		m.mu.Unlock()
+		return e
+	}
+	rounds := m.MCRounds
+	m.mu.Unlock()
+
+	rng := simrand.New("model-mc", string(pk.Src), string(pk.Dst), string(pk.Loc), fmt.Sprint(n, perInst))
+	e := stats.MonteCarloMax(rng, n, rounds, func(r *rand.Rand, i int) float64 {
+		return base.Sample(r)
+	})
+	m.mu.Lock()
+	m.mcCache[key] = e
+	m.mu.Unlock()
+	return e
+}
+
+// InvalidatePath drops cached Monte-Carlo results for every path touching
+// the given source/destination pair (the logger calls this after refitting
+// parameters).
+func (m *Model) InvalidatePath(src, dst cloud.RegionID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for ck := range m.mcCache {
+		if ck.path.Src == src && ck.path.Dst == dst {
+			delete(m.mcCache, ck)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/stats"
+)
+
+const (
+	src = cloud.RegionID("aws:us-east-1")
+	dst = cloud.RegionID("azure:eastus")
+)
+
+// fitted returns a model with hand-set parameters resembling a profiled
+// AWS→Azure path executed at the source.
+func fitted() *Model {
+	m := New()
+	m.SetLoc(src, LocParams{
+		I: stats.N(0.008, 0.002),
+		D: stats.N(0.25, 0.08),
+		P: stats.N(0.15, 0.05),
+	})
+	m.SetLoc(dst, LocParams{
+		I: stats.N(0.012, 0.004),
+		D: stats.N(0.60, 0.20),
+		P: stats.N(2.5, 1.4),
+	})
+	m.SetPath(PathKey{src, dst, src}, PathParams{
+		S:  stats.N(0.30, 0.08),
+		C:  ChunkTime{Mu: 0.12, Between: 0.02, Within: 0.02}, // seconds per 8 MB chunk
+		Cp: ChunkTime{Mu: 0.13, Between: 0.022, Within: 0.025},
+	})
+	m.SetPath(PathKey{src, dst, dst}, PathParams{
+		S:  stats.N(0.40, 0.15),
+		C:  ChunkTime{Mu: 0.18, Between: 0.05, Within: 0.05},
+		Cp: ChunkTime{Mu: 0.19, Between: 0.055, Within: 0.055},
+	})
+	return m
+}
+
+func TestChunks(t *testing.T) {
+	m := New()
+	cases := []struct {
+		size int64
+		want int64
+	}{
+		{0, 0}, {1, 1}, {DefaultChunk, 1}, {DefaultChunk + 1, 2}, {1 << 30, 128},
+	}
+	for _, c := range cases {
+		if got := m.Chunks(c.size); got != c.want {
+			t.Errorf("Chunks(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestSingleLocalOmitsStartup(t *testing.T) {
+	m := fitted()
+	local, err := m.ReplTime(src, dst, src, 1<<20, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := m.ReplTime(src, dst, src, 1<<20, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local skips I+D (~0.26 s).
+	diff := remote.Mean() - local.Mean()
+	if diff < 0.2 || diff > 0.4 {
+		t.Errorf("remote-local mean gap = %v, want ~0.26", diff)
+	}
+}
+
+func TestSingleFunctionScalesWithSize(t *testing.T) {
+	m := fitted()
+	small, _ := m.ReplTime(src, dst, src, 8<<20, 1, true)
+	big, _ := m.ReplTime(src, dst, src, 128<<20, 1, true)
+	// 16x the chunks: transfer-dominated times should grow roughly 16x
+	// minus the shared setup.
+	if big.Mean() <= small.Mean()*4 {
+		t.Errorf("scaling too weak: 8MB=%v 128MB=%v", small.Mean(), big.Mean())
+	}
+	// 1 GB single function ~ 128 chunks * 0.12 + 0.3 ≈ 15.7 s.
+	gb, _ := m.ReplTime(src, dst, src, 1<<30, 1, true)
+	if gb.Mean() < 10 || gb.Mean() > 25 {
+		t.Errorf("1GB single mean = %v", gb.Mean())
+	}
+}
+
+func TestParallelismReducesTime(t *testing.T) {
+	m := fitted()
+	prev := 1e18
+	for _, n := range []int{1, 4, 16, 64} {
+		d, err := m.ReplTime(src, dst, src, 1<<30, n, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := d.Quantile(0.9)
+		if q >= prev {
+			t.Errorf("n=%d p90=%v did not improve on %v", n, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestDiminishingReturnsFromInvocationCost(t *testing.T) {
+	// For a small object, huge parallelism hurts: I·n dominates.
+	m := fitted()
+	few, _ := m.ReplTime(src, dst, src, 8<<20, 2, false)
+	many, _ := m.ReplTime(src, dst, src, 8<<20, 512, false)
+	if many.Quantile(0.9) <= few.Quantile(0.9) {
+		t.Errorf("512 functions for 8MB should be slower: few=%v many=%v",
+			few.Quantile(0.9), many.Quantile(0.9))
+	}
+}
+
+func TestParallelQuantileIsConservative(t *testing.T) {
+	// sumDist quantile (sum of component quantiles) must be >= the
+	// quantile of a proper convolution, i.e. an overestimate.
+	m := fitted()
+	d, _ := m.ReplTime(src, dst, src, 1<<30, 32, false)
+	if d.Quantile(0.99) < d.Mean() {
+		t.Error("p99 below the mean")
+	}
+	if d.Quantile(0.99) <= d.Quantile(0.5) {
+		t.Error("quantiles must increase")
+	}
+}
+
+func TestGumbelKicksInForLargeN(t *testing.T) {
+	m := fitted()
+	m.GumbelMinN = 64
+	// Same inputs, n just below and at the Gumbel threshold: results must
+	// be close (the approximation is validated in stats tests).
+	below, _ := m.ReplTime(src, dst, src, 4<<30, 63, false)
+	at, _ := m.ReplTime(src, dst, src, 4<<30, 64, false)
+	if ratio := at.Quantile(0.9) / below.Quantile(0.9); ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("Gumbel/MC discontinuity: %v vs %v", at.Quantile(0.9), below.Quantile(0.9))
+	}
+}
+
+func TestMonteCarloCaching(t *testing.T) {
+	m := fitted()
+	d1, _ := m.ReplTime(src, dst, src, 1<<30, 32, false)
+	d2, _ := m.ReplTime(src, dst, src, 1<<30, 32, false)
+	if d1.Quantile(0.9) != d2.Quantile(0.9) {
+		t.Error("cached MC result should be identical")
+	}
+	m.mu.Lock()
+	cached := len(m.mcCache)
+	m.mu.Unlock()
+	if cached != 1 {
+		t.Errorf("cache has %d entries, want 1", cached)
+	}
+	// SetPath invalidates.
+	pp, _ := m.Path(PathKey{src, dst, src})
+	m.SetPath(PathKey{src, dst, src}, pp)
+	m.mu.Lock()
+	cached = len(m.mcCache)
+	m.mu.Unlock()
+	if cached != 0 {
+		t.Error("SetPath should drop cached MC results")
+	}
+}
+
+func TestInvalidatePath(t *testing.T) {
+	m := fitted()
+	m.ReplTime(src, dst, src, 1<<30, 32, false)
+	m.InvalidatePath(src, dst)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.mcCache) != 0 {
+		t.Error("InvalidatePath left cache entries")
+	}
+}
+
+func TestUnprofiledErrors(t *testing.T) {
+	m := New()
+	if _, err := m.ReplTime(src, dst, src, 1, 1, true); err == nil {
+		t.Error("unprofiled region should error")
+	}
+	m.SetLoc(src, LocParams{})
+	if _, err := m.ReplTime(src, dst, src, 1, 1, true); err == nil {
+		t.Error("unprofiled path should error")
+	}
+	if _, err := m.ReplTime(src, dst, src, 1, 0, true); err == nil {
+		t.Error("n=0 should error")
+	}
+}
+
+func TestNotifyRoundTrip(t *testing.T) {
+	m := New()
+	want := stats.N(0.35, 0.1)
+	m.SetNotify(src, want)
+	if got := m.Notify(src); got != want {
+		t.Errorf("Notify = %v", got)
+	}
+	if got := m.Notify(dst); got.Mu != 0 {
+		t.Errorf("unprofiled notify = %v, want zero", got)
+	}
+}
+
+func TestDestinationSideSlower(t *testing.T) {
+	// With these parameters the Azure side is slower and more variable;
+	// the model must preserve that ordering (basis of Fig. 20).
+	m := fitted()
+	atSrc, _ := m.ReplTime(src, dst, src, 128<<20, 8, false)
+	atDst, _ := m.ReplTime(src, dst, dst, 128<<20, 8, false)
+	if atSrc.Quantile(0.9) >= atDst.Quantile(0.9) {
+		t.Errorf("src-side should win here: src=%v dst=%v", atSrc.Quantile(0.9), atDst.Quantile(0.9))
+	}
+}

@@ -1,0 +1,83 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	m := fitted()
+	var buf bytes.Buffer
+	if err := m.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New()
+	if err := m2.Import(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Both models must answer identically.
+	for _, n := range []int{1, 8, 32} {
+		d1, err1 := m.ReplTime(src, dst, src, 1<<30, n, false)
+		d2, err2 := m2.ReplTime(src, dst, src, 1<<30, n, false)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("errs: %v %v", err1, err2)
+		}
+		if d1.Mean() != d2.Mean() || d1.Quantile(0.99) != d2.Quantile(0.99) {
+			t.Fatalf("n=%d: %v/%v vs %v/%v", n, d1.Mean(), d1.Quantile(0.99), d2.Mean(), d2.Quantile(0.99))
+		}
+	}
+	if m2.Notify(src) != m.Notify(src) {
+		t.Fatal("notify lost")
+	}
+}
+
+func TestExportIsStable(t *testing.T) {
+	m := fitted()
+	var a, b bytes.Buffer
+	m.Export(&a)
+	m.Export(&b)
+	if a.String() != b.String() {
+		t.Fatal("export output not deterministic")
+	}
+}
+
+func TestImportRejectsBadInput(t *testing.T) {
+	m := New()
+	if err := m.Import(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := m.Import(strings.NewReader(`{"locs":[{"region":"mars:olympus"}]}`)); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+	if err := m.Import(strings.NewReader(`{"chunk_bytes": 1234}`)); err == nil {
+		t.Fatal("mismatched chunk size accepted")
+	}
+	// Empty profile is a valid no-op.
+	if err := m.Import(strings.NewReader(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImportReplacesAndInvalidates(t *testing.T) {
+	m := fitted()
+	// Warm the MC cache.
+	m.ReplTime(src, dst, src, 1<<30, 32, false)
+
+	// Build a profile with doubled C and import it.
+	m2 := fitted()
+	pp, _ := m2.Path(PathKey{src, dst, src})
+	pp.C = pp.C.Scale(2)
+	pp.Cp = pp.Cp.Scale(2)
+	m2.SetPath(PathKey{src, dst, src}, pp)
+	var buf bytes.Buffer
+	m2.Export(&buf)
+	if err := m.Import(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := m.ReplTime(src, dst, src, 1<<30, 32, false)
+	dOrig, _ := fitted().ReplTime(src, dst, src, 1<<30, 32, false)
+	if d.Mean() <= dOrig.Mean()*1.2 {
+		t.Fatalf("import did not take effect: %v vs %v", d.Mean(), dOrig.Mean())
+	}
+}

@@ -1,0 +1,208 @@
+// Package netsim models wide-area bandwidth between cloud regions as seen
+// from serverless functions and VMs. It reproduces the three phenomena the
+// paper measures in §3:
+//
+//   - Opportunity #1/#2: each function instance gets a few hundred Mbps and
+//     aggregate bandwidth scales near-linearly with instance count (Figs. 6-7).
+//   - Challenge #1: performance is asymmetric — it depends not only on the
+//     (source, destination) pair but also on which platform executes the
+//     transfer (Fig. 8).
+//   - Challenge #2: effective bandwidth varies between instances of the same
+//     configuration with no predictable pattern (Fig. 9).
+//
+// Bandwidth values are in MiB/s. A transfer leg's throughput is
+//
+//	base(from→to) × execFactor(platform) × quirk(exec, remote) ×
+//	configScale(mem, cpu) × instanceMultiplier × temporalJitter
+//
+// where the instance multiplier is a per-instance lognormal draw that
+// persists for the instance's lifetime, and temporal jitter is drawn per
+// transfer.
+package netsim
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/simrand"
+	"repro/internal/stats"
+)
+
+// MiB is one mebibyte in bytes.
+const MiB = 1 << 20
+
+// Traits captures how a platform's serverless runtime behaves as a network
+// endpoint.
+type Traits struct {
+	// ExecFactor scales link bandwidth when the transfer runs on this
+	// platform's functions (AWS Lambda's network path is the fastest and
+	// most stable of the three, per Fig. 8).
+	ExecFactor float64
+	// TemporalSigma is the per-transfer jitter (fraction of the mean).
+	TemporalSigma float64
+	// InstanceSigmaLog is the sigma of the per-instance lognormal
+	// multiplier; larger values yield the >2x inter-instance spread of
+	// Fig. 9.
+	InstanceSigmaLog float64
+	// SweetMemMB is the memory size beyond which bandwidth stops scaling
+	// (Fig. 6's sweet spot).
+	SweetMemMB int
+	// DefaultMemMB is the configuration the paper's evaluation uses.
+	DefaultMemMB int
+}
+
+// DefaultTraits returns the calibrated traits of a platform.
+func DefaultTraits(p cloud.Provider) Traits {
+	switch p {
+	case cloud.AWS:
+		return Traits{ExecFactor: 1.0, TemporalSigma: 0.08, InstanceSigmaLog: 0.15, SweetMemMB: 1024, DefaultMemMB: 1024}
+	case cloud.Azure:
+		return Traits{ExecFactor: 0.78, TemporalSigma: 0.22, InstanceSigmaLog: 0.35, SweetMemMB: 2048, DefaultMemMB: 2048}
+	case cloud.GCP:
+		return Traits{ExecFactor: 0.85, TemporalSigma: 0.18, InstanceSigmaLog: 0.30, SweetMemMB: 1024, DefaultMemMB: 1024}
+	}
+	return Traits{ExecFactor: 1, TemporalSigma: 0.1, InstanceSigmaLog: 0.2, SweetMemMB: 1024, DefaultMemMB: 1024}
+}
+
+// Net is the link bank. The zero value is not usable; create one with New.
+type Net struct {
+	// PeakMBps is the per-instance bandwidth of a zero-distance link.
+	PeakMBps float64
+	// IntraRegionMBps is the bandwidth between a function and object
+	// storage in its own region.
+	IntraRegionMBps float64
+	// HalfDistanceKm controls how bandwidth decays with distance: at this
+	// distance the base bandwidth halves.
+	HalfDistanceKm float64
+	// CrossCloudFactor penalizes legs that traverse two providers.
+	CrossCloudFactor float64
+	// VMFactor is how much faster a VM NIC is than one function instance.
+	VMFactor float64
+}
+
+// New returns a Net with the calibrated defaults.
+func New() *Net {
+	return &Net{
+		PeakMBps:         150,
+		IntraRegionMBps:  200,
+		HalfDistanceKm:   2500,
+		CrossCloudFactor: 0.82,
+		VMFactor:         8,
+	}
+}
+
+// quirk returns platform-pair asymmetries beyond the generic cross-cloud
+// penalty: measured oddities like GCP functions being slow toward Azure
+// endpoints (Fig. 8's per-platform spreads).
+func quirk(exec cloud.Provider, remote cloud.Provider) float64 {
+	switch {
+	case exec == cloud.GCP && remote == cloud.Azure:
+		return 0.70
+	case exec == cloud.Azure && remote == cloud.GCP:
+		return 0.75
+	case exec == cloud.Azure && remote == cloud.AWS:
+		return 0.92
+	default:
+		return 1.0
+	}
+}
+
+// baseMBps returns the distance-decayed base bandwidth of a leg.
+func (n *Net) baseMBps(from, to cloud.Region) float64 {
+	if from.ID() == to.ID() {
+		return n.IntraRegionMBps
+	}
+	d := cloud.DistanceKm(from, to)
+	bw := n.PeakMBps / (1 + d/n.HalfDistanceKm)
+	if from.Provider != to.Provider {
+		bw *= n.CrossCloudFactor
+	}
+	return math.Max(bw, 8)
+}
+
+// FuncLegMBps returns the throughput distribution of one transfer leg
+// (from→to) executed by a function on platform exec, for an instance with
+// multiplier 1 at the default configuration. The caller multiplies in the
+// instance multiplier and configuration scale.
+func (n *Net) FuncLegMBps(from, to cloud.Region, exec cloud.Provider) stats.Normal {
+	tr := DefaultTraits(exec)
+	remote := from.Provider
+	if remote == exec {
+		remote = to.Provider
+	}
+	mean := n.baseMBps(from, to) * tr.ExecFactor * quirk(exec, remote)
+	return stats.N(mean, mean*tr.TemporalSigma)
+}
+
+// VMLegMBps returns the throughput distribution of a VM-to-VM or VM-to-
+// storage leg (Skyplane's data plane).
+func (n *Net) VMLegMBps(from, to cloud.Region) stats.Normal {
+	mean := n.baseMBps(from, to) * n.VMFactor
+	return stats.N(mean, mean*0.10)
+}
+
+// InstanceMultiplier returns the per-instance lognormal bandwidth
+// multiplier distribution for functions on platform p. The draw is made
+// once per instance and persists for its lifetime.
+func (n *Net) InstanceMultiplier(p cloud.Provider) stats.LogNormal {
+	return stats.LogNormalFromMedian(1.0, DefaultTraits(p).InstanceSigmaLog)
+}
+
+// PathInstanceFactor returns a persistent per-instance bandwidth factor
+// for legs toward a remote provider. Cross-cloud legs traverse diverse
+// peering paths, so which path an instance's flows land on adds a second
+// source of instance-to-instance spread — the >2x differences of Fig. 9
+// were measured on the AWS→Azure path. The factor is deterministic per
+// (instance, remote) and close to 1 within one cloud.
+func PathInstanceFactor(instanceID string, exec, remote cloud.Provider) float64 {
+	sigma := 0.05
+	if exec != remote {
+		sigma = 0.25
+	}
+	rng := simrand.New("path-inst", instanceID, string(exec), string(remote))
+	return stats.LogNormalFromMedian(1, sigma).Sample(rng)
+}
+
+// ConfigScale returns the bandwidth factor of a function configured with
+// memMB of memory and vcpu virtual CPUs, relative to the platform's
+// default configuration. Bandwidth scales with memory up to the platform's
+// sweet spot and is flat beyond it (Fig. 6); on GCP a second vCPU helps
+// uploads slightly.
+func ConfigScale(p cloud.Provider, memMB int, vcpu float64) float64 {
+	tr := DefaultTraits(p)
+	if memMB <= 0 {
+		memMB = tr.DefaultMemMB
+	}
+	scale := func(mem int) float64 {
+		return math.Min(float64(mem), float64(tr.SweetMemMB)) / float64(tr.SweetMemMB)
+	}
+	s := scale(memMB) / scale(tr.DefaultMemMB)
+	if p == cloud.GCP && vcpu > 1 {
+		s *= math.Min(1.15, 1+0.15*(vcpu-1))
+	}
+	return s
+}
+
+// SetupTime returns the distribution of the client-ready overhead S of the
+// paper's model: the time for a function's cloud SDK clients to become
+// ready to move data on the (from→to) path. It grows with path RTT
+// (connection handshakes) and is noisier on cross-cloud paths.
+func (n *Net) SetupTime(from, to cloud.Region) stats.Normal {
+	rtt := cloud.RTT(from, to)
+	mean := 0.20 + 6*rtt
+	sigma := 0.05 + 2*rtt
+	if from.Provider != to.Provider {
+		mean += 0.08
+		sigma += 0.02
+	}
+	return stats.N(mean, sigma)
+}
+
+// TransferTime converts bytes at mbps (MiB/s) into a duration.
+func TransferTime(bytes int64, mbps float64) time.Duration {
+	if mbps <= 0.01 {
+		mbps = 0.01
+	}
+	return time.Duration(float64(bytes) / (mbps * MiB) * float64(time.Second))
+}

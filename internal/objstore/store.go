@@ -1,0 +1,577 @@
+// Package objstore simulates a cloud object storage service (S3, Blob
+// Storage, GCS): buckets of immutable objects with PUT/GET/range-GET/
+// DELETE, multipart upload, server-side copy and compose, optional
+// versioning, per-request latency and fees, and event notifications
+// delivered after a platform-dependent delay.
+//
+// The store models request round-trips only; wide-area data transfer time
+// is the caller's concern (see internal/netsim), mirroring how a real
+// client experiences the two separately.
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/pricing"
+	"repro/internal/simclock"
+	"repro/internal/simrand"
+	"repro/internal/stats"
+)
+
+// Errors returned by store operations.
+var (
+	ErrNoSuchBucket       = errors.New("objstore: no such bucket")
+	ErrNoSuchKey          = errors.New("objstore: no such key")
+	ErrNoSuchUpload       = errors.New("objstore: no such multipart upload")
+	ErrPreconditionFailed = errors.New("objstore: precondition failed")
+)
+
+// EventType distinguishes object notifications.
+type EventType string
+
+// Notification types emitted by the store.
+const (
+	EventPut    EventType = "put"
+	EventDelete EventType = "delete"
+)
+
+// Event is the JSON-like notification a cloud platform generates when an
+// object is created or deleted (§5.1 stage 1).
+type Event struct {
+	Type   EventType
+	Bucket string
+	Key    string
+	Size   int64
+	ETag   string
+	Seq    uint64    // monotonically increasing per store; orders versions
+	Time   time.Time // when the triggering operation completed
+	// Origin tags writes made by a replication system (the metadata real
+	// services attach as x-amz-replication-status and the like), so
+	// sibling rules can avoid re-replicating replica writes — the loop
+	// breaker for active-active topologies.
+	Origin string
+}
+
+// Meta is object metadata returned by Head.
+type Meta struct {
+	Key     string
+	Size    int64
+	ETag    string
+	Seq     uint64
+	Created time.Time
+}
+
+// Object is a stored object version.
+type Object struct {
+	Meta
+	Blob Blob
+}
+
+// PutResult reports the outcome of a write.
+type PutResult struct {
+	ETag string
+	Seq  uint64
+}
+
+type bucket struct {
+	name       string
+	versioning bool
+	objects    map[string]*Object
+	// noncurrent counts retained non-current versions and their bytes when
+	// versioning is enabled (for storage-cost estimates).
+	noncurrentCount int64
+	noncurrentBytes int64
+	subscribers     []func(Event)
+}
+
+// Store is one region's object storage service.
+type Store struct {
+	clock  *simclock.Clock
+	region cloud.Region
+	book   pricing.Book
+	meter  *pricing.Meter
+
+	putLatency  stats.Normal
+	getLatency  stats.Normal
+	copyLatency stats.Normal
+	notifyDelay stats.Normal
+
+	mu          sync.Mutex
+	rng         interface{ NormFloat64() float64 }
+	failRng     interface{ Float64() float64 }
+	failureRate float64
+	stats       Stats
+	buckets     map[string]*bucket
+	uploads     map[string]*multipart
+	seq         uint64
+}
+
+type multipart struct {
+	bucket string
+	key    string
+	origin string
+	parts  map[int]Blob
+}
+
+// New returns a Store for region, metering request fees to meter.
+// Notification delay defaults to the platform's calibrated value.
+func New(clock *simclock.Clock, region cloud.Region, meter *pricing.Meter) *Store {
+	nd := notifyDelayFor(region.Provider)
+	return &Store{
+		clock:       clock,
+		region:      region,
+		book:        pricing.BookFor(region.Provider),
+		meter:       meter,
+		putLatency:  stats.N(0.030, 0.010),
+		getLatency:  stats.N(0.020, 0.008),
+		copyLatency: stats.N(0.060, 0.020),
+		notifyDelay: nd,
+		rng:         simrand.New("objstore", string(region.ID())),
+		failRng:     simrand.New("objstore-fail", string(region.ID())),
+		buckets:     make(map[string]*bucket),
+		uploads:     make(map[string]*multipart),
+	}
+}
+
+// notifyDelayFor returns the calibrated notification delivery delay T_n.
+func notifyDelayFor(p cloud.Provider) stats.Normal {
+	switch p {
+	case cloud.AWS:
+		return stats.N(0.35, 0.10)
+	case cloud.Azure:
+		return stats.N(0.50, 0.15)
+	case cloud.GCP:
+		return stats.N(0.45, 0.12)
+	}
+	return stats.N(0.4, 0.1)
+}
+
+// NotifyDelay exposes the store's notification delay distribution (the
+// profiler and planner reason about it as T_n).
+func (s *Store) NotifyDelay() stats.Normal { return s.notifyDelay }
+
+// ErrUnavailable is the transient "503 Slow Down" class of failure
+// injected by SetFailureRate.
+var ErrUnavailable = errors.New("objstore: service unavailable (injected)")
+
+// SetFailureRate makes a fraction of subsequent requests fail with
+// ErrUnavailable after consuming their latency, for fault-tolerance
+// testing (§6: AReplica retries on transient faults because PUT is
+// idempotent).
+func (s *Store) SetFailureRate(rate float64) {
+	s.mu.Lock()
+	s.failureRate = rate
+	s.mu.Unlock()
+}
+
+// maybeFail decides one request's fate under the injected failure rate.
+func (s *Store) maybeFail() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failureRate > 0 && s.failRng.Float64() < s.failureRate {
+		s.stats.Failures++
+		return ErrUnavailable
+	}
+	return nil
+}
+
+// Stats reports request counters.
+type Stats struct {
+	Failures int64 // injected failures served
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Region returns the store's region.
+func (s *Store) Region() cloud.Region { return s.region }
+
+func (s *Store) sleep(d stats.Normal) {
+	s.mu.Lock()
+	v := d.Mu + d.Sigma*s.rng.NormFloat64()
+	s.mu.Unlock()
+	if v < 0.002 {
+		v = 0.002
+	}
+	s.clock.Sleep(simclock.Seconds(v))
+}
+
+// CreateBucket creates a bucket; versioning retains non-current versions.
+// Creating an existing bucket is an error.
+func (s *Store) CreateBucket(name string, versioning bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.buckets[name]; ok {
+		return fmt.Errorf("objstore: bucket %q already exists", name)
+	}
+	s.buckets[name] = &bucket{name: name, versioning: versioning, objects: make(map[string]*Object)}
+	return nil
+}
+
+// Subscribe registers fn to receive the bucket's object notifications.
+func (s *Store) Subscribe(bucketName string, fn func(Event)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return ErrNoSuchBucket
+	}
+	b.subscribers = append(b.subscribers, fn)
+	return nil
+}
+
+// emitLocked schedules delivery of ev to the bucket's subscribers after the
+// notification delay. Caller holds s.mu.
+func (s *Store) emitLocked(b *bucket, ev Event) {
+	var subs []func(Event)
+	subs = append(subs, b.subscribers...)
+	if len(subs) == 0 {
+		return
+	}
+	delay := s.notifyDelay.Mu + s.notifyDelay.Sigma*s.rng.NormFloat64()
+	if delay < 0.05 {
+		delay = 0.05
+	}
+	s.clock.Delay(simclock.Seconds(delay), func() {
+		for _, fn := range subs {
+			fn(ev)
+		}
+	})
+}
+
+// storeLocked installs blob as the new current version of key.
+func (s *Store) storeLocked(b *bucket, key string, blob Blob) PutResult {
+	return s.storeOriginLocked(b, key, blob, "")
+}
+
+// storeOriginLocked is storeLocked with an origin tag on the notification.
+func (s *Store) storeOriginLocked(b *bucket, key string, blob Blob, origin string) PutResult {
+	s.seq++
+	if old, ok := b.objects[key]; ok && b.versioning {
+		b.noncurrentCount++
+		b.noncurrentBytes += old.Size
+	}
+	obj := &Object{
+		Meta: Meta{Key: key, Size: blob.Size, ETag: blob.ETag(), Seq: s.seq, Created: s.clock.Now()},
+		Blob: blob,
+	}
+	b.objects[key] = obj
+	s.emitLocked(b, Event{Type: EventPut, Bucket: b.name, Key: key, Size: blob.Size,
+		ETag: obj.ETag, Seq: obj.Seq, Time: obj.Created, Origin: origin})
+	return PutResult{ETag: obj.ETag, Seq: obj.Seq}
+}
+
+// Put writes blob as the new version of key.
+func (s *Store) Put(bucketName, key string, blob Blob) (PutResult, error) {
+	return s.PutWithOrigin(bucketName, key, blob, "")
+}
+
+// PutWithOrigin is Put with an origin tag on the resulting notification;
+// replication engines use it so their own writes are distinguishable from
+// application writes.
+func (s *Store) PutWithOrigin(bucketName, key string, blob Blob, origin string) (PutResult, error) {
+	s.sleep(s.putLatency)
+	s.meter.Add("obj:put", s.book.ObjPut)
+	if err := s.maybeFail(); err != nil {
+		return PutResult{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return PutResult{}, ErrNoSuchBucket
+	}
+	return s.storeOriginLocked(b, key, blob, origin), nil
+}
+
+// Get returns the current version of key.
+func (s *Store) Get(bucketName, key string) (Object, error) {
+	s.sleep(s.getLatency)
+	s.meter.Add("obj:get", s.book.ObjGet)
+	if err := s.maybeFail(); err != nil {
+		return Object{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return Object{}, ErrNoSuchBucket
+	}
+	obj, ok := b.objects[key]
+	if !ok {
+		return Object{}, ErrNoSuchKey
+	}
+	return *obj, nil
+}
+
+// Head returns the current metadata of key (same fee class as GET).
+func (s *Store) Head(bucketName, key string) (Meta, error) {
+	obj, err := s.Get(bucketName, key)
+	return obj.Meta, err
+}
+
+// GetRange returns the slice [off, off+n) of the current version along
+// with the full object's ETag, mirroring a ranged GET with its response
+// headers.
+func (s *Store) GetRange(bucketName, key string, off, n int64) (Blob, string, error) {
+	obj, err := s.Get(bucketName, key)
+	if err != nil {
+		return Blob{}, "", err
+	}
+	if off < 0 || off+n > obj.Size {
+		return Blob{}, "", fmt.Errorf("objstore: range [%d,%d) outside object of size %d", off, off+n, obj.Size)
+	}
+	return obj.Blob.Slice(off, n), obj.ETag, nil
+}
+
+// Delete removes key's current version. Deleting a missing key succeeds,
+// as in S3.
+func (s *Store) Delete(bucketName, key string) error {
+	return s.DeleteWithOrigin(bucketName, key, "")
+}
+
+// DeleteWithOrigin is Delete with an origin tag on the notification.
+func (s *Store) DeleteWithOrigin(bucketName, key string, origin string) error {
+	s.sleep(s.putLatency)
+	s.meter.Add("obj:put", s.book.ObjPut)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return ErrNoSuchBucket
+	}
+	obj, existed := b.objects[key]
+	if existed {
+		if b.versioning {
+			b.noncurrentCount++
+			b.noncurrentBytes += obj.Size
+		}
+		delete(b.objects, key)
+		s.seq++
+		s.emitLocked(b, Event{Type: EventDelete, Bucket: b.name, Key: key, Seq: s.seq,
+			Time: s.clock.Now(), Origin: origin})
+	}
+	return nil
+}
+
+// Copy performs an intra-region server-side copy. If ifMatch is non-empty
+// the copy only proceeds when the source's current ETag matches.
+func (s *Store) Copy(srcBucket, srcKey, dstBucket, dstKey, ifMatch string) (PutResult, error) {
+	return s.CopyWithOrigin(srcBucket, srcKey, dstBucket, dstKey, ifMatch, "")
+}
+
+// CopyWithOrigin is Copy with an origin tag on the notification.
+func (s *Store) CopyWithOrigin(srcBucket, srcKey, dstBucket, dstKey, ifMatch, origin string) (PutResult, error) {
+	s.sleep(s.copyLatency)
+	s.meter.Add("obj:put", s.book.ObjPut)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sb, ok := s.buckets[srcBucket]
+	if !ok {
+		return PutResult{}, ErrNoSuchBucket
+	}
+	db, ok := s.buckets[dstBucket]
+	if !ok {
+		return PutResult{}, ErrNoSuchBucket
+	}
+	obj, ok := sb.objects[srcKey]
+	if !ok {
+		return PutResult{}, ErrNoSuchKey
+	}
+	if ifMatch != "" && obj.ETag != ifMatch {
+		return PutResult{}, ErrPreconditionFailed
+	}
+	return s.storeOriginLocked(db, dstKey, obj.Blob, origin), nil
+}
+
+// Compose concatenates the current versions of srcKeys into dstKey
+// server-side (GCS compose / S3 multipart-copy idiom). srcETags, when
+// non-nil, are per-source preconditions.
+func (s *Store) Compose(bucketName, dstKey string, srcKeys []string, srcETags []string) (PutResult, error) {
+	return s.ComposeWithOrigin(bucketName, dstKey, srcKeys, srcETags, "")
+}
+
+// ComposeWithOrigin is Compose with an origin tag on the notification.
+func (s *Store) ComposeWithOrigin(bucketName, dstKey string, srcKeys []string, srcETags []string, origin string) (PutResult, error) {
+	s.sleep(s.copyLatency)
+	s.meter.Add("obj:put", s.book.ObjPut)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return PutResult{}, ErrNoSuchBucket
+	}
+	parts := make([]Blob, 0, len(srcKeys))
+	for i, k := range srcKeys {
+		obj, ok := b.objects[k]
+		if !ok {
+			return PutResult{}, fmt.Errorf("%w: %s", ErrNoSuchKey, k)
+		}
+		if srcETags != nil && srcETags[i] != "" && obj.ETag != srcETags[i] {
+			return PutResult{}, ErrPreconditionFailed
+		}
+		parts = append(parts, obj.Blob)
+	}
+	return s.storeOriginLocked(b, dstKey, ConcatBlobs(parts...), origin), nil
+}
+
+// CreateMultipart starts a multipart upload for key and returns its id.
+func (s *Store) CreateMultipart(bucketName, key string) (string, error) {
+	return s.CreateMultipartWithOrigin(bucketName, key, "")
+}
+
+// CreateMultipartWithOrigin is CreateMultipart with an origin tag carried
+// through to the completion notification.
+func (s *Store) CreateMultipartWithOrigin(bucketName, key, origin string) (string, error) {
+	s.sleep(s.putLatency)
+	s.meter.Add("obj:put", s.book.ObjPut)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.buckets[bucketName]; !ok {
+		return "", ErrNoSuchBucket
+	}
+	s.seq++
+	id := fmt.Sprintf("mpu-%d", s.seq)
+	s.uploads[id] = &multipart{bucket: bucketName, key: key, origin: origin, parts: make(map[int]Blob)}
+	return id, nil
+}
+
+// UploadPart stores one part of a multipart upload. Parts may arrive in
+// any order and re-uploading a part number overwrites it.
+func (s *Store) UploadPart(uploadID string, partNum int, blob Blob) (string, error) {
+	s.sleep(s.putLatency)
+	s.meter.Add("obj:put", s.book.ObjPut)
+	if err := s.maybeFail(); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	up, ok := s.uploads[uploadID]
+	if !ok {
+		return "", ErrNoSuchUpload
+	}
+	up.parts[partNum] = blob
+	return blob.ETag(), nil
+}
+
+// CompleteMultipart assembles the uploaded parts in part-number order into
+// the target object and finishes the upload.
+func (s *Store) CompleteMultipart(uploadID string) (PutResult, error) {
+	s.sleep(s.putLatency)
+	s.meter.Add("obj:put", s.book.ObjPut)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	up, ok := s.uploads[uploadID]
+	if !ok {
+		return PutResult{}, ErrNoSuchUpload
+	}
+	nums := make([]int, 0, len(up.parts))
+	for n := range up.parts {
+		nums = append(nums, n)
+	}
+	sort.Ints(nums)
+	parts := make([]Blob, len(nums))
+	for i, n := range nums {
+		parts[i] = up.parts[n]
+	}
+	b := s.buckets[up.bucket]
+	delete(s.uploads, uploadID)
+	return s.storeOriginLocked(b, up.key, ConcatBlobs(parts...), up.origin), nil
+}
+
+// AbortMultipart discards an in-progress upload.
+func (s *Store) AbortMultipart(uploadID string) {
+	s.sleep(s.putLatency)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.uploads, uploadID)
+}
+
+// Usage reports a bucket's current and non-current storage footprint.
+type Usage struct {
+	Objects         int64
+	Bytes           int64
+	NoncurrentCount int64
+	NoncurrentBytes int64
+}
+
+// BucketUsage returns storage statistics for a bucket (no request latency;
+// an accounting helper).
+func (s *Store) BucketUsage(bucketName string) (Usage, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return Usage{}, ErrNoSuchBucket
+	}
+	u := Usage{NoncurrentCount: b.noncurrentCount, NoncurrentBytes: b.noncurrentBytes}
+	for _, o := range b.objects {
+		u.Objects++
+		u.Bytes += o.Size
+	}
+	return u, nil
+}
+
+// List returns the current metadata of every object in a bucket, sorted
+// by key. Priced as one GET-class request per 1000 keys (LIST pagination).
+func (s *Store) List(bucketName string) ([]Meta, error) {
+	s.sleep(s.getLatency)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return nil, ErrNoSuchBucket
+	}
+	pages := (len(b.objects) + 999) / 1000
+	if pages == 0 {
+		pages = 1
+	}
+	s.meter.Add("obj:get", float64(pages)*s.book.ObjGet)
+	out := make([]Meta, 0, len(b.objects))
+	for _, o := range b.objects {
+		out = append(out, o.Meta)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// TotalUsage sums storage across all buckets (accounting helper).
+func (s *Store) TotalUsage() Usage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var u Usage
+	for _, b := range s.buckets {
+		u.NoncurrentCount += b.noncurrentCount
+		u.NoncurrentBytes += b.noncurrentBytes
+		for _, o := range b.objects {
+			u.Objects++
+			u.Bytes += o.Size
+		}
+	}
+	return u
+}
+
+// Keys returns the bucket's current keys, sorted (test helper; no latency).
+func (s *Store) Keys(bucketName string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return nil
+	}
+	keys := make([]string, 0, len(b.objects))
+	for k := range b.objects {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

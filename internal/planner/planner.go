@@ -1,0 +1,169 @@
+// Package planner implements AReplica's dynamic replication strategy
+// planning (§5.3, Algorithm 3). Given an object and the SLO time remaining
+// after notification delivery, the planner sweeps parallelism levels
+// exponentially and, at each level, compares executing at the source
+// region against the destination region. The first SLO-compliant plan is
+// returned immediately — the sweep order makes it the cheapest compliant
+// plan — and if none complies, the fastest plan found is returned.
+package planner
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/model"
+	"repro/internal/pricing"
+)
+
+// Plan is a chosen replication strategy.
+type Plan struct {
+	N     int            // number of replicator functions
+	Loc   cloud.RegionID // execution region (source or destination)
+	Local bool           // orchestrator replicates inline (N==1 at source)
+
+	// EstSeconds is the predicted replication time at the requested
+	// percentile; EstMean and EstStd are the prediction's moments
+	// (consumed by the runtime logger); Compliant reports whether the
+	// plan met the SLO budget.
+	EstSeconds float64
+	EstMean    float64
+	EstStd     float64
+	// EstCostUSD is a rough per-object cost estimate (egress + compute +
+	// invocations + part-pool operations).
+	EstCostUSD float64
+	Compliant  bool
+}
+
+// String implements fmt.Stringer.
+func (p Plan) String() string {
+	side := "remote"
+	if p.Local {
+		side = "local"
+	}
+	return fmt.Sprintf("plan{n=%d loc=%s %s est=%.2fs compliant=%v}", p.N, p.Loc, side, p.EstSeconds, p.Compliant)
+}
+
+// Planner generates SLO-compliant replication plans from a fitted model.
+type Planner struct {
+	M *model.Model
+
+	// MaxParallel caps the parallelism sweep (n_max in Algorithm 3).
+	MaxParallel int
+	// LocalMaxBytes is the largest object the orchestrator replicates
+	// inline instead of invoking a replicator function.
+	LocalMaxBytes int64
+	// Relays are optional intermediate execution regions (the serverless
+	// overlay extension of §6): a function at a relay runs two shorter
+	// legs, which can beat the direct long leg on trans-continental paths
+	// at the cost of a second egress charge. Relays join the sweep after
+	// the source and destination sides.
+	Relays []cloud.RegionID
+}
+
+// New returns a Planner with the paper's defaults.
+func New(m *model.Model) *Planner {
+	return &Planner{M: m, MaxParallel: 512, LocalMaxBytes: 32 << 20}
+}
+
+// Plan chooses a strategy for replicating size bytes from src to dst.
+// sloRemaining is SLO − (now − object timestamp); a non-positive value
+// requests the fastest plan. pct is the user-chosen percentile (e.g. 0.99)
+// at which the model's prediction must fit the budget.
+func (pl *Planner) Plan(src, dst cloud.RegionID, size int64, sloRemaining time.Duration, pct float64) (Plan, error) {
+	if pct <= 0 || pct >= 1 {
+		pct = 0.99
+	}
+	budget := sloRemaining.Seconds()
+
+	best := Plan{EstSeconds: -1}
+	var firstErr error
+	evaluate := func(n int, loc cloud.RegionID) (Plan, bool) {
+		local := n == 1 && loc == src && size <= pl.LocalMaxBytes
+		d, err := pl.M.ReplTime(src, dst, loc, size, n, local)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return Plan{}, false
+		}
+		est := d.Quantile(pct)
+		cand := Plan{N: n, Loc: loc, Local: local,
+			EstSeconds: est, EstMean: d.Mean(), EstStd: d.Std(),
+			EstCostUSD: pl.EstimateCostUSD(src, dst, loc, size, n, d.Mean()),
+		}
+		if best.EstSeconds < 0 || est < best.EstSeconds {
+			best = cand
+		}
+		return cand, true
+	}
+
+	// A single function must finish within its platform's execution limit;
+	// beyond ~1 chunk/s that bounds the object size a single function may
+	// take. The sweep naturally escalates parallelism for large objects.
+	for n := 1; n <= pl.MaxParallel; n *= 2 {
+		// Algorithm 3 compares the two execution sides at each level and
+		// checks compliance on the level's fastest before escalating.
+		levelBest := Plan{EstSeconds: -1}
+		for _, loc := range []cloud.RegionID{src, dst} {
+			if n == 1 && loc == dst && src == dst {
+				continue // same-region rule: the two candidates coincide
+			}
+			if cand, ok := evaluate(n, loc); ok {
+				if levelBest.EstSeconds < 0 || cand.EstSeconds < levelBest.EstSeconds {
+					levelBest = cand
+				}
+			}
+		}
+		if budget > 0 && levelBest.EstSeconds >= 0 && levelBest.EstSeconds <= budget {
+			levelBest.Compliant = true
+			return levelBest, nil
+		}
+		// Overlay relays (§6 extension) cost a second egress hop, so they
+		// are only considered when neither direct side can comply at this
+		// parallelism; among compliant relays the cheapest wins.
+		relayBest := Plan{EstSeconds: -1}
+		for _, loc := range pl.Relays {
+			cand, ok := evaluate(n, loc)
+			if !ok || cand.EstSeconds > budget || budget <= 0 {
+				continue
+			}
+			if relayBest.EstSeconds < 0 || cand.EstCostUSD < relayBest.EstCostUSD {
+				relayBest = cand
+			}
+		}
+		if relayBest.EstSeconds >= 0 {
+			relayBest.Compliant = true
+			return relayBest, nil
+		}
+	}
+	if best.EstSeconds < 0 {
+		return Plan{}, fmt.Errorf("planner: no usable plan for %s->%s: %w", src, dst, firstErr)
+	}
+	return best, nil
+}
+
+// EstimateCostUSD roughly prices a candidate plan: wide-area egress for
+// each cross-region hop, invocation fees, function compute for the
+// estimated duration, and the part pool's two KV operations per chunk.
+// Algorithm 3 never needs exact costs — the sweep order already encodes
+// "cheaper first" — but relays break that ordering, and reports want a
+// number.
+func (pl *Planner) EstimateCostUSD(src, dst, loc cloud.RegionID, size int64, n int, estSeconds float64) float64 {
+	srcR := cloud.MustLookup(src)
+	dstR := cloud.MustLookup(dst)
+	locR := cloud.MustLookup(loc)
+	cost := pricing.EgressCost(srcR, locR, size) + pricing.EgressCost(locR, dstR, size)
+	book := pricing.BookFor(locR.Provider)
+	memGB := 1.0
+	if locR.Provider == cloud.Azure {
+		memGB = 2.0
+	}
+	cost += float64(n) * book.FnInvocation
+	cost += float64(n) * book.FnGBSecond * memGB * estSeconds
+	if n > 1 {
+		chunks := float64(pl.M.Chunks(size))
+		cost += 2 * chunks * book.KVWrite
+	}
+	return cost
+}

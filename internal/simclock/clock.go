@@ -1,0 +1,207 @@
+// Package simclock provides a deterministic virtual clock for
+// discrete-event simulation of distributed systems.
+//
+// The clock tracks a set of goroutines ("actors"). Virtual time advances
+// only when every tracked actor is blocked in Sleep or Event.Wait; at that
+// moment the clock jumps to the earliest pending timer and wakes the actors
+// scheduled there. Hours of simulated activity therefore execute in
+// milliseconds of wall time, and timing behaviour is independent of host
+// load.
+//
+// Rules for actors:
+//
+//   - Spawn concurrent simulated work with Clock.Go (never the go statement),
+//     so the clock can account for runnable actors.
+//   - Block only via Clock.Sleep, Event.Wait, or Group.Wait. Short critical
+//     sections guarded by sync.Mutex are fine: the holder remains runnable.
+//   - The goroutine that calls New is itself tracked and may drive the
+//     simulation directly.
+//
+// If every tracked actor is blocked on an Event that can no longer be
+// triggered, the clock panics with a deadlock report rather than hanging.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a virtual clock. Create one with New.
+type Clock struct {
+	mu      sync.Mutex
+	now     time.Time
+	active  int // tracked goroutines that are currently runnable
+	blocked int // tracked goroutines blocked on events (not timers)
+	timers  timerHeap
+	seq     uint64
+	idlers  []chan struct{} // Quiesce waiters
+	stats   Stats
+}
+
+// Stats reports counters about clock activity, useful in tests.
+type Stats struct {
+	Sleeps   uint64 // number of Sleep calls with positive duration
+	Advances uint64 // number of times virtual time moved forward
+	Spawned  uint64 // number of goroutines started via Go
+}
+
+// New returns a virtual clock whose time starts at start. The calling
+// goroutine is tracked as the first actor.
+func New(start time.Time) *Clock {
+	return &Clock{now: start, active: 1}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Since returns the virtual time elapsed since t.
+func (c *Clock) Since(t time.Time) time.Duration {
+	return c.Now().Sub(t)
+}
+
+// Stats returns a snapshot of the clock's activity counters.
+func (c *Clock) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Sleep blocks the calling actor for d of virtual time. A non-positive d
+// returns immediately without yielding.
+func (c *Clock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	ch := make(chan struct{})
+	c.mu.Lock()
+	c.stats.Sleeps++
+	c.seq++
+	heap.Push(&c.timers, &timer{at: c.now.Add(d), seq: c.seq, ch: ch})
+	c.blockLocked()
+	c.mu.Unlock()
+	<-ch
+}
+
+// Go starts fn as a tracked actor. fn may freely call Sleep and wait on
+// events; the actor is untracked automatically when fn returns.
+func (c *Clock) Go(fn func()) {
+	c.mu.Lock()
+	c.active++
+	c.stats.Spawned++
+	c.mu.Unlock()
+	go func() {
+		defer c.exit()
+		fn()
+	}()
+}
+
+// Delay runs fn as a tracked actor after d of virtual time.
+func (c *Clock) Delay(d time.Duration, fn func()) {
+	c.Go(func() {
+		c.Sleep(d)
+		fn()
+	})
+}
+
+// Quiesce blocks the calling actor until every other tracked actor has
+// finished and no timers remain; virtual time advances as needed. It is the
+// usual way for a test or driver to run the simulation to completion.
+func (c *Clock) Quiesce() {
+	c.mu.Lock()
+	if c.active == 1 && c.timers.Len() == 0 && c.blocked == 0 {
+		c.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	c.idlers = append(c.idlers, ch)
+	c.blockLocked()
+	c.mu.Unlock()
+	<-ch
+}
+
+func (c *Clock) exit() {
+	c.mu.Lock()
+	c.active--
+	if c.active == 0 {
+		c.advanceLocked()
+	}
+	c.mu.Unlock()
+}
+
+// blockLocked marks the caller as no longer runnable and, if it was the
+// last runnable actor, advances virtual time. The caller must hold c.mu and
+// must block on its wake channel after releasing it.
+func (c *Clock) blockLocked() {
+	c.active--
+	if c.active == 0 {
+		c.advanceLocked()
+	}
+}
+
+// unblockLocked marks one actor runnable again (used by Event.Trigger).
+func (c *Clock) unblockLocked() {
+	c.active++
+}
+
+// advanceLocked is called with zero runnable actors. It advances time to
+// the next timer, or wakes Quiesce waiters when the simulation is fully
+// drained, or panics on deadlock.
+func (c *Clock) advanceLocked() {
+	if c.timers.Len() > 0 {
+		c.stats.Advances++
+		c.now = c.timers[0].at
+		for c.timers.Len() > 0 && !c.timers[0].at.After(c.now) {
+			t := heap.Pop(&c.timers).(*timer)
+			c.active++
+			close(t.ch)
+		}
+		return
+	}
+	if c.blocked > 0 && len(c.idlers) == 0 {
+		panic(fmt.Sprintf("simclock: deadlock at %s: %d actor(s) blocked on events with no pending timers",
+			c.now.Format(time.RFC3339), c.blocked))
+	}
+	if len(c.idlers) > 0 {
+		// Fully drained (aside from event waiters that can only be woken by
+		// the idlers themselves): resume the Quiesce callers.
+		for _, ch := range c.idlers {
+			c.active++
+			close(ch)
+		}
+		c.idlers = nil
+	}
+}
+
+type timer struct {
+	at  time.Time
+	seq uint64
+	ch  chan struct{}
+}
+
+// timerHeap orders timers by wake time, breaking ties by creation order so
+// wake-ups are deterministic.
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,14 @@
+package simclock
+
+import "time"
+
+// Seconds converts a floating-point number of seconds into a Duration,
+// clamping negative values to zero. Simulated latencies are drawn from
+// continuous distributions, so this conversion appears throughout the
+// simulator.
+func Seconds(s float64) time.Duration {
+	if s <= 0 {
+		return 0
+	}
+	return time.Duration(s * float64(time.Second))
+}

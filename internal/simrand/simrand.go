@@ -1,0 +1,33 @@
+// Package simrand derives deterministic math/rand sources from string
+// labels. Every simulated entity (function instance, link, trace stream)
+// seeds its own generator from its identity, so random draws are stable
+// regardless of goroutine interleaving — a prerequisite for reproducible
+// experiments on the virtual clock.
+package simrand
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+)
+
+// Seed hashes the labels into a 64-bit seed with FNV-1a.
+func Seed(labels ...string) int64 {
+	h := fnv.New64a()
+	for _, l := range labels {
+		h.Write([]byte(l))
+		h.Write([]byte{0})
+	}
+	return int64(h.Sum64())
+}
+
+// New returns a rand.Rand seeded from the labels.
+func New(labels ...string) *rand.Rand {
+	return rand.New(rand.NewSource(Seed(labels...)))
+}
+
+// NewIndexed returns a rand.Rand seeded from the labels plus an integer
+// index, convenient for per-instance or per-round generators.
+func NewIndexed(i int, labels ...string) *rand.Rand {
+	return New(append(labels, strconv.Itoa(i))...)
+}

@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LogNormal is the distribution of exp(N(MuLog, SigmaLog)). The simulator
+// uses it for per-instance bandwidth multipliers, which are strictly
+// positive and right-skewed (a few instances are much slower than the
+// median, per Figure 9 of the paper).
+type LogNormal struct {
+	MuLog    float64
+	SigmaLog float64
+}
+
+// LogNormalFromMedian returns a LogNormal with the given median and
+// sigma of the underlying normal.
+func LogNormalFromMedian(median, sigmaLog float64) LogNormal {
+	return LogNormal{MuLog: math.Log(median), SigmaLog: sigmaLog}
+}
+
+// Mean returns exp(mu + sigma^2/2).
+func (l LogNormal) Mean() float64 {
+	return math.Exp(l.MuLog + l.SigmaLog*l.SigmaLog/2)
+}
+
+// Std returns the standard deviation.
+func (l LogNormal) Std() float64 {
+	s2 := l.SigmaLog * l.SigmaLog
+	return math.Sqrt((math.Exp(s2) - 1)) * l.Mean()
+}
+
+// Median returns exp(mu).
+func (l LogNormal) Median() float64 { return math.Exp(l.MuLog) }
+
+// Quantile returns the p-quantile.
+func (l LogNormal) Quantile(p float64) float64 {
+	return math.Exp(Normal{Mu: l.MuLog, Sigma: l.SigmaLog}.Quantile(p))
+}
+
+// Sample draws one value.
+func (l LogNormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(l.MuLog + l.SigmaLog*rng.NormFloat64())
+}

@@ -1,0 +1,164 @@
+// Package vmsim simulates VM provisioning for the Skyplane baseline: slow
+// instance provisioning (~31 s), container deployment on top (~26 s),
+// hourly billing with a minimum billable duration, and optional keep-alive
+// so an idle VM can serve later transfers without re-provisioning
+// (Figure 5's 5 min / 1 min / 20 s shutdown policies).
+package vmsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/pricing"
+	"repro/internal/simclock"
+	"repro/internal/simrand"
+	"repro/internal/stats"
+)
+
+// VM is one provisioned virtual machine.
+type VM struct {
+	ID        string
+	Region    cloud.Region
+	StartedAt time.Time
+
+	idleSince time.Time
+	idleGen   int // invalidates pending reapers when the VM is reused
+	dead      bool
+}
+
+// Stats counts manager activity.
+type Stats struct {
+	Provisioned int64
+	Reused      int64
+	Terminated  int64
+}
+
+// Manager provisions and pools VMs in one region.
+type Manager struct {
+	clock  *simclock.Clock
+	region cloud.Region
+	meter  *pricing.Meter
+
+	// ProvisionTime and ContainerTime are the startup phases of Figure 4.
+	ProvisionTime stats.Normal
+	ContainerTime stats.Normal
+	// IdleTimeout is how long a released VM stays warm before automatic
+	// shutdown. Zero terminates immediately on release.
+	IdleTimeout time.Duration
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	idle  []*VM
+	next  int
+	stats Stats
+}
+
+// New returns a Manager for region with the calibrated startup times.
+func New(clock *simclock.Clock, region cloud.Region, meter *pricing.Meter, idleTimeout time.Duration) *Manager {
+	return &Manager{
+		clock:         clock,
+		region:        region,
+		meter:         meter,
+		ProvisionTime: stats.N(31.0, 4.0),
+		ContainerTime: stats.N(26.0, 3.0),
+		IdleTimeout:   idleTimeout,
+		rng:           simrand.New("vmsim", string(region.ID())),
+	}
+}
+
+// Stats returns a snapshot of activity counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Acquire returns a ready VM, reusing an idle one when available or
+// provisioning a new one (the caller blocks through provisioning and
+// container startup). provisioned reports whether a fresh VM was created.
+func (m *Manager) Acquire() (vm *VM, provisioned bool) {
+	m.mu.Lock()
+	if n := len(m.idle); n > 0 {
+		vm = m.idle[n-1]
+		m.idle = m.idle[:n-1]
+		vm.idleGen++
+		m.stats.Reused++
+		m.mu.Unlock()
+		return vm, false
+	}
+	m.next++
+	m.stats.Provisioned++
+	id := fmt.Sprintf("%s/vm-%d", m.region.ID(), m.next)
+	prov := m.ProvisionTime.Sample(m.rng)
+	cont := m.ContainerTime.Sample(m.rng)
+	m.mu.Unlock()
+	if prov < 5 {
+		prov = 5
+	}
+	if cont < 3 {
+		cont = 3
+	}
+	m.clock.Sleep(simclock.Seconds(prov + cont))
+	return &VM{ID: id, Region: m.region, StartedAt: m.clock.Now().Add(-simclock.Seconds(prov + cont))}, true
+}
+
+// Release returns the VM to the manager. With a zero IdleTimeout it is
+// terminated immediately; otherwise a reaper shuts it down if it is still
+// idle after the timeout.
+func (m *Manager) Release(vm *VM) {
+	if m.IdleTimeout <= 0 {
+		m.terminate(vm)
+		return
+	}
+	m.mu.Lock()
+	vm.idleSince = m.clock.Now()
+	vm.idleGen++
+	gen := vm.idleGen
+	m.idle = append(m.idle, vm)
+	m.mu.Unlock()
+	m.clock.Delay(m.IdleTimeout, func() {
+		m.mu.Lock()
+		if vm.dead || vm.idleGen != gen {
+			m.mu.Unlock()
+			return
+		}
+		// Still idle since the release that armed this reaper: remove from
+		// the pool and terminate.
+		for i, w := range m.idle {
+			if w == vm {
+				m.idle = append(m.idle[:i], m.idle[i+1:]...)
+				break
+			}
+		}
+		m.mu.Unlock()
+		m.terminate(vm)
+	})
+}
+
+// terminate bills the VM's uptime and marks it dead.
+func (m *Manager) terminate(vm *VM) {
+	m.mu.Lock()
+	if vm.dead {
+		m.mu.Unlock()
+		return
+	}
+	vm.dead = true
+	m.stats.Terminated++
+	m.mu.Unlock()
+	uptime := m.clock.Now().Sub(vm.StartedAt)
+	m.meter.Add("vm:compute", pricing.VMCost(m.region.Provider, uptime))
+}
+
+// TerminateAll shuts down every idle VM immediately (end of experiment).
+func (m *Manager) TerminateAll() {
+	m.mu.Lock()
+	vms := m.idle
+	m.idle = nil
+	m.mu.Unlock()
+	for _, vm := range vms {
+		m.terminate(vm)
+	}
+}

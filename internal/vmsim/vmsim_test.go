@@ -1,0 +1,142 @@
+package vmsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/pricing"
+	"repro/internal/simclock"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func newManager(idle time.Duration) (*simclock.Clock, *Manager, *pricing.Meter) {
+	clk := simclock.New(epoch)
+	meter := pricing.NewMeter()
+	return clk, New(clk, cloud.MustLookup("aws:us-east-1"), meter, idle), meter
+}
+
+func TestProvisioningTakesTensOfSeconds(t *testing.T) {
+	clk, m, _ := newManager(0)
+	start := clk.Now()
+	vm, provisioned := m.Acquire()
+	if !provisioned {
+		t.Fatal("first acquire should provision")
+	}
+	elapsed := clk.Since(start)
+	// ~31 s provisioning + ~26 s container startup (Figure 4).
+	if elapsed < 30*time.Second || elapsed > 2*time.Minute {
+		t.Fatalf("provisioning took %v, want ~57s", elapsed)
+	}
+	m.Release(vm)
+	clk.Quiesce()
+}
+
+func TestImmediateTerminationBillsMinimum(t *testing.T) {
+	clk, m, meter := newManager(0)
+	vm, _ := m.Acquire()
+	m.Release(vm) // terminates immediately
+	clk.Quiesce()
+	got := meter.Item("vm:compute")
+	uptime := clk.Now().Sub(vm.StartedAt)
+	want := pricing.VMCost(cloud.AWS, uptime)
+	if got != want {
+		t.Fatalf("billed %v, want %v", got, want)
+	}
+	if got <= 0 {
+		t.Fatal("vm cost must be positive")
+	}
+}
+
+func TestKeepAliveReuse(t *testing.T) {
+	clk, m, _ := newManager(5 * time.Minute)
+	vm, _ := m.Acquire()
+	m.Release(vm)
+	clk.Sleep(time.Minute) // within keep-alive window
+	start := clk.Now()
+	vm2, provisioned := m.Acquire()
+	if provisioned || vm2 != vm {
+		t.Fatal("should reuse the warm VM")
+	}
+	if clk.Since(start) > time.Second {
+		t.Fatal("warm acquire should be immediate")
+	}
+	m.Release(vm2)
+	clk.Quiesce()
+	st := m.Stats()
+	if st.Provisioned != 1 || st.Reused != 1 || st.Terminated != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIdleReaperShutsDownAfterTimeout(t *testing.T) {
+	clk, m, meter := newManager(20 * time.Second)
+	vm, _ := m.Acquire()
+	m.Release(vm)
+	clk.Quiesce() // reaper fires at +20 s idle
+	if st := m.Stats(); st.Terminated != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if meter.Item("vm:compute") <= 0 {
+		t.Fatal("terminated VM should be billed")
+	}
+	// After expiry a new acquire must provision again.
+	if _, provisioned := m.Acquire(); !provisioned {
+		t.Fatal("expired VM should not be reusable")
+	}
+}
+
+func TestReaperCancelledByReuse(t *testing.T) {
+	clk, m, _ := newManager(30 * time.Second)
+	vm, _ := m.Acquire()
+	m.Release(vm)
+	clk.Sleep(10 * time.Second)
+	vm2, provisioned := m.Acquire() // reuse before the reaper fires
+	if provisioned {
+		t.Fatal("expected reuse")
+	}
+	clk.Sleep(time.Minute) // original reaper deadline passes while busy
+	if vm2.dead {
+		t.Fatal("reaper killed a busy VM")
+	}
+	m.Release(vm2)
+	clk.Quiesce()
+	if st := m.Stats(); st.Terminated != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLongerUptimeCostsMore(t *testing.T) {
+	clk, m, meter := newManager(0)
+	vm, _ := m.Acquire()
+	clk.Sleep(10 * time.Minute) // long task
+	m.Release(vm)
+	clk.Quiesce()
+	long := meter.Item("vm:compute")
+
+	clk2, m2, meter2 := newManager(0)
+	vm2, _ := m2.Acquire()
+	m2.Release(vm2)
+	clk2.Quiesce()
+	short := meter2.Item("vm:compute")
+	if long <= short {
+		t.Fatalf("10-minute VM (%v) should cost more than instant release (%v)", long, short)
+	}
+}
+
+func TestTerminateAll(t *testing.T) {
+	clk, m, _ := newManager(time.Hour)
+	a, _ := m.Acquire()
+	m.Release(a)
+	m.TerminateAll()
+	if st := m.Stats(); st.Terminated != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Double termination must not double-bill.
+	m.TerminateAll()
+	if st := m.Stats(); st.Terminated != 1 {
+		t.Fatalf("stats after second TerminateAll = %+v", st)
+	}
+	clk.Quiesce()
+}

@@ -1,0 +1,56 @@
+// Package workflow simulates the cloud-managed serverless workflow
+// services AReplica's SLO-bounded batching runs on (§7: AWS Step
+// Functions' Wait state, Durable Functions timers, Google Workflows
+// sleeps): durable delayed executions billed per state transition.
+package workflow
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/pricing"
+	"repro/internal/simclock"
+)
+
+// Stats counts workflow activity.
+type Stats struct {
+	Executions  int64
+	Transitions int64
+}
+
+// Service is one region's serverless workflow service.
+type Service struct {
+	clock  *simclock.Clock
+	region cloud.Region
+	meter  *pricing.Meter
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New returns a Service for region, billing to meter.
+func New(clock *simclock.Clock, region cloud.Region, meter *pricing.Meter) *Service {
+	return &Service{clock: clock, region: region, meter: meter}
+}
+
+// Stats returns a snapshot of the service's counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Delay starts a minimal workflow execution: a Wait state of duration d
+// followed by an invocation of fn. Each execution bills three state
+// transitions (start, wait, invoke) at the provider's rate.
+func (s *Service) Delay(d time.Duration, fn func()) {
+	const transitions = 3
+	s.mu.Lock()
+	s.stats.Executions++
+	s.stats.Transitions += transitions
+	s.mu.Unlock()
+	s.meter.Add("wf:transition",
+		float64(transitions)*pricing.BookFor(s.region.Provider).WorkflowTransition)
+	s.clock.Delay(d, fn)
+}

@@ -1,0 +1,48 @@
+package workflow
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/pricing"
+	"repro/internal/simclock"
+)
+
+func TestDelayRunsAtScheduledTime(t *testing.T) {
+	clk := simclock.New(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	m := pricing.NewMeter()
+	s := New(clk, cloud.MustLookup("aws:us-east-1"), m)
+	var ranAt time.Time
+	s.Delay(42*time.Second, func() { ranAt = clk.Now() })
+	clk.Quiesce()
+	if got := ranAt.Sub(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)); got != 42*time.Second {
+		t.Fatalf("ran at +%v", got)
+	}
+}
+
+func TestTransitionsBilled(t *testing.T) {
+	clk := simclock.New(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	m := pricing.NewMeter()
+	s := New(clk, cloud.MustLookup("aws:us-east-1"), m)
+	for i := 0; i < 10; i++ {
+		s.Delay(time.Second, func() {})
+	}
+	clk.Quiesce()
+	st := s.Stats()
+	if st.Executions != 10 || st.Transitions != 30 {
+		t.Fatalf("stats = %+v", st)
+	}
+	want := 30 * pricing.BookFor(cloud.AWS).WorkflowTransition
+	if got := m.Item("wf:transition"); got < want*0.999 || got > want*1.001 {
+		t.Fatalf("billed %v, want ~%v", got, want)
+	}
+}
+
+func TestProviderRatesDiffer(t *testing.T) {
+	aws := pricing.BookFor(cloud.AWS).WorkflowTransition
+	gcp := pricing.BookFor(cloud.GCP).WorkflowTransition
+	if aws <= 0 || gcp <= 0 || aws == gcp {
+		t.Fatalf("workflow rates: aws=%v gcp=%v", aws, gcp)
+	}
+}

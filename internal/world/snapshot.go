@@ -1,0 +1,100 @@
+package world
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/faas"
+	"repro/internal/kvstore"
+	"repro/internal/objstore"
+	"repro/internal/workflow"
+)
+
+// RegionSnapshot is one region's activity counters.
+type RegionSnapshot struct {
+	Region cloud.RegionID
+	Fn     faas.Stats
+	KV     kvstore.OpStats
+	Obj    objstore.Stats
+	Wf     workflow.Stats
+
+	StorageObjects int64
+	StorageBytes   int64
+}
+
+// idle reports whether the region saw no activity.
+func (r RegionSnapshot) idle() bool {
+	return r.Fn.Invocations == 0 && r.KV.Reads == 0 && r.KV.Writes == 0 &&
+		r.Wf.Executions == 0 && r.StorageObjects == 0
+}
+
+// Snapshot is a point-in-time view of the whole simulated deployment.
+type Snapshot struct {
+	At      time.Time
+	Regions []RegionSnapshot
+	Cost    map[string]float64
+}
+
+// Snapshot collects activity counters from every region plus the cost
+// meter — the "what did this simulation actually do" view for CLIs and
+// experiment reports.
+func (w *World) Snapshot() Snapshot {
+	snap := Snapshot{At: w.Clock.Now(), Cost: w.Meter.Breakdown()}
+	for _, r := range cloud.AllRegions() {
+		s := w.Region(r.ID())
+		usage := s.Obj.TotalUsage()
+		snap.Regions = append(snap.Regions, RegionSnapshot{
+			Region:         r.ID(),
+			Fn:             s.Fn.Stats(),
+			KV:             s.KV.Stats(),
+			Obj:            s.Obj.Stats(),
+			Wf:             s.Wf.Stats(),
+			StorageObjects: usage.Objects,
+			StorageBytes:   usage.Bytes,
+		})
+	}
+	sort.Slice(snap.Regions, func(i, j int) bool { return snap.Regions[i].Region < snap.Regions[j].Region })
+	return snap
+}
+
+// Print writes the snapshot, omitting idle regions.
+func (s Snapshot) Print(w io.Writer) {
+	fmt.Fprintf(w, "world snapshot at %s (virtual)\n", s.At.Format(time.RFC3339))
+	fmt.Fprintf(w, "%-24s %10s %8s %8s %10s %10s %10s %12s\n",
+		"region", "fn-invoke", "cold", "peak", "kv-reads", "kv-writes", "wf-execs", "stored")
+	for _, r := range s.Regions {
+		if r.idle() {
+			continue
+		}
+		fmt.Fprintf(w, "%-24s %10d %8d %8d %10d %10d %10d %12s\n",
+			r.Region, r.Fn.Invocations, r.Fn.ColdStarts, r.Fn.MaxConcurrent,
+			r.KV.Reads, r.KV.Writes, r.Wf.Executions, byteCount(r.StorageBytes))
+	}
+	var names []string
+	for k := range s.Cost {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var total float64
+	fmt.Fprintf(w, "cost:")
+	for _, k := range names {
+		fmt.Fprintf(w, " %s=$%.4f", k, s.Cost[k])
+		total += s.Cost[k]
+	}
+	fmt.Fprintf(w, " total=$%.4f\n", total)
+}
+
+func byteCount(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -1,0 +1,154 @@
+// Package world assembles the simulated multi-cloud environment: for each
+// of the 13 evaluated regions it deploys an object store, a serverless KV
+// database and a function platform, all sharing one virtual clock, one
+// network model and one cost meter. Replication systems (AReplica and the
+// baselines) and experiments are built against a World.
+package world
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/faas"
+	"repro/internal/kvstore"
+	"repro/internal/netsim"
+	"repro/internal/objstore"
+	"repro/internal/pricing"
+	"repro/internal/simclock"
+	"repro/internal/simrand"
+	"repro/internal/workflow"
+)
+
+// Services bundles one region's cloud services.
+type Services struct {
+	Region cloud.Region
+	Obj    *objstore.Store
+	KV     *kvstore.Store
+	Fn     *faas.Platform
+	Wf     *workflow.Service
+}
+
+// World is the simulated three-cloud environment.
+type World struct {
+	Clock *simclock.Clock
+	Net   *netsim.Net
+	Meter *pricing.Meter
+
+	regions map[cloud.RegionID]*Services
+}
+
+// Epoch is the default simulation start time.
+var Epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// New builds a world containing every registered region, with each
+// platform at its default (paper §8) function configuration.
+//
+// New must be called from the goroutine that will drive the simulation
+// (it creates the virtual clock).
+func New() *World {
+	clk := simclock.New(Epoch)
+	w := &World{
+		Clock:   clk,
+		Net:     netsim.New(),
+		Meter:   pricing.NewMeter(),
+		regions: make(map[cloud.RegionID]*Services),
+	}
+	for _, r := range cloud.AllRegions() {
+		w.regions[r.ID()] = &Services{
+			Region: r,
+			Obj:    objstore.New(clk, r, w.Meter),
+			KV:     kvstore.New(clk, r, w.Meter),
+			Fn:     faas.New(clk, r, w.Net, w.Meter, faas.DefaultConfig(r.Provider)),
+			Wf:     workflow.New(clk, r, w.Meter),
+		}
+	}
+	return w
+}
+
+// Region returns one region's services; it panics on unknown regions,
+// which indicates a programming error.
+func (w *World) Region(id cloud.RegionID) *Services {
+	s, ok := w.regions[id]
+	if !ok {
+		panic(fmt.Sprintf("world: unknown region %q", id))
+	}
+	return s
+}
+
+// SetFnConfig redeploys one region's function platform with cfg
+// (experiments that sweep memory/CPU configurations use this).
+func (w *World) SetFnConfig(id cloud.RegionID, cfg faas.Config) {
+	s := w.Region(id)
+	s.Fn = faas.New(w.Clock, s.Region, w.Net, w.Meter, cfg)
+}
+
+// MoveBytes simulates one transfer leg of bytes from region `from` to
+// region `to`, executed by a function on platform `exec` whose combined
+// bandwidth scale (instance multiplier x configuration) is bwScale. The
+// calling actor sleeps for the transfer duration; cross-region legs accrue
+// egress cost at the sending provider's rate. It returns the leg duration.
+func (w *World) MoveBytes(from, to cloud.Region, exec cloud.Provider, bytes int64, bwScale float64, rng *rand.Rand) time.Duration {
+	mbps := w.Net.FuncLegMBps(from, to, exec).Sample(rng) * bwScale
+	if mbps < 0.5 {
+		mbps = 0.5
+	}
+	d := netsim.TransferTime(bytes, mbps)
+	w.Clock.Sleep(d)
+	if from.ID() != to.ID() {
+		w.Meter.Add("net:egress", pricing.EgressCost(from, to, bytes))
+	}
+	return d
+}
+
+// MoveBytesVM is MoveBytes for a VM data plane (Skyplane's overlay hop).
+func (w *World) MoveBytesVM(from, to cloud.Region, bytes int64, rng *rand.Rand) time.Duration {
+	mbps := w.Net.VMLegMBps(from, to).Sample(rng)
+	if mbps < 1 {
+		mbps = 1
+	}
+	d := netsim.TransferTime(bytes, mbps)
+	w.Clock.Sleep(d)
+	if from.ID() != to.ID() {
+		w.Meter.Add("net:egress", pricing.EgressCost(from, to, bytes))
+	}
+	return d
+}
+
+// SetupSleep makes the calling actor pay the client-setup overhead S of a
+// (from→to) path once, as a freshly started function's SDK clients warm up.
+func (w *World) SetupSleep(from, to cloud.Region, rng *rand.Rand) time.Duration {
+	v := w.Net.SetupTime(from, to).Sample(rng)
+	if v < 0.05 {
+		v = 0.05
+	}
+	d := simclock.Seconds(v)
+	w.Clock.Sleep(d)
+	return d
+}
+
+// ClientRead simulates an end user near `client` fetching an object from a
+// bucket in `from`: one request RTT, the transfer at the client's
+// achievable bandwidth, and the egress charge for leaving `from`. It
+// returns the user-visible latency. This is the read side of the paper's
+// content-delivery motivation (§2): replicas near users cut both latency
+// and repeated cross-region egress.
+func (w *World) ClientRead(client, from cloud.Region, obj *objstore.Store, bucket, key string) (time.Duration, error) {
+	start := w.Clock.Now()
+	w.Clock.Sleep(simclock.Seconds(cloud.RTT(client, from)))
+	o, err := obj.Get(bucket, key)
+	if err != nil {
+		return 0, err
+	}
+	rng := simrand.New("client-read", string(client.ID()), string(from.ID()), key)
+	mbps := w.Net.FuncLegMBps(from, client, client.Provider).Sample(rng)
+	if mbps < 0.5 {
+		mbps = 0.5
+	}
+	w.Clock.Sleep(netsim.TransferTime(o.Size, mbps))
+	if from.ID() != client.ID() {
+		w.Meter.Add("net:egress", pricing.EgressCost(from, client, o.Size))
+	}
+	return w.Clock.Since(start), nil
+}
