@@ -39,6 +39,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/objstore"
+	"repro/internal/simclock"
 	"repro/internal/simrand"
 	"repro/internal/stats"
 	"repro/internal/world"
@@ -386,7 +387,7 @@ func (r *Replication) Summary() Summary {
 		}
 	}
 	q := func(p float64) time.Duration {
-		return time.Duration(stats.Percentile(secs, p) * float64(time.Second))
+		return simclock.Seconds(stats.Percentile(secs, p))
 	}
 	s.P50, s.P99, s.P9999, s.Max = q(50), q(99), q(99.99), q(100)
 	s.SLOAttainment = float64(within) / float64(len(recs))

@@ -7,13 +7,15 @@
 // Examples:
 //
 //	areplica -src aws:us-east-1 -dst azure:eastus -size 128MB -count 5
-//	areplica -src gcp:us-east1 -dst aws:eu-west-1 -slo 30s -trace 10m -rate 60
+//	areplica -src gcp:us-east1 -dst aws:eu-west-1 -slo 30s -replay 10m -rate 60
+//	areplica -size 64MB -count 3 -trace trace.json -metrics metrics.txt
 //	areplica -regions
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -26,18 +28,20 @@ import (
 
 func main() {
 	var (
-		srcFlag   = flag.String("src", "aws:us-east-1", "source region (<provider>:<region>)")
-		dstFlag   = flag.String("dst", "azure:eastus", "destination region")
-		sizeFlag  = flag.String("size", "16MB", "object size for -count mode (e.g. 512KB, 16MB, 1GB)")
-		count     = flag.Int("count", 3, "number of objects to replicate")
-		sloFlag   = flag.Duration("slo", 0, "replication SLO (0 = fastest plan)")
-		pct       = flag.Float64("percentile", 0.99, "SLO percentile")
-		batching  = flag.Bool("batching", false, "enable SLO-bounded batching (requires -slo)")
-		traceDur  = flag.Duration("trace", 0, "replay a synthetic IBM-COS-like trace of this duration instead of -count mode")
-		traceRate = flag.Float64("rate", 60, "trace request rate (ops/minute)")
-		regions   = flag.Bool("regions", false, "list available regions and exit")
-		showStats = flag.Bool("stats", false, "print a per-region activity snapshot at the end")
-		verbose   = flag.Bool("v", false, "print per-object delays")
+		srcFlag    = flag.String("src", "aws:us-east-1", "source region (<provider>:<region>)")
+		dstFlag    = flag.String("dst", "azure:eastus", "destination region")
+		sizeFlag   = flag.String("size", "16MB", "object size for -count mode (e.g. 512KB, 16MB, 1GB)")
+		count      = flag.Int("count", 3, "number of objects to replicate")
+		sloFlag    = flag.Duration("slo", 0, "replication SLO (0 = fastest plan)")
+		pct        = flag.Float64("percentile", 0.99, "SLO percentile")
+		batching   = flag.Bool("batching", false, "enable SLO-bounded batching (requires -slo)")
+		replayDur  = flag.Duration("replay", 0, "replay a synthetic IBM-COS-like trace of this duration instead of -count mode")
+		traceRate  = flag.Float64("rate", 60, "trace request rate (ops/minute)")
+		traceOut   = flag.String("trace", "", "write per-task spans as Chrome trace_event JSON to this file (chrome://tracing, Perfetto)")
+		metricsOut = flag.String("metrics", "", "write the run's aggregate metrics (counters + latency histograms) to this file")
+		regions    = flag.Bool("regions", false, "list available regions and exit")
+		showStats  = flag.Bool("stats", false, "print a per-region activity snapshot at the end")
+		verbose    = flag.Bool("v", false, "print per-object delays")
 	)
 	flag.Parse()
 
@@ -73,9 +77,15 @@ func main() {
 	profilingCost := sim.CostTotal()
 	profiledItems := sim.CostBreakdown()
 
-	if *traceDur > 0 {
-		ops := trace.Generate(trace.DefaultConfig(*traceDur, *traceRate))
-		fmt.Printf("replaying %d trace operations over %s (virtual time)...\n", len(ops), *traceDur)
+	// Tracing starts after Deploy so exports cover the workload's
+	// replication tasks, not the one-time profiling phase.
+	if *traceOut != "" {
+		sim.World().Tracer.Enable()
+	}
+
+	if *replayDur > 0 {
+		ops := trace.Generate(trace.DefaultConfig(*replayDur, *traceRate))
+		fmt.Printf("replaying %d trace operations over %s (virtual time)...\n", len(ops), *replayDur)
 		w := sim.World()
 		trace.Replay(w.Clock, ops, func(op trace.Op) {
 			if op.Type == trace.OpDelete {
@@ -141,6 +151,32 @@ func main() {
 		fmt.Println()
 		sim.World().Snapshot().Print(os.Stdout)
 	}
+
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, sim.World().Tracer.WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote trace to %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, sim.World().Metrics.WriteText); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseSize parses "512KB", "16MB", "1GB", or plain bytes.

@@ -23,15 +23,17 @@ import (
 
 func main() {
 	var (
-		table = flag.Int("table", 0, "regenerate one table (1-4)")
-		fig   = flag.Int("fig", 0, "regenerate one figure (2-9, 12, 16-23)")
-		extra = flag.String("extra", "", "extension ablations: partsize | overlay")
-		all   = flag.Bool("all", false, "regenerate every table and figure")
-		quick = flag.Bool("quick", false, "reduced sizes and rounds")
-		csv   = flag.String("csv", "", "also export plottable CSV datasets into this directory")
+		table    = flag.Int("table", 0, "regenerate one table (1-4)")
+		fig      = flag.Int("fig", 0, "regenerate one figure (2-9, 12, 16-23)")
+		extra    = flag.String("extra", "", "extension ablations: partsize | overlay")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		quick    = flag.Bool("quick", false, "reduced sizes and rounds")
+		csv      = flag.String("csv", "", "also export plottable CSV datasets into this directory")
+		tracedir = flag.String("tracedir", "", "export per-experiment Chrome traces and metrics dumps into this directory")
 	)
 	flag.Parse()
 	csvDir = *csv
+	experiments.TraceDir = *tracedir
 
 	if !*all && *table == 0 && *fig == 0 && *extra == "" {
 		flag.Usage()
@@ -54,6 +56,12 @@ func main() {
 		runExtra(*extra, *quick)
 	} else {
 		runFig(*fig, *quick)
+	}
+	if err := experiments.FlushTelemetry(); err != nil {
+		fmt.Fprintf(os.Stderr, "telemetry export: %v\n", err)
+		os.Exit(1)
+	} else if *tracedir != "" {
+		fmt.Fprintf(os.Stderr, "\nwrote traces and metrics to %s\n", *tracedir)
 	}
 	fmt.Fprintf(os.Stderr, "\n(wall time %s)\n", time.Since(start).Round(time.Millisecond))
 }

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -26,12 +27,14 @@ import (
 
 func main() {
 	var (
-		srcFlag  = flag.String("src", "aws:us-east-1", "source region")
-		dstFlag  = flag.String("dst", "azure:eastus", "destination region")
-		rounds   = flag.Int("rounds", 12, "profiling samples per parameter")
-		sizeFlag = flag.String("size", "1GB", "object size for the prediction sweep")
-		pct      = flag.Float64("percentile", 0.99, "prediction percentile")
-		out      = flag.String("o", "", "write the fitted profile as JSON to this file")
+		srcFlag    = flag.String("src", "aws:us-east-1", "source region")
+		dstFlag    = flag.String("dst", "azure:eastus", "destination region")
+		rounds     = flag.Int("rounds", 12, "profiling samples per parameter")
+		sizeFlag   = flag.String("size", "1GB", "object size for the prediction sweep")
+		pct        = flag.Float64("percentile", 0.99, "prediction percentile")
+		out        = flag.String("o", "", "write the fitted profile as JSON to this file")
+		traceOut   = flag.String("trace", "", "write profiling spans as Chrome trace_event JSON to this file")
+		metricsOut = flag.String("metrics", "", "write the run's aggregate metrics to this file")
 	)
 	flag.Parse()
 
@@ -49,6 +52,9 @@ func main() {
 	}
 
 	w := world.New()
+	if *traceOut != "" {
+		w.Tracer.Enable()
+	}
 	p := profiler.New(w)
 	p.Rounds = *rounds
 	m := model.New()
@@ -95,6 +101,31 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, w.Tracer.WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote trace to %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, w.Metrics.WriteText); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func shortName(id cloud.RegionID) string {

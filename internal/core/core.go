@@ -20,6 +20,8 @@ import (
 	"repro/internal/objstore"
 	"repro/internal/planner"
 	"repro/internal/profiler"
+	"repro/internal/simclock"
+	"repro/internal/telemetry"
 	"repro/internal/world"
 )
 
@@ -114,12 +116,14 @@ func Deploy(w *world.World, opts Options) (*Service, error) {
 			Dst: w.Region(rule.Dst).Obj, DstBucket: rule.DstBucket,
 			Origin: engine.OriginPrefix + fmt.Sprintf("%s/%s->%s/%s", rule.Src, rule.SrcBucket, rule.Dst, rule.DstBucket),
 		}
-		eng.TryChangelog = func(key, etag string) bool {
+		eng.TryChangelog = func(sp *telemetry.Span, key, etag string) bool {
 			log, ok := s.Changelogs.Lookup(key, etag)
 			if !ok {
 				return false
 			}
-			return applier.Apply(log)
+			applied := applier.Apply(log)
+			sp.Set("op", string(log.Op)).Set("applied", applied)
+			return applied
 		}
 	}
 
@@ -161,7 +165,7 @@ func (s *Service) estimate(size int64) time.Duration {
 	p, err := s.Planner.Plan(s.Rule.Src, s.Rule.Dst, size, 0, s.Rule.Percentile)
 	d := 5 * time.Second
 	if err == nil {
-		d = time.Duration(p.EstSeconds * float64(time.Second))
+		d = simclock.Seconds(p.EstSeconds)
 	}
 	s.estMu.Lock()
 	s.estCache[chunks] = d

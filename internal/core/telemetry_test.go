@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/objstore"
+	"repro/internal/world"
+)
+
+// runTraced deploys a rule on a fresh world, replicates a few objects with
+// tracing on, and returns the trace and metrics exports.
+func runTraced(t *testing.T) (trace, metrics []byte) {
+	t.Helper()
+	w := world.New()
+	if err := w.Region(src).Obj.CreateBucket("s", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Region(dst).Obj.CreateBucket("d", false); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Deploy(w, Options{
+		Rule:          engine.Rule{Src: src, Dst: dst, SrcBucket: "s", DstBucket: "d"},
+		ProfileRounds: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Tracer.Enable()
+	for _, key := range []string{"small", "large"} {
+		size := int64(1 << 20)
+		if key == "large" {
+			size = 64 << 20
+		}
+		if _, err := w.Region(src).Obj.Put("s", key, objstore.BlobOfSize(size, 7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Clock.Quiesce()
+
+	var tb, mb bytes.Buffer
+	if err := w.Tracer.WriteChromeTrace(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Metrics.WriteText(&mb); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), mb.Bytes()
+}
+
+// TestTraceExportDeterministic checks the acceptance bar for the telemetry
+// layer: two identical seeded runs must produce byte-identical trace and
+// metrics exports.
+func TestTraceExportDeterministic(t *testing.T) {
+	t1, m1 := runTraced(t)
+	t2, m2 := runTraced(t)
+	if !bytes.Equal(t1, t2) {
+		t.Error("trace exports of identical runs differ")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("metrics exports of identical runs differ")
+	}
+}
+
+// TestTraceCoversTaskWaterfall checks that every replication task exports a
+// root span whose children cover notification, invocation, the transfer,
+// and (for multipart plans) every part.
+func TestTraceCoversTaskWaterfall(t *testing.T) {
+	trace, metrics := runTraced(t)
+	s := string(trace)
+	for _, want := range []string{
+		`"name":"task"`,
+		`"name":"notify"`,
+		`"name":"invoke"`,
+		`"cat":"faas"`,
+		`"name":"part-0"`,
+		`"name":"leg-up"`,
+		`"name":"mpu-complete"`,
+		`"name":"kv:lock"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace export missing %s", want)
+		}
+	}
+	// Both tasks became traces (one process metadata record each).
+	if got := strings.Count(s, `"process_name"`); got != 2 {
+		t.Errorf("trace has %d processes, want 2", got)
+	}
+	m := string(metrics)
+	for _, want := range []string{
+		"engine.tasks.ok 2",
+		"faas.invocations",
+		"objstore.put.seconds",
+		"kvstore.writes",
+		"net.leg.seconds",
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("metrics export missing %s", want)
+		}
+	}
+}

@@ -21,7 +21,9 @@ import (
 	"repro/internal/model"
 	"repro/internal/objstore"
 	"repro/internal/planner"
+	"repro/internal/simclock"
 	"repro/internal/simrand"
+	"repro/internal/telemetry"
 	"repro/internal/world"
 )
 
@@ -130,8 +132,9 @@ type Engine struct {
 
 	// TryChangelog, when set, is consulted before planning a full
 	// replication; returning true means the version was propagated via its
-	// changelog (§5.4) and no data transfer is needed.
-	TryChangelog func(key, etag string) bool
+	// changelog (§5.4) and no data transfer is needed. sp is the attempt's
+	// "changelog" span (nil when tracing is off) for child annotations.
+	TryChangelog func(sp *telemetry.Span, key, etag string) bool
 	// OnTaskDone, when set, observes every finished task (the logger hooks
 	// in here).
 	OnTaskDone func(TaskResult)
@@ -140,8 +143,15 @@ type Engine struct {
 	ruleID  string
 	taskSeq atomic.Int64
 
-	mu  sync.Mutex
-	dlq []objstore.Event
+	tasksOK        *telemetry.Counter
+	tasksFailed    *telemetry.Counter
+	tasksChangelog *telemetry.Counter
+	tasksDLQ       *telemetry.Counter
+	taskHist       *telemetry.Histogram
+
+	mu       sync.Mutex
+	dlq      []objstore.Event
+	traceSeq map[string]int // per-version dispatch count, for trace IDs
 }
 
 // New returns an Engine for rule. The replication lock lives in the source
@@ -149,14 +159,23 @@ type Engine struct {
 func New(w *world.World, pl *planner.Planner, rule Rule) *Engine {
 	rule = rule.WithDefaults()
 	ruleID := fmt.Sprintf("%s/%s->%s/%s", rule.Src, rule.SrcBucket, rule.Dst, rule.DstBucket)
-	return &Engine{
-		W:       w,
-		Planner: pl,
-		Rule:    rule,
-		Tracker: NewTracker(),
-		ruleID:  ruleID,
-		lock:    newReplLock(w.Region(rule.Src).KV, ruleID),
+	e := &Engine{
+		W:        w,
+		Planner:  pl,
+		Rule:     rule,
+		Tracker:  NewTracker(),
+		ruleID:   ruleID,
+		lock:     newReplLock(w.Region(rule.Src).KV, ruleID),
+		traceSeq: make(map[string]int),
+
+		tasksOK:        w.Metrics.Counter("engine.tasks.ok"),
+		tasksFailed:    w.Metrics.Counter("engine.tasks.failed"),
+		tasksChangelog: w.Metrics.Counter("engine.tasks.changelog"),
+		tasksDLQ:       w.Metrics.Counter("engine.tasks.dlq"),
+		taskHist:       w.Metrics.Histogram("engine.task.seconds"),
 	}
+	e.Tracker.SetTelemetry(w.Metrics.Histogram("engine.delay.seconds"))
+	return e
 }
 
 // DLQ returns the events that exhausted their retries.
@@ -224,20 +243,55 @@ func (e *Engine) Backfill() (int, error) {
 // dispatch).
 func (e *Engine) Dispatch(ev objstore.Event) {
 	src := e.W.Region(e.Rule.Src)
-	src.Fn.Invoke(1, func(ctx *faas.Ctx) { e.orchestrate(ctx, ev) })
+	root := e.startTaskTrace(ev)
+	// The notification span covers source-operation completion → dispatch
+	// (the platform's delivery delay T_n plus any batching hold).
+	root.ChildAt("notify", ev.Time).EndAt(e.W.Clock.Now())
+	src.Fn.InvokeSpan(root, 1, func(ctx *faas.Ctx) {
+		defer root.End()
+		e.orchestrate(ctx, ev)
+	})
+}
+
+// startTaskTrace opens a root span for one dispatched event, anchored at
+// the source operation's completion so notification delay is part of the
+// waterfall. Trace IDs derive from the task's identity (rule, key,
+// version) plus a per-version dispatch counter, so identical seeded runs
+// export identical traces.
+func (e *Engine) startTaskTrace(ev objstore.Event) *telemetry.Span {
+	if !e.W.Tracer.Enabled() {
+		return nil
+	}
+	id := fmt.Sprintf("%s %s@%d", e.ruleID, ev.Key, ev.Seq)
+	e.mu.Lock()
+	n := e.traceSeq[id]
+	e.traceSeq[id]++
+	e.mu.Unlock()
+	if n > 0 {
+		id = fmt.Sprintf("%s redispatch-%d", id, n)
+	}
+	return e.W.Tracer.StartTraceAt(id, "task", ev.Time).
+		Set("key", ev.Key).Set("etag", ev.ETag).
+		Set("size", ev.Size).Set("type", string(ev.Type))
 }
 
 // orchestrate runs inside the orchestrator function: acquire the object's
 // replication lock, replicate (with retries), then release and chase any
 // version that arrived while the lock was held.
 func (e *Engine) orchestrate(ctx *faas.Ctx, ev objstore.Event) {
-	if !e.lock.acquire(ev.Key, ev.ETag, ev.Seq) {
+	lsp := ctx.Span.Child("kv:lock")
+	acquired := e.lock.acquire(ev.Key, ev.ETag, ev.Seq)
+	lsp.Set("acquired", acquired)
+	lsp.End()
+	if !acquired {
 		// Another orchestrator holds the lock; it will observe our version
 		// as pending on release and re-trigger.
 		return
 	}
 	replicatedSeq := e.replicateHeld(ctx, ev)
+	usp := ctx.Span.Child("kv:unlock")
 	_, pendingSeq, retrigger := e.lock.release(ev.Key, replicatedSeq)
+	usp.End()
 	if !retrigger {
 		return
 	}
@@ -275,7 +329,10 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 	clock := e.W.Clock
 
 	if ev.Type == objstore.EventDelete {
-		if err := dst.Obj.DeleteWithOrigin(e.Rule.DstBucket, ev.Key, e.origin()); err != nil {
+		dsp := ctx.Span.Child("dst-delete")
+		err := dst.Obj.DeleteWithOrigin(e.Rule.DstBucket, ev.Key, e.origin())
+		dsp.End()
+		if err != nil {
 			return 0
 		}
 		e.Tracker.Resolve(ev.Key, ev.Seq, clock.Now())
@@ -286,12 +343,20 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 	etag, seq, size, evTime := ev.ETag, ev.Seq, ev.Size, ev.Time
 	for attempt := 0; attempt <= e.Rule.MaxRetries; attempt++ {
 		start := clock.Now()
-		if e.TryChangelog != nil && e.TryChangelog(key, etag) {
-			end := clock.Now()
-			e.Tracker.Resolve(key, seq, end)
-			e.report(TaskResult{Key: key, ETag: etag, Size: size, Start: start, End: end,
-				OK: true, Changelog: true, Retries: attempt})
-			return seq
+		att := ctx.Span.Child("attempt").Set("n", int64(attempt))
+		if e.TryChangelog != nil {
+			cl := att.Child("changelog")
+			hit := e.TryChangelog(cl, key, etag)
+			cl.Set("hit", hit)
+			cl.End()
+			if hit {
+				att.End()
+				end := clock.Now()
+				e.Tracker.Resolve(key, seq, end)
+				e.report(TaskResult{Key: key, ETag: etag, Size: size, Start: start, End: end,
+					OK: true, Changelog: true, Retries: attempt})
+				return seq
+			}
 		}
 
 		var plan planner.Plan
@@ -309,11 +374,15 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 			var err error
 			plan, err = e.Planner.Plan(e.Rule.Src, e.Rule.Dst, size, remaining, e.Rule.Percentile)
 			if err != nil {
+				att.Set("error", err.Error())
+				att.End()
 				break
 			}
 		}
+		att.Set("plan_n", int64(plan.N)).Set("plan_loc", string(plan.Loc)).Set("plan_local", plan.Local)
 
-		out := e.execute(ctx, key, etag, size, plan)
+		out := e.execute(ctx, att, key, etag, size, plan)
+		att.End()
 		if out.ok {
 			// Single-function transfers may have replicated a *newer*
 			// snapshot than the event's version (Figure 13's workflow);
@@ -345,10 +414,20 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 	e.mu.Lock()
 	e.dlq = append(e.dlq, ev)
 	e.mu.Unlock()
+	e.tasksDLQ.Inc()
 	return 0
 }
 
 func (e *Engine) report(t TaskResult) {
+	if t.OK {
+		e.tasksOK.Inc()
+		if t.Changelog {
+			e.tasksChangelog.Inc()
+		}
+		e.taskHist.Observe(simclock.ToSeconds(t.End.Sub(t.Start)))
+	} else {
+		e.tasksFailed.Inc()
+	}
 	if e.OnTaskDone != nil {
 		e.OnTaskDone(t)
 	}
@@ -364,13 +443,14 @@ type execResult struct {
 	insts  []InstanceStat
 }
 
-// execute runs one replication attempt under the chosen plan.
-func (e *Engine) execute(ctx *faas.Ctx, key, etag string, size int64, plan planner.Plan) execResult {
+// execute runs one replication attempt under the chosen plan. sp is the
+// attempt's span; child spans attach to it.
+func (e *Engine) execute(ctx *faas.Ctx, sp *telemetry.Span, key, etag string, size int64, plan planner.Plan) execResult {
 	clock := e.W.Clock
 	switch {
 	case plan.Local:
 		start := clock.Now()
-		out := e.transferWhole(ctx, key)
+		out := e.transferWhole(ctx, sp, key)
 		out.insts = []InstanceStat{{ID: ctx.Instance.ID, Chunks: int(e.chunks(size)), Busy: clock.Since(start)}}
 		out.doneAt = clock.Now()
 		return out
@@ -378,17 +458,17 @@ func (e *Engine) execute(ctx *faas.Ctx, key, etag string, size int64, plan plann
 		loc := e.W.Region(plan.Loc)
 		var out execResult
 		group := clock.NewGroup(1)
-		loc.Fn.Invoke(1, func(rctx *faas.Ctx) {
+		loc.Fn.InvokeSpan(sp, 1, func(rctx *faas.Ctx) {
 			defer group.Done()
 			start := clock.Now()
-			out = e.transferWhole(rctx, key)
+			out = e.transferWhole(rctx, rctx.Span, key)
 			out.insts = []InstanceStat{{ID: rctx.Instance.ID, Chunks: int(e.chunks(size)), Busy: clock.Since(start)}}
 		})
 		group.Wait()
 		out.doneAt = clock.Now()
 		return out
 	default:
-		return e.distributed(key, etag, size, plan)
+		return e.distributed(sp, key, etag, size, plan)
 	}
 }
 
@@ -405,24 +485,33 @@ func (e *Engine) chunks(size int64) int64 {
 // parameter). The GET is an atomic snapshot, so no optimistic validation
 // is needed on this path: the engine replicates whatever version it read,
 // exactly as in the paper's Figure 13 workflow, and reports its sequence.
-func (e *Engine) transferWhole(ctx *faas.Ctx, key string) execResult {
+func (e *Engine) transferWhole(ctx *faas.Ctx, sp *telemetry.Span, key string) execResult {
 	src := e.W.Region(e.Rule.Src)
 	dst := e.W.Region(e.Rule.Dst)
 
+	gsp := sp.Child("src-get")
 	obj, err := src.Obj.Get(e.Rule.SrcBucket, key)
+	gsp.End()
 	if err != nil {
 		return execResult{reason: "source read: " + err.Error()}
 	}
 	rng := simrand.New("engine-single", ctx.Instance.ID, key, obj.ETag)
+	ssp := sp.Child("setup")
 	e.W.SetupSleep(src.Region, dst.Region, rng)
+	ssp.End()
 	downScale := ctx.BandwidthScaleFor(src.Region.Provider)
 	upScale := ctx.BandwidthScaleFor(dst.Region.Provider)
-	for off := int64(0); off < obj.Size; off += e.Rule.PartSize {
+	for i, off := 0, int64(0); off < obj.Size; i, off = i+1, off+e.Rule.PartSize {
 		n := min64(e.Rule.PartSize, obj.Size-off)
-		e.W.MoveBytes(src.Region, ctx.Region, ctx.Region.Provider, n, downScale, rng)
-		e.W.MoveBytes(ctx.Region, dst.Region, ctx.Region.Provider, n, upScale, rng)
+		csp := sp.Child(fmt.Sprintf("chunk-%d", i)).Set("bytes", n)
+		e.W.MoveBytesSpan(csp, "leg-down", src.Region, ctx.Region, ctx.Region.Provider, n, downScale, rng)
+		e.W.MoveBytesSpan(csp, "leg-up", ctx.Region, dst.Region, ctx.Region.Provider, n, upScale, rng)
+		csp.End()
 	}
-	if _, err := dst.Obj.PutWithOrigin(e.Rule.DstBucket, key, obj.Blob, e.origin()); err != nil {
+	psp := sp.Child("dst-put")
+	_, err = dst.Obj.PutWithOrigin(e.Rule.DstBucket, key, obj.Blob, e.origin())
+	psp.End()
+	if err != nil {
 		return execResult{reason: "destination write: " + err.Error()}
 	}
 	return execResult{ok: true, seq: obj.Seq, etag: obj.ETag}
@@ -458,7 +547,7 @@ func (ds *distState) abort(reason string) {
 // at plan.Loc using the part pool (or fair dispatch, for the ablation).
 // Unlike the single-function path, parts are pinned to the task's ETag and
 // any mid-flight change aborts the task (Figure 14's correctness rule).
-func (e *Engine) distributed(key, etag string, size int64, plan planner.Plan) execResult {
+func (e *Engine) distributed(sp *telemetry.Span, key, etag string, size int64, plan planner.Plan) execResult {
 	src := e.W.Region(e.Rule.Src)
 	dst := e.W.Region(e.Rule.Dst)
 	loc := e.W.Region(plan.Loc)
@@ -473,10 +562,14 @@ func (e *Engine) distributed(key, etag string, size int64, plan planner.Plan) ex
 	}
 	// init_replication + create_part_pool (Algorithm 1, lines 2-4): the
 	// task record with its claim and completion counters.
+	isp := sp.Child("kv:init-pool").Set("parts", ds.parts)
 	loc.KV.Put("areplica-tasks", ds.taskID, kvstore.Item{
 		"etag": etag, "total": ds.parts, "next": int64(0), "done": int64(0),
 	})
+	isp.End()
+	msp := sp.Child("mpu-create")
 	mpu, err := dst.Obj.CreateMultipartWithOrigin(e.Rule.DstBucket, key, e.origin())
+	msp.End()
 	if err != nil {
 		return execResult{reason: "create multipart: " + err.Error(), doneAt: clock.Now()}
 	}
@@ -486,7 +579,7 @@ func (e *Engine) distributed(key, etag string, size int64, plan planner.Plan) ex
 	var insts []InstanceStat
 	var fairNext atomic.Int64
 	group := clock.NewGroup(plan.N)
-	loc.Fn.Invoke(plan.N, func(rctx *faas.Ctx) {
+	loc.Fn.InvokeSpan(sp, plan.N, func(rctx *faas.Ctx) {
 		defer group.Done()
 		idx := int(fairNext.Add(1) - 1)
 		stat := e.replicator(rctx, ds, src, dst, loc, idx, plan.N)
@@ -497,7 +590,9 @@ func (e *Engine) distributed(key, etag string, size int64, plan planner.Plan) ex
 	group.Wait()
 
 	if !ds.completed.Load() {
+		asp := sp.Child("mpu-abort")
 		dst.Obj.AbortMultipart(mpu)
+		asp.End()
 		ds.mu.Lock()
 		reason := ds.reason
 		ds.mu.Unlock()
@@ -522,7 +617,9 @@ func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.S
 	start := clock.Now()
 	stat := InstanceStat{ID: ctx.Instance.ID}
 
+	ssp := ctx.Span.Child("setup")
 	e.W.SetupSleep(src.Region, dst.Region, rng)
+	ssp.End()
 
 	// Fair dispatch: a fixed contiguous range per instance.
 	per := (ds.parts + int64(n) - 1) / int64(n)
@@ -540,7 +637,10 @@ func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.S
 			return idx
 		}
 		// get_part_from_pool: one KV access to claim.
-		return loc.KV.Increment("areplica-tasks", ds.taskID, "next", 1) - 1
+		csp := ctx.Span.Child("kv:claim")
+		idx := loc.KV.Increment("areplica-tasks", ds.taskID, "next", 1) - 1
+		csp.End()
+		return idx
 	}
 
 	for !ds.aborted.Load() {
@@ -550,26 +650,39 @@ func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.S
 		}
 		off := idx * e.Rule.PartSize
 		length := min64(e.Rule.PartSize, ds.size-off)
+		psp := ctx.Span.Child(fmt.Sprintf("part-%d", idx)).Set("bytes", length)
 
+		gsp := psp.Child("get-range")
 		blob, cur, err := src.Obj.GetRange(e.Rule.SrcBucket, ds.key, off, length)
+		gsp.End()
 		if err != nil || cur != ds.etag {
 			// Optimistic validation: the object changed mid-replication
 			// (Figure 14); abort the whole task.
 			ds.abort(fmt.Sprintf("optimistic validation: part %d sees a different source version", idx))
+			psp.Set("aborted", true)
+			psp.End()
 			break
 		}
-		e.W.MoveBytes(src.Region, ctx.Region, ctx.Region.Provider, length, ctx.BandwidthScaleFor(src.Region.Provider), rng)
-		e.W.MoveBytes(ctx.Region, dst.Region, ctx.Region.Provider, length, ctx.BandwidthScaleFor(dst.Region.Provider), rng)
-		if _, err := dst.Obj.UploadPart(ds.mpu, int(idx)+1, blob); err != nil {
+		e.W.MoveBytesSpan(psp, "leg-down", src.Region, ctx.Region, ctx.Region.Provider, length, ctx.BandwidthScaleFor(src.Region.Provider), rng)
+		e.W.MoveBytesSpan(psp, "leg-up", ctx.Region, dst.Region, ctx.Region.Provider, length, ctx.BandwidthScaleFor(dst.Region.Provider), rng)
+		usp := psp.Child("upload-part")
+		_, err = dst.Obj.UploadPart(ds.mpu, int(idx)+1, blob)
+		usp.End()
+		if err != nil {
 			ds.abort("upload part: " + err.Error())
+			psp.End()
 			break
 		}
 		stat.Chunks++
 		// Second KV access: update the part's completion.
+		dsp := psp.Child("kv:done")
 		done := loc.KV.Increment("areplica-tasks", ds.taskID, "done", 1)
+		dsp.End()
 		if done == ds.parts {
 			// finish_replication (Algorithm 1, line 13).
+			fsp := psp.Child("mpu-complete")
 			res, err := dst.Obj.CompleteMultipart(ds.mpu)
+			fsp.End()
 			if err != nil {
 				ds.abort("complete multipart: " + err.Error())
 			} else if res.ETag != ds.etag {
@@ -581,6 +694,7 @@ func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.S
 				ds.completed.Store(true)
 			}
 		}
+		psp.End()
 	}
 	stat.Busy = clock.Since(start)
 	return stat

@@ -11,6 +11,7 @@ import (
 	"repro/internal/objstore"
 	"repro/internal/planner"
 	"repro/internal/profiler"
+	"repro/internal/telemetry"
 	"repro/internal/world"
 )
 
@@ -283,7 +284,7 @@ func TestSLOBudgetShrinksParallelism(t *testing.T) {
 func TestChangelogHookShortCircuits(t *testing.T) {
 	f := newFixture(t, nil)
 	var hooked []string
-	f.eng.TryChangelog = func(key, etag string) bool {
+	f.eng.TryChangelog = func(_ *telemetry.Span, key, etag string) bool {
 		hooked = append(hooked, key)
 		return true // pretend the changelog replicated it
 	}
@@ -308,7 +309,7 @@ func TestChangelogHookShortCircuits(t *testing.T) {
 
 func TestNoEgressForChangelogPath(t *testing.T) {
 	f := newFixture(t, nil)
-	f.eng.TryChangelog = func(key, etag string) bool { return true }
+	f.eng.TryChangelog = func(_ *telemetry.Span, key, etag string) bool { return true }
 	before := f.w.Meter.Item("net:egress")
 	f.put(t, "x", 128<<20, 2)
 	f.w.Clock.Quiesce()

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"repro/internal/objstore"
+	"repro/internal/simclock"
+	"repro/internal/telemetry"
 )
 
 // DelayRecord is one source write's measured replication delay: the time
@@ -27,6 +29,8 @@ type Tracker struct {
 	mu      sync.Mutex
 	pending map[string][]pendingEvent
 	records []DelayRecord
+
+	delayHist *telemetry.Histogram // optional; nil no-ops
 }
 
 type pendingEvent struct {
@@ -38,6 +42,14 @@ type pendingEvent struct {
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker {
 	return &Tracker{pending: make(map[string][]pendingEvent)}
+}
+
+// SetTelemetry feeds every resolved delay into hist (the paper's
+// replication-delay metric, aggregated run-wide).
+func (t *Tracker) SetTelemetry(hist *telemetry.Histogram) {
+	t.mu.Lock()
+	t.delayHist = hist
+	t.mu.Unlock()
 }
 
 // OnSource registers a source-bucket event awaiting replication.
@@ -56,14 +68,16 @@ func (t *Tracker) Resolve(key string, seq uint64, done time.Time) {
 	remaining := evs[:0]
 	for _, ev := range evs {
 		if ev.seq <= seq {
+			d := done.Sub(ev.at)
 			t.records = append(t.records, DelayRecord{
 				Key:       key,
 				Seq:       ev.seq,
 				Size:      ev.size,
 				EventTime: ev.at,
 				DoneTime:  done,
-				Delay:     done.Sub(ev.at),
+				Delay:     d,
 			})
+			t.delayHist.Observe(simclock.ToSeconds(d))
 		} else {
 			remaining = append(remaining, ev)
 		}

@@ -11,7 +11,6 @@ import (
 	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/stats"
-	"repro/internal/world"
 )
 
 // Fig8Bar is one bar of Figure 8: a path executed on one platform's
@@ -65,7 +64,7 @@ func RunFig8(quick bool) *Fig8Result {
 // replicationSpeeds runs `rounds` forced-plan replications and returns the
 // achieved end-to-end speeds in MiB/s.
 func replicationSpeeds(src, dst, exec cloud.RegionID, size int64, n, rounds int) []float64 {
-	w := world.New()
+	w := newWorld("fig8")
 	mustCreate(w, src, "src", false)
 	mustCreate(w, dst, "dst", false)
 	var mu sync.Mutex
@@ -169,7 +168,7 @@ func RunFig17(quick bool) *Fig17Result {
 		rounds = 1
 	}
 	run := func(mode engine.SchedulingMode) ([]Fig17Instance, float64) {
-		w := world.New()
+		w := newWorld("fig17")
 		src, dst := cloud.RegionID("azure:eastus"), cloud.RegionID("gcp:asia-northeast1")
 		mustCreate(w, src, "src", false)
 		mustCreate(w, dst, "dst", false)
@@ -246,7 +245,7 @@ func RunModelAccuracy(src, dst cloud.RegionID, quick bool) *ModelAccuracyResult 
 	}
 	res := &ModelAccuracyResult{Src: src, Dst: dst}
 
-	w := world.New()
+	w := newWorld("modelacc")
 	m := model.New()
 	mustCreate(w, src, "src", false)
 	mustCreate(w, dst, "dst", false)
@@ -332,7 +331,7 @@ func RunTable4(quick bool) *Table4Result {
 			if src == dst {
 				continue
 			}
-			w := world.New()
+			w := newWorld("table4")
 			m := model.New()
 			mustCreate(w, src, "p-src", false)
 			mustCreate(w, dst, "p-dst", false)
@@ -415,7 +414,7 @@ func RunFig20(src cloud.RegionID, dests []cloud.RegionID, quick bool) *Fig20Resu
 
 		// Dynamic: a relaxed SLO that still keeps the planner at a single
 		// function, profiled per pair.
-		w := world.New()
+		w := newWorld("fig20")
 		m := model.New()
 		mustCreate(w, src, "src", false)
 		mustCreate(w, dst, "dst", false)
@@ -447,7 +446,7 @@ func RunFig20(src cloud.RegionID, dests []cloud.RegionID, quick bool) *Fig20Resu
 
 // replicationTimes measures forced-plan replication times.
 func replicationTimes(src, dst cloud.RegionID, size int64, n int, loc cloud.RegionID, rounds int) []float64 {
-	w := world.New()
+	w := newWorld("repltime")
 	mustCreate(w, src, "src", false)
 	mustCreate(w, dst, "dst", false)
 	var mu sync.Mutex

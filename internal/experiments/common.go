@@ -8,6 +8,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/cloud"
@@ -56,6 +59,77 @@ func destinationsFor(src cloud.RegionID) []cloud.RegionID {
 		}
 	}
 	panic("experiments: unknown table source " + string(src))
+}
+
+// TraceDir, when non-empty (benchtab -tracedir), makes every experiment
+// world record telemetry; FlushTelemetry then writes one Chrome trace and
+// one metrics dump per world into the directory.
+var TraceDir string
+
+var (
+	telemetryMu     sync.Mutex
+	telemetryWorlds []labeledWorld
+)
+
+type labeledWorld struct {
+	label string
+	w     *world.World
+}
+
+// newWorld creates an experiment world. When TraceDir is set the world's
+// tracer is enabled and the world is queued for FlushTelemetry; label
+// names the experiment in the exported file names.
+func newWorld(label string) *world.World {
+	w := world.New()
+	if TraceDir == "" {
+		return w
+	}
+	w.Tracer.Enable()
+	telemetryMu.Lock()
+	telemetryWorlds = append(telemetryWorlds, labeledWorld{label, w})
+	telemetryMu.Unlock()
+	return w
+}
+
+// FlushTelemetry writes the queued worlds' traces and metrics into
+// TraceDir as <label>-<n>.trace.json / <label>-<n>.metrics.txt and clears
+// the queue. It is a no-op when TraceDir is unset.
+func FlushTelemetry() error {
+	if TraceDir == "" {
+		return nil
+	}
+	telemetryMu.Lock()
+	worlds := telemetryWorlds
+	telemetryWorlds = nil
+	telemetryMu.Unlock()
+	if len(worlds) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(TraceDir, 0o755); err != nil {
+		return err
+	}
+	for i, lw := range worlds {
+		base := fmt.Sprintf("%s-%02d", lw.label, i)
+		if err := writeTo(filepath.Join(TraceDir, base+".trace.json"), lw.w.Tracer.WriteChromeTrace); err != nil {
+			return err
+		}
+		if err := writeTo(filepath.Join(TraceDir, base+".metrics.txt"), lw.w.Metrics.WriteText); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // mustCreate creates a bucket or panics (experiment setup).

@@ -11,7 +11,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/model"
-	"repro/internal/world"
 )
 
 // Fig21Row is one object size's COPY replication measurements.
@@ -45,7 +44,7 @@ func RunFig21(quick bool) *Fig21Result {
 
 		// --- Skyplane: full copy every time. ---
 		{
-			w := world.New()
+			w := newWorld("fig21")
 			mustCreate(w, src, "src", false)
 			mustCreate(w, dst, "dst", false)
 			sky := baselines.NewSkyplane(w, src, dst, "src", "dst", 1, 0)
@@ -61,7 +60,7 @@ func RunFig21(quick bool) *Fig21Result {
 
 		// --- S3 RTC: full copy through the managed service. ---
 		{
-			w := world.New()
+			w := newWorld("fig21")
 			mustCreate(w, src, "src", true)
 			mustCreate(w, dst, "dst", true)
 			rtc, err := baselines.NewS3RTC(w, src, dst, "src", "dst")
@@ -79,7 +78,7 @@ func RunFig21(quick bool) *Fig21Result {
 
 		// --- AReplica, full vs changelog. ---
 		for _, withLog := range []bool{false, true} {
-			w := world.New()
+			w := newWorld("fig21")
 			m := model.New()
 			mustCreate(w, src, "src", false)
 			mustCreate(w, dst, "dst", false)
@@ -174,7 +173,7 @@ func RunFig22(quick bool) *Fig22Result {
 	for _, freq := range freqs {
 		pt := Fig22Point{UpdatesPerMin: freq}
 		for _, batched := range []bool{true, false} {
-			w := world.New()
+			w := newWorld("fig22")
 			m := model.New()
 			mustCreate(w, src, "src", false)
 			mustCreate(w, dst, "dst", false)
@@ -264,7 +263,7 @@ func RunPartSizeAblation(quick bool) *PartSizeResult {
 	src, dst := cloud.RegionID("azure:eastus"), cloud.RegionID("gcp:asia-northeast1")
 	res := &PartSizeResult{}
 	for _, ps := range sizes {
-		w := world.New()
+		w := newWorld("partsize")
 		mustCreate(w, src, "src", false)
 		mustCreate(w, dst, "dst", false)
 		var sumS float64

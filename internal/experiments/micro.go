@@ -11,7 +11,6 @@ import (
 	"repro/internal/faas"
 	"repro/internal/netsim"
 	"repro/internal/simrand"
-	"repro/internal/world"
 )
 
 // Fig4Result reproduces Figure 4: the time and cost breakdown of Skyplane
@@ -23,7 +22,7 @@ type Fig4Result struct {
 
 // RunFig4 measures one cold Skyplane transfer.
 func RunFig4() *Fig4Result {
-	w := world.New()
+	w := newWorld("fig4")
 	src, dst := cloud.RegionID("aws:us-east-1"), cloud.RegionID("aws:us-east-2")
 	mustCreate(w, src, "src", false)
 	mustCreate(w, dst, "dst", false)
@@ -126,7 +125,7 @@ func RunFig6(quick bool) *Fig6Result {
 // between exec and remote under a specific configuration and returns the
 // mean achieved MiB/s.
 func measureLinkBandwidth(exec, remote cloud.RegionID, memMB int, vcpu float64, rounds int) (down, up float64) {
-	w := world.New()
+	w := newWorld("fig6")
 	execRegion := cloud.MustLookup(exec)
 	cfg := faas.DefaultConfig(execRegion.Provider)
 	cfg.MemMB = memMB
@@ -218,7 +217,7 @@ func RunFig7(quick bool) *Fig7Result {
 // aggregateBandwidth runs n concurrent single-leg transfers and sums the
 // per-instance achieved bandwidth.
 func aggregateBandwidth(exec, remote cloud.RegionID, upload bool, n int) float64 {
-	w := world.New()
+	w := newWorld("fig7")
 	execRegion := cloud.MustLookup(exec)
 	remoteRegion := cloud.MustLookup(remote)
 	svc := w.Region(exec)
@@ -276,7 +275,7 @@ type Fig9Result struct {
 // RunFig9 runs five instances repeatedly transferring chunks from AWS
 // us-east-1 to Azure eastus for a minute.
 func RunFig9() *Fig9Result {
-	w := world.New()
+	w := newWorld("fig9")
 	exec := cloud.MustLookup("aws:us-east-1")
 	remote := cloud.MustLookup("azure:eastus")
 	svc := w.Region("aws:us-east-1")

@@ -9,7 +9,6 @@ import (
 	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/stats"
-	"repro/internal/world"
 )
 
 // OverlayResult is the §6 extension ablation: direct one-sided execution
@@ -43,7 +42,7 @@ func RunOverlayAblation(quick bool) *OverlayResult {
 	const size = 1 * GB
 
 	run := func(relays []cloud.RegionID) (float64, float64, bool) {
-		w := world.New()
+		w := newWorld("overlay")
 		m := model.New()
 		mustCreate(w, src, "src", false)
 		mustCreate(w, dst, "dst", false)

@@ -12,7 +12,6 @@ import (
 	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/objstore"
-	"repro/internal/world"
 )
 
 // Cell is one table entry: mean replication delay and per-object cost.
@@ -63,7 +62,7 @@ func (c *TableConfig) defaults() {
 // RunTable regenerates one of Tables 1-3.
 func RunTable(cfg TableConfig) *TableResult {
 	cfg.defaults()
-	w := world.New()
+	w := newWorld("table")
 	m := model.New()
 	dests := destinationsFor(cfg.Source)
 	if cfg.Quick {
@@ -277,7 +276,7 @@ func RunFig16(quick bool) *BulkResult {
 	}
 	res := &BulkResult{SizeBytes: size}
 	for pi, pr := range pairs {
-		w := world.New()
+		w := newWorld("fig16")
 		m := model.New()
 		src, dst := pr[0], pr[1]
 		srcB, dstB := "bulk-src", "bulk-dst"

@@ -126,7 +126,7 @@ func RunFig5(quick bool) *Fig5Result {
 
 	res := &Fig5Result{Ops: len(ops)}
 	for _, idle := range []time.Duration{5 * time.Minute, time.Minute, 20 * time.Second} {
-		w := world.New()
+		w := newWorld("fig5")
 		src, dst := cloud.RegionID("aws:us-east-1"), cloud.RegionID("aws:us-east-2")
 		mustCreate(w, src, "src", false)
 		mustCreate(w, dst, "dst", false)
@@ -204,7 +204,7 @@ func RunFig23(quick bool) *Fig23Result {
 
 	// --- AReplica ---
 	{
-		w := world.New()
+		w := newWorld("fig23")
 		m := model.New()
 		mustCreate(w, src, "src", false)
 		mustCreate(w, dst, "dst", false)
@@ -223,7 +223,7 @@ func RunFig23(quick bool) *Fig23Result {
 
 	// --- S3 RTC ---
 	{
-		w := world.New()
+		w := newWorld("fig23")
 		mustCreate(w, src, "src", true)
 		mustCreate(w, dst, "dst", true)
 		rtc, err := baselines.NewS3RTC(w, src, dst, "src", "dst")

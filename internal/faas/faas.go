@@ -26,6 +26,7 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/simrand"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Config describes a deployed function's runtime characteristics.
@@ -80,7 +81,7 @@ func DefaultConfig(p cloud.Provider) Config {
 		ExecLimit: 15 * time.Minute, MaxConcurrency: 1000, KeepWarm: 10 * time.Minute}
 }
 
-// Stats counts platform activity.
+// Stats is a snapshot of platform activity counters.
 type Stats struct {
 	Invocations   int64
 	ColdStarts    int64
@@ -105,6 +106,9 @@ type Ctx struct {
 	Config   Config
 	Started  time.Time
 	Clock    *simclock.Clock
+	// Span is the instance's execution span when the invocation carried
+	// trace context (nil otherwise; all Span methods no-op on nil).
+	Span *telemetry.Span
 }
 
 // BandwidthScale returns the instance's end-to-end bandwidth factor:
@@ -132,7 +136,22 @@ type Platform struct {
 	warm    []*Instance
 	running int
 	nextID  int
-	stats   Stats
+
+	invocations   telemetry.Counter
+	coldStarts    telemetry.Counter
+	warmStarts    telemetry.Counter
+	timeouts      telemetry.Counter
+	maxConcurrent telemetry.Gauge
+
+	// Optional run-wide registry instruments (nil no-ops until SetTelemetry).
+	regInvocations *telemetry.Counter
+	regColdStarts  *telemetry.Counter
+	regWarmStarts  *telemetry.Counter
+	regTimeouts    *telemetry.Counter
+	invokeHist     *telemetry.Histogram
+	startupHist    *telemetry.Histogram
+	postponeHist   *telemetry.Histogram
+	execHist       *telemetry.Histogram
 }
 
 // New returns a Platform in region with the given configuration, billing
@@ -164,9 +183,30 @@ func (p *Platform) FlushWarm() {
 
 // Stats returns a snapshot of activity counters.
 func (p *Platform) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Invocations:   p.invocations.Value(),
+		ColdStarts:    p.coldStarts.Value(),
+		WarmStarts:    p.warmStarts.Value(),
+		Timeouts:      p.timeouts.Value(),
+		MaxConcurrent: int(p.maxConcurrent.Value()),
+	}
+}
+
+// SetTelemetry mirrors the platform's activity into run-wide registry
+// instruments (counters aggregate across regions; histograms collect the
+// paper's I, D and P latency components plus execution time).
+func (p *Platform) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	p.regInvocations = reg.Counter("faas.invocations")
+	p.regColdStarts = reg.Counter("faas.cold_starts")
+	p.regWarmStarts = reg.Counter("faas.warm_starts")
+	p.regTimeouts = reg.Counter("faas.timeouts")
+	p.invokeHist = reg.Histogram("faas.invoke.seconds")
+	p.startupHist = reg.Histogram("faas.startup.seconds")
+	p.postponeHist = reg.Histogram("faas.postpone.seconds")
+	p.execHist = reg.Histogram("faas.exec.seconds")
 }
 
 // draw samples d with the platform's private rng, clamped at lo.
@@ -188,9 +228,7 @@ func (p *Platform) acquire() (inst *Instance, cold bool) {
 		p.mu.Lock()
 		if p.running < p.cfg.MaxConcurrency {
 			p.running++
-			if p.running > p.stats.MaxConcurrent {
-				p.stats.MaxConcurrent = p.running
-			}
+			p.maxConcurrent.SetMax(int64(p.running))
 			now := p.clock.Now()
 			// Reap expired warm instances, then reuse the freshest.
 			live := p.warm[:0]
@@ -203,15 +241,17 @@ func (p *Platform) acquire() (inst *Instance, cold bool) {
 			if n := len(p.warm); n > 0 {
 				inst = p.warm[n-1]
 				p.warm = p.warm[:n-1]
-				p.stats.WarmStarts++
 				p.mu.Unlock()
+				p.warmStarts.Inc()
+				p.regWarmStarts.Inc()
 				return inst, false
 			}
 			p.nextID++
-			p.stats.ColdStarts++
 			id := fmt.Sprintf("%s/fn-%d", p.region.ID(), p.nextID)
 			mult := p.net.InstanceMultiplier(p.region.Provider).Sample(p.rng)
 			p.mu.Unlock()
+			p.coldStarts.Inc()
+			p.regColdStarts.Inc()
 			return &Instance{ID: id, BwMult: mult}, true
 		}
 		p.mu.Unlock()
@@ -237,6 +277,15 @@ func (p *Platform) release(inst *Instance) {
 // one postponement P ~ U(0, round) is drawn for the wave, matching the
 // batching behaviour of Cloud Run's (and Azure's) instance scheduler.
 func (p *Platform) Invoke(n int, handler func(*Ctx)) {
+	p.InvokeSpan(nil, n, handler)
+}
+
+// InvokeSpan is Invoke with trace context: each invocation API call
+// becomes an "invoke" child of parent (annotated with the drawn I), and
+// each execution runs on its own lane as an "fn:<instance>" span with
+// "queued" (concurrency throttling) and "startup" (D + P, broken out as
+// annotations) children. A nil parent traces nothing.
+func (p *Platform) InvokeSpan(parent *telemetry.Span, n int, handler func(*Ctx)) {
 	if n <= 0 {
 		return
 	}
@@ -248,24 +297,44 @@ func (p *Platform) Invoke(n int, handler func(*Ctx)) {
 		p.mu.Lock()
 		needCold := len(p.warm) < n
 		if needCold {
-			postpone = time.Duration(p.rng.Float64() * float64(p.cfg.SchedulerRound))
+			postpone = simclock.Scale(p.cfg.SchedulerRound, p.rng.Float64())
 		}
 		p.mu.Unlock()
 	}
 
 	for i := 0; i < n; i++ {
-		p.clock.Sleep(simclock.Seconds(p.draw(p.cfg.InvokeLatency, 0.001)))
+		iv := parent.Child("invoke")
+		iSec := p.draw(p.cfg.InvokeLatency, 0.001)
+		p.clock.Sleep(simclock.Seconds(iSec))
+		iv.Set("i_s", iSec)
+		iv.End()
+		p.invokeHist.Observe(iSec)
 		p.meter.Add("fn:invoke", book.FnInvocation)
-		p.mu.Lock()
-		p.stats.Invocations++
-		p.mu.Unlock()
+		p.invocations.Inc()
+		p.regInvocations.Inc()
 		p.clock.Go(func() {
+			launched := p.clock.Now()
 			inst, cold := p.acquire()
+			acquired := p.clock.Now()
+			var startup float64
 			if cold {
-				d := simclock.Seconds(p.draw(p.cfg.ColdStart, 0.02))
-				p.clock.Sleep(d + postpone)
+				startup = p.draw(p.cfg.ColdStart, 0.02)
+				p.clock.Sleep(simclock.Seconds(startup) + postpone)
+				p.startupHist.Observe(startup)
+				p.postponeHist.Observe(postpone.Seconds())
 			}
-			p.run(inst, handler, book)
+			sp := parent.ForkAt("fn:"+inst.ID, launched)
+			if acquired.After(launched) {
+				sp.ChildAt("queued", launched).EndAt(acquired)
+			}
+			if cold {
+				sp.ChildAt("startup", acquired).
+					Set("d_s", startup).
+					SetSeconds("p_s", postpone).
+					EndAt(p.clock.Now())
+			}
+			sp.Set("cold", cold)
+			p.run(inst, handler, book, sp)
 		})
 	}
 }
@@ -274,34 +343,47 @@ func (p *Platform) Invoke(n int, handler func(*Ctx)) {
 // orchestrator that handles small work itself (T_func = 0 in the paper's
 // model). It still occupies an instance slot and bills execution time.
 func (p *Platform) InvokeLocal(handler func(*Ctx)) {
+	p.InvokeLocalSpan(nil, handler)
+}
+
+// InvokeLocalSpan is InvokeLocal with trace context; the execution span
+// stays on the parent's lane because it runs on the caller's actor.
+func (p *Platform) InvokeLocalSpan(parent *telemetry.Span, handler func(*Ctx)) {
 	book := pricing.BookFor(p.region.Provider)
-	p.mu.Lock()
-	p.stats.Invocations++
-	p.mu.Unlock()
+	p.invocations.Inc()
+	p.regInvocations.Inc()
 	p.meter.Add("fn:invoke", book.FnInvocation)
+	launched := p.clock.Now()
 	inst, cold := p.acquire()
 	if cold {
 		// A local handler runs inside an already-running function; the cold
 		// path only happens on the first use, and is cheap.
-		p.clock.Sleep(simclock.Seconds(p.draw(p.cfg.ColdStart, 0.02)))
+		d := p.draw(p.cfg.ColdStart, 0.02)
+		p.clock.Sleep(simclock.Seconds(d))
+		p.startupHist.Observe(d)
 	}
-	p.run(inst, handler, book)
+	sp := parent.ChildAt("fn:"+inst.ID, launched)
+	sp.Set("cold", cold)
+	p.run(inst, handler, book, sp)
 }
 
 // run executes handler on inst, enforcing the execution limit and billing.
-func (p *Platform) run(inst *Instance, handler func(*Ctx), book pricing.Book) {
+func (p *Platform) run(inst *Instance, handler func(*Ctx), book pricing.Book, sp *telemetry.Span) {
 	start := p.clock.Now()
-	ctx := &Ctx{Instance: inst, Region: p.region, Config: p.cfg, Started: start, Clock: p.clock}
+	ctx := &Ctx{Instance: inst, Region: p.region, Config: p.cfg, Started: start, Clock: p.clock, Span: sp}
 	handler(ctx)
 	dur := p.clock.Since(start)
 	if dur > p.cfg.ExecLimit {
 		// The simulator cannot preempt a handler; account the overrun as a
 		// timeout and bill only up to the limit, as the platform would.
-		p.mu.Lock()
-		p.stats.Timeouts++
-		p.mu.Unlock()
+		p.timeouts.Inc()
+		p.regTimeouts.Inc()
+		sp.Set("timeout", true)
 		dur = p.cfg.ExecLimit
 	}
+	p.execHist.Observe(dur.Seconds())
 	p.meter.Add("fn:compute", pricing.FnComputeCost(p.region.Provider, float64(p.cfg.MemMB)/1024, dur))
 	p.release(inst)
+	sp.SetSeconds("exec_s", dur)
+	sp.End()
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/simrand"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // ErrConditionFailed is returned when a conditional write's predicate
@@ -63,10 +64,18 @@ type Store struct {
 	rng     latencyRNG
 	tables  map[string]map[string]Item
 	expires map[string]map[string]time.Time // table -> key -> expiry
-	stats   OpStats
+
+	reads  telemetry.Counter
+	writes telemetry.Counter
+
+	// Optional run-wide registry instruments (nil no-ops until SetTelemetry).
+	regReads  *telemetry.Counter
+	regWrites *telemetry.Counter
+	opHist    *telemetry.Histogram
 }
 
-// OpStats counts operations, for tests and cost sanity checks.
+// OpStats is a snapshot of operation counters, for tests and cost sanity
+// checks.
 type OpStats struct {
 	Reads  int64
 	Writes int64
@@ -97,9 +106,19 @@ func (s *Store) Region() cloud.Region { return s.region }
 
 // Stats returns a snapshot of the operation counters.
 func (s *Store) Stats() OpStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return OpStats{Reads: s.reads.Value(), Writes: s.writes.Value()}
+}
+
+// SetTelemetry mirrors the store's activity into run-wide registry
+// instruments: aggregate read/write counters and an operation-latency
+// histogram shared across regions.
+func (s *Store) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.regReads = reg.Counter("kvstore.reads")
+	s.regWrites = reg.Counter("kvstore.writes")
+	s.opHist = reg.Histogram("kvstore.op.seconds")
 }
 
 // simulateOp sleeps one KV operation latency and meters its cost.
@@ -111,16 +130,14 @@ func (s *Store) simulateOp(write bool) {
 		d = 0.0005
 	}
 	s.clock.Sleep(simclock.Seconds(d))
-	s.mu.Lock()
+	s.opHist.Observe(d)
 	if write {
-		s.stats.Writes++
-	} else {
-		s.stats.Reads++
-	}
-	s.mu.Unlock()
-	if write {
+		s.writes.Inc()
+		s.regWrites.Inc()
 		s.meter.Add("kv:write", s.book.KVWrite)
 	} else {
+		s.reads.Inc()
+		s.regReads.Inc()
 		s.meter.Add("kv:read", s.book.KVRead)
 	}
 }

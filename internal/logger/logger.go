@@ -12,6 +12,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/engine"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // Observation pairs a task's predicted and measured replication time.
@@ -23,7 +24,7 @@ type Observation struct {
 	Actual    float64 // measured T_rep, seconds
 }
 
-// Stats summarizes logger activity.
+// Stats is a snapshot of logger activity counters.
 type Stats struct {
 	Observed  int64
 	Refreshes int64
@@ -45,7 +46,9 @@ type Logger struct {
 	mu      sync.Mutex
 	state   map[cloud.RegionID]*ewma
 	history []Observation
-	stats   Stats
+
+	observed  telemetry.Counter
+	refreshes telemetry.Counter
 }
 
 type ewma struct {
@@ -66,9 +69,7 @@ func New(m *model.Model, src, dst cloud.RegionID) *Logger {
 
 // Stats returns a snapshot of the logger's counters.
 func (lg *Logger) Stats() Stats {
-	lg.mu.Lock()
-	defer lg.mu.Unlock()
-	return lg.stats
+	return Stats{Observed: lg.observed.Value(), Refreshes: lg.refreshes.Value()}
 }
 
 // History returns the recorded observations.
@@ -89,8 +90,8 @@ func (lg *Logger) Observe(res engine.TaskResult) {
 	}
 	ratio := actual / res.Plan.EstMean
 
+	lg.observed.Inc()
 	lg.mu.Lock()
-	lg.stats.Observed++
 	lg.history = append(lg.history, Observation{
 		Loc: res.Plan.Loc, N: res.Plan.N, Size: res.Size,
 		Predicted: res.Plan.EstMean, Actual: actual,
@@ -115,7 +116,7 @@ func (lg *Logger) Observe(res engine.TaskResult) {
 		correction = st.ratio
 		st.ratio = 1
 		st.streak = 0
-		lg.stats.Refreshes++
+		lg.refreshes.Inc()
 	}
 	lg.mu.Unlock()
 

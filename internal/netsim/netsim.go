@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/cloud"
+	"repro/internal/simclock"
 	"repro/internal/simrand"
 	"repro/internal/stats"
 )
@@ -204,5 +205,5 @@ func TransferTime(bytes int64, mbps float64) time.Duration {
 	if mbps <= 0.01 {
 		mbps = 0.01
 	}
-	return time.Duration(float64(bytes) / (mbps * MiB) * float64(time.Second))
+	return simclock.Seconds(float64(bytes) / (mbps * MiB))
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/simrand"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Errors returned by store operations.
@@ -105,10 +106,18 @@ type Store struct {
 	rng         interface{ NormFloat64() float64 }
 	failRng     interface{ Float64() float64 }
 	failureRate float64
-	stats       Stats
 	buckets     map[string]*bucket
 	uploads     map[string]*multipart
 	seq         uint64
+
+	failures telemetry.Counter
+
+	// Optional run-wide registry instruments (nil no-ops until SetTelemetry).
+	regFailures *telemetry.Counter
+	putHist     *telemetry.Histogram
+	getHist     *telemetry.Histogram
+	copyHist    *telemetry.Histogram
+	notifyHist  *telemetry.Histogram
 }
 
 type multipart struct {
@@ -174,7 +183,8 @@ func (s *Store) maybeFail() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.failureRate > 0 && s.failRng.Float64() < s.failureRate {
-		s.stats.Failures++
+		s.failures.Inc()
+		s.regFailures.Inc()
 		return ErrUnavailable
 	}
 	return nil
@@ -187,15 +197,27 @@ type Stats struct {
 
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{Failures: s.failures.Value()}
+}
+
+// SetTelemetry mirrors the store's activity into run-wide registry
+// instruments: request-latency histograms per operation class and the
+// notification delivery delay T_n.
+func (s *Store) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.regFailures = reg.Counter("objstore.failures")
+	s.putHist = reg.Histogram("objstore.put.seconds")
+	s.getHist = reg.Histogram("objstore.get.seconds")
+	s.copyHist = reg.Histogram("objstore.copy.seconds")
+	s.notifyHist = reg.Histogram("objstore.notify.seconds")
 }
 
 // Region returns the store's region.
 func (s *Store) Region() cloud.Region { return s.region }
 
-func (s *Store) sleep(d stats.Normal) {
+func (s *Store) sleep(d stats.Normal, h *telemetry.Histogram) {
 	s.mu.Lock()
 	v := d.Mu + d.Sigma*s.rng.NormFloat64()
 	s.mu.Unlock()
@@ -203,6 +225,7 @@ func (s *Store) sleep(d stats.Normal) {
 		v = 0.002
 	}
 	s.clock.Sleep(simclock.Seconds(v))
+	h.Observe(v)
 }
 
 // CreateBucket creates a bucket; versioning retains non-current versions.
@@ -241,6 +264,7 @@ func (s *Store) emitLocked(b *bucket, ev Event) {
 	if delay < 0.05 {
 		delay = 0.05
 	}
+	s.notifyHist.Observe(delay)
 	s.clock.Delay(simclock.Seconds(delay), func() {
 		for _, fn := range subs {
 			fn(ev)
@@ -279,7 +303,7 @@ func (s *Store) Put(bucketName, key string, blob Blob) (PutResult, error) {
 // replication engines use it so their own writes are distinguishable from
 // application writes.
 func (s *Store) PutWithOrigin(bucketName, key string, blob Blob, origin string) (PutResult, error) {
-	s.sleep(s.putLatency)
+	s.sleep(s.putLatency, s.putHist)
 	s.meter.Add("obj:put", s.book.ObjPut)
 	if err := s.maybeFail(); err != nil {
 		return PutResult{}, err
@@ -295,7 +319,7 @@ func (s *Store) PutWithOrigin(bucketName, key string, blob Blob, origin string) 
 
 // Get returns the current version of key.
 func (s *Store) Get(bucketName, key string) (Object, error) {
-	s.sleep(s.getLatency)
+	s.sleep(s.getLatency, s.getHist)
 	s.meter.Add("obj:get", s.book.ObjGet)
 	if err := s.maybeFail(); err != nil {
 		return Object{}, err
@@ -341,7 +365,7 @@ func (s *Store) Delete(bucketName, key string) error {
 
 // DeleteWithOrigin is Delete with an origin tag on the notification.
 func (s *Store) DeleteWithOrigin(bucketName, key string, origin string) error {
-	s.sleep(s.putLatency)
+	s.sleep(s.putLatency, s.putHist)
 	s.meter.Add("obj:put", s.book.ObjPut)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -371,7 +395,7 @@ func (s *Store) Copy(srcBucket, srcKey, dstBucket, dstKey, ifMatch string) (PutR
 
 // CopyWithOrigin is Copy with an origin tag on the notification.
 func (s *Store) CopyWithOrigin(srcBucket, srcKey, dstBucket, dstKey, ifMatch, origin string) (PutResult, error) {
-	s.sleep(s.copyLatency)
+	s.sleep(s.copyLatency, s.copyHist)
 	s.meter.Add("obj:put", s.book.ObjPut)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -402,7 +426,7 @@ func (s *Store) Compose(bucketName, dstKey string, srcKeys []string, srcETags []
 
 // ComposeWithOrigin is Compose with an origin tag on the notification.
 func (s *Store) ComposeWithOrigin(bucketName, dstKey string, srcKeys []string, srcETags []string, origin string) (PutResult, error) {
-	s.sleep(s.copyLatency)
+	s.sleep(s.copyLatency, s.copyHist)
 	s.meter.Add("obj:put", s.book.ObjPut)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -432,7 +456,7 @@ func (s *Store) CreateMultipart(bucketName, key string) (string, error) {
 // CreateMultipartWithOrigin is CreateMultipart with an origin tag carried
 // through to the completion notification.
 func (s *Store) CreateMultipartWithOrigin(bucketName, key, origin string) (string, error) {
-	s.sleep(s.putLatency)
+	s.sleep(s.putLatency, s.putHist)
 	s.meter.Add("obj:put", s.book.ObjPut)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -448,7 +472,7 @@ func (s *Store) CreateMultipartWithOrigin(bucketName, key, origin string) (strin
 // UploadPart stores one part of a multipart upload. Parts may arrive in
 // any order and re-uploading a part number overwrites it.
 func (s *Store) UploadPart(uploadID string, partNum int, blob Blob) (string, error) {
-	s.sleep(s.putLatency)
+	s.sleep(s.putLatency, s.putHist)
 	s.meter.Add("obj:put", s.book.ObjPut)
 	if err := s.maybeFail(); err != nil {
 		return "", err
@@ -466,7 +490,7 @@ func (s *Store) UploadPart(uploadID string, partNum int, blob Blob) (string, err
 // CompleteMultipart assembles the uploaded parts in part-number order into
 // the target object and finishes the upload.
 func (s *Store) CompleteMultipart(uploadID string) (PutResult, error) {
-	s.sleep(s.putLatency)
+	s.sleep(s.putLatency, s.putHist)
 	s.meter.Add("obj:put", s.book.ObjPut)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -490,7 +514,7 @@ func (s *Store) CompleteMultipart(uploadID string) (PutResult, error) {
 
 // AbortMultipart discards an in-progress upload.
 func (s *Store) AbortMultipart(uploadID string) {
-	s.sleep(s.putLatency)
+	s.sleep(s.putLatency, s.putHist)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.uploads, uploadID)
@@ -524,7 +548,7 @@ func (s *Store) BucketUsage(bucketName string) (Usage, error) {
 // List returns the current metadata of every object in a bucket, sorted
 // by key. Priced as one GET-class request per 1000 keys (LIST pagination).
 func (s *Store) List(bucketName string) ([]Meta, error) {
-	s.sleep(s.getLatency)
+	s.sleep(s.getLatency, s.getHist)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b, ok := s.buckets[bucketName]

@@ -43,13 +43,15 @@ func New(w *world.World) *Profiler {
 func (p *Profiler) ProfileLoc(loc cloud.RegionID) model.LocParams {
 	svc := p.W.Region(loc)
 	clock := p.W.Clock
+	root := p.W.Tracer.StartTrace("profile "+string(loc), "profile-loc")
+	defer root.End()
 
 	// I: the caller-side async invocation API latency.
 	var iSamples []float64
 	for r := 0; r < p.Rounds; r++ {
 		group := clock.NewGroup(1)
 		t0 := clock.Now()
-		svc.Fn.Invoke(1, func(*faas.Ctx) { group.Done() })
+		svc.Fn.InvokeSpan(root, 1, func(*faas.Ctx) { group.Done() })
 		iSamples = append(iSamples, clock.Since(t0).Seconds())
 		group.Wait()
 	}
@@ -62,7 +64,7 @@ func (p *Profiler) ProfileLoc(loc cloud.RegionID) model.LocParams {
 		group := clock.NewGroup(1)
 		t0 := clock.Now()
 		var ready time.Duration
-		svc.Fn.Invoke(1, func(*faas.Ctx) {
+		svc.Fn.InvokeSpan(root, 1, func(*faas.Ctx) {
 			ready = clock.Since(t0)
 			group.Done()
 		})
@@ -84,7 +86,7 @@ func (p *Profiler) ProfileLoc(loc cloud.RegionID) model.LocParams {
 		var mu sync.Mutex
 		var maxReady time.Duration
 		t0 := clock.Now()
-		svc.Fn.Invoke(wave, func(*faas.Ctx) {
+		svc.Fn.InvokeSpan(root, wave, func(*faas.Ctx) {
 			mu.Lock()
 			if d := clock.Since(t0); d > maxReady {
 				maxReady = d
@@ -125,6 +127,8 @@ func (p *Profiler) ProfilePath(src, dst, loc cloud.RegionID) model.PathParams {
 	dstSvc := p.W.Region(dst)
 	locSvc := p.W.Region(loc)
 	clock := p.W.Clock
+	root := p.W.Tracer.StartTrace(fmt.Sprintf("profile %s->%s@%s", src, dst, loc), "profile-path")
+	defer root.End()
 
 	sb, db := p.profileBuckets(srcSvc, dstSvc)
 	size := int64(p.ChunksPerRound) * p.PartSize
@@ -142,7 +146,7 @@ func (p *Profiler) ProfilePath(src, dst, loc cloud.RegionID) model.PathParams {
 		r := r
 		locSvc.Fn.FlushWarm() // fresh instance per round: new multiplier
 		group := clock.NewGroup(1)
-		locSvc.Fn.Invoke(1, func(ctx *faas.Ctx) {
+		locSvc.Fn.InvokeSpan(root, 1, func(ctx *faas.Ctx) {
 			defer group.Done()
 			rng := simrand.NewIndexed(r, "profiler", string(src), string(dst), string(loc))
 			downScale := ctx.BandwidthScaleFor(srcSvc.Region.Provider)
@@ -216,6 +220,8 @@ func (p *Profiler) ProfilePath(src, dst, loc cloud.RegionID) model.PathParams {
 func (p *Profiler) ProfileNotify(src cloud.RegionID) stats.Normal {
 	svc := p.W.Region(src)
 	clock := p.W.Clock
+	root := p.W.Tracer.StartTrace("profile notify "+string(src), "profile-notify")
+	defer root.End()
 	bucketName := "areplica-profile-notify-" + string(src)
 	_ = svc.Obj.CreateBucket(bucketName, false)
 

@@ -12,3 +12,17 @@ func Seconds(s float64) time.Duration {
 	}
 	return time.Duration(s * float64(time.Second))
 }
+
+// ToSeconds is the inverse of Seconds: a Duration as floating-point
+// seconds. Use it (rather than ad-hoc float64(d)/float64(time.Second)
+// arithmetic) wherever the simulator crosses back into the model's
+// continuous-time domain, so the conversion is done one way everywhere.
+func ToSeconds(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+// Scale multiplies a Duration by a float factor (e.g. a uniform draw of a
+// fraction of a scheduler round), clamping negative results to zero.
+func Scale(d time.Duration, f float64) time.Duration {
+	return Seconds(ToSeconds(d) * f)
+}

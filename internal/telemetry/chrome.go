@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON array. Complete
+// spans use ph "X"; process/thread naming metadata uses ph "M".
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports every ended span in Chrome trace_event format
+// (load the file in chrome://tracing or https://ui.perfetto.dev). Each
+// trace becomes a process whose name is the trace ID; each lane becomes a
+// named thread, so a replication task renders as a waterfall: notify →
+// invoke → startup → per-part transfers → finalize, with concurrent
+// function instances on parallel rows.
+//
+// The output is deterministic: spans are ordered by trace start, then
+// start time, then path, and timestamps are virtual-clock microseconds
+// from the earliest recorded span. Two identical seeded runs therefore
+// produce byte-identical exports.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+
+	// Group spans into traces, ordered by first span start then trace ID.
+	type traceGroup struct {
+		id    string
+		first time.Time
+		spans []*Span
+	}
+	byID := make(map[string]*traceGroup)
+	var groups []*traceGroup
+	var epoch time.Time
+	for _, s := range spans {
+		g, ok := byID[s.TraceID]
+		if !ok {
+			g = &traceGroup{id: s.TraceID, first: s.Start}
+			byID[s.TraceID] = g
+			groups = append(groups, g)
+		}
+		if s.Start.Before(g.first) {
+			g.first = s.Start
+		}
+		g.spans = append(g.spans, s)
+		if epoch.IsZero() || s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if !groups[i].first.Equal(groups[j].first) {
+			return groups[i].first.Before(groups[j].first)
+		}
+		return groups[i].id < groups[j].id
+	})
+
+	var events []chromeEvent
+	for pid, g := range groups {
+		pid++ // pids start at 1
+		sort.Slice(g.spans, func(i, j int) bool {
+			a, b := g.spans[i], g.spans[j]
+			if !a.Start.Equal(b.Start) {
+				return a.Start.Before(b.Start)
+			}
+			return a.Path < b.Path
+		})
+		// Lanes become tids: the main lane ("") first, then by first use.
+		laneTid := make(map[string]int)
+		laneOrder := []string{}
+		for _, s := range g.spans {
+			if _, ok := laneTid[s.Lane]; !ok {
+				laneTid[s.Lane] = len(laneOrder)
+				laneOrder = append(laneOrder, s.Lane)
+			}
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": g.id},
+		})
+		for tid, lane := range laneOrder {
+			name := lane
+			if name == "" {
+				name = "main"
+			}
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": name},
+			})
+		}
+		for _, s := range g.spans {
+			ev := chromeEvent{
+				Name: s.Name,
+				Cat:  spanCat(s),
+				Ph:   "X",
+				Ts:   s.Start.Sub(epoch).Microseconds(),
+				Dur:  s.Finish.Sub(s.Start).Microseconds(),
+				Pid:  pid,
+				Tid:  laneTid[s.Lane],
+			}
+			if attrs := s.Attrs(); len(attrs) > 0 {
+				args := make(map[string]any, len(attrs))
+				for _, a := range attrs {
+					args[a.Key] = a.Value
+				}
+				ev.Args = args
+			}
+			events = append(events, ev)
+		}
+	}
+
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
+
+// spanCat buckets span names into trace_event categories so viewers can
+// filter by layer.
+func spanCat(s *Span) string {
+	switch {
+	case s.Parent == "":
+		return "task"
+	case strings.HasPrefix(s.Name, "kv:"):
+		return "kvstore"
+	case strings.HasPrefix(s.Name, "fn:") || s.Name == "invoke" || s.Name == "startup" || s.Name == "queued":
+		return "faas"
+	case strings.HasPrefix(s.Name, "leg-") || s.Name == "setup":
+		return "netsim"
+	case strings.HasPrefix(s.Name, "part-") || strings.HasPrefix(s.Name, "chunk-") || s.Name == "transfer":
+		return "transfer"
+	case strings.HasPrefix(s.Name, "mpu-") || s.Name == "src-get" || s.Name == "dst-put" ||
+		s.Name == "dst-delete" || s.Name == "get-range" || s.Name == "upload-part":
+		return "objstore"
+	case s.Name == "attempt":
+		return "engine"
+	case s.Name == "notify":
+		return "notify"
+	case s.Name == "changelog":
+		return "changelog"
+	default:
+		return "span"
+	}
+}

@@ -1,0 +1,373 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use; a nil *Counter no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc is Add(1).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable integer level. The zero value is ready to use; a
+// nil *Gauge no-ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// SetMax raises the gauge to n if n exceeds the current value (peak
+// tracking, e.g. maximum concurrent function instances).
+func (g *Gauge) SetMax(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// atomicFloat is a float64 with atomic add/min/max via CAS on its bits.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) storeMin(v float64) {
+	for {
+		old := f.bits.Load()
+		if v >= math.Float64frombits(old) || f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) storeMax(v float64) {
+	for {
+		old := f.bits.Load()
+		if v <= math.Float64frombits(old) || f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// DefaultLatencyBuckets are the histogram bounds used for latencies, in
+// seconds: 1 ms doubling up to ~35 simulated minutes.
+func DefaultLatencyBuckets() []float64 {
+	bounds := make([]float64, 22)
+	v := 0.001
+	for i := range bounds {
+		bounds[i] = v
+		v *= 2
+	}
+	return bounds
+}
+
+// Histogram is a fixed-bucket histogram with lock-free observation.
+// Bucket i counts observations in (bounds[i-1], bounds[i]]; an implicit
+// overflow bucket catches values above the last bound. The zero value is
+// not usable; create one with NewHistogram or Registry.Histogram. A nil
+// *Histogram no-ops.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is overflow
+	count  atomic.Int64
+	sum    atomicFloat
+	min    atomicFloat
+	max    atomicFloat
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds
+// (nil means DefaultLatencyBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets()
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.store(math.Inf(1))
+	h.max.store(math.Inf(-1))
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+	h.min.storeMin(v)
+	h.max.storeMax(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	return h.Sum() / float64(h.Count())
+}
+
+// Min and Max return the observed extremes (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	return h.min.load()
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	return h.max.load()
+}
+
+// BucketCounts returns the per-bucket counts including the overflow
+// bucket, and the bucket bounds.
+func (h *Histogram) BucketCounts() (bounds []float64, counts []int64) {
+	if h == nil {
+		return nil, nil
+	}
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return append([]float64(nil), h.bounds...), counts
+}
+
+// Quantile estimates the p-quantile (p in [0,1]) by linear interpolation
+// within the containing bucket, clamped to the observed min/max.
+func (h *Histogram) Quantile(p float64) float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.Min()
+	}
+	if p >= 1 {
+		return h.Max()
+	}
+	target := p * float64(n)
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= target {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.max.load()
+			if i < len(h.bounds) && h.bounds[i] < hi {
+				hi = h.bounds[i]
+			}
+			if mn := h.min.load(); lo < mn {
+				lo = mn
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (target - float64(cum)) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return h.Max()
+}
+
+// Registry is a named collection of counters, gauges and histograms.
+// Lookups get-or-create, so independent packages can share instruments by
+// name. A nil *Registry returns nil instruments, which no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram with the default latency buckets,
+// creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramBuckets(name, nil)
+}
+
+// HistogramBuckets is Histogram with explicit bucket bounds (applied only
+// on first creation).
+func (r *Registry) HistogramBuckets(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// WriteText dumps every non-empty instrument as sorted plain text:
+// counters and gauges as "name value", histograms with count, sum,
+// extremes and interpolated p50/p95/p99.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type line struct{ name, text string }
+	var lines []line
+	for name, c := range r.counters {
+		if v := c.Value(); v != 0 {
+			lines = append(lines, line{name, fmt.Sprintf("%s %d\n", name, v)})
+		}
+	}
+	for name, g := range r.gauges {
+		if v := g.Value(); v != 0 {
+			lines = append(lines, line{name, fmt.Sprintf("%s %d\n", name, v)})
+		}
+	}
+	for name, h := range r.hists {
+		if h.Count() == 0 {
+			continue
+		}
+		lines = append(lines, line{name, fmt.Sprintf(
+			"%s count=%d sum=%.6f min=%.6f max=%.6f p50=%.6f p95=%.6f p99=%.6f\n",
+			name, h.Count(), h.Sum(), h.Min(), h.Max(),
+			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))})
+	}
+	r.mu.Unlock()
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	for _, l := range lines {
+		if _, err := io.WriteString(w, l.text); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+// Package telemetry is the unified observability layer of the replication
+// stack: a span tracer driven by the simulated clock and a metrics
+// registry of counters, gauges and fixed-bucket latency histograms.
+//
+// The tracer follows one replication task end-to-end: the engine opens a
+// root span per task and every layer the task crosses — FaaS invocation,
+// object-store requests, KV accesses, wide-area transfer legs, changelog
+// lookups — attaches child spans, linked by the *Span values threaded
+// through the call paths. Traces export in Chrome trace_event format
+// (chrome://tracing, Perfetto); metrics export as a flat text dump.
+//
+// Everything is nil-safe: a nil *Tracer, *Span, *Registry, *Counter,
+// *Gauge or *Histogram accepts every call as a no-op, so instrumentation
+// points never need to guard against disabled telemetry.
+package telemetry
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values should be scalars
+// (string, bool, int64, float64) so exports are stable.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Tracer collects finished spans. Create one with NewTracer; it starts
+// disabled, and while disabled StartTrace returns nil spans whose entire
+// method set no-ops, so instrumentation costs nothing.
+type Tracer struct {
+	now func() time.Time
+
+	mu      sync.Mutex
+	enabled bool
+	spans   []*Span // ended spans, in End order
+}
+
+// NewTracer returns a disabled Tracer reading time from now (typically
+// simclock.Clock.Now, so spans live on virtual time).
+func NewTracer(now func() time.Time) *Tracer {
+	if now == nil {
+		now = time.Now
+	}
+	return &Tracer{now: now}
+}
+
+// SetEnabled turns span collection on or off. Traces started while
+// disabled are not recorded.
+func (t *Tracer) SetEnabled(on bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.enabled = on
+	t.mu.Unlock()
+}
+
+// Enable is SetEnabled(true).
+func (t *Tracer) Enable() { t.SetEnabled(true) }
+
+// Enabled reports whether spans are being collected.
+func (t *Tracer) Enabled() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.enabled
+}
+
+// Reset discards every collected span.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = nil
+	t.mu.Unlock()
+}
+
+// StartTrace opens a root span for a new trace starting now. It returns
+// nil (safe for every Span method) when the tracer is disabled.
+func (t *Tracer) StartTrace(traceID, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.StartTraceAt(traceID, name, t.now())
+}
+
+// StartTraceAt is StartTrace with an explicit start time; the engine uses
+// it to anchor a task's root span at the source PUT completion, so the
+// notification delay is part of the waterfall.
+func (t *Tracer) StartTraceAt(traceID, name string, start time.Time) *Span {
+	if t == nil || !t.Enabled() {
+		return nil
+	}
+	return &Span{t: t, TraceID: traceID, Name: name, Path: name, Start: start}
+}
+
+// Spans returns a snapshot of the ended spans, in the order they ended.
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.spans...)
+}
+
+// Span is one timed operation within a trace. Spans form a tree: children
+// reference their parent by Path, which is unique within the trace. A
+// span's Lane groups it with its serial ancestors for display; Fork opens
+// a new lane for a concurrent branch (one per function instance, say).
+//
+// All methods are safe on a nil receiver.
+type Span struct {
+	t *Tracer
+
+	TraceID string
+	Parent  string // parent span's Path; "" for the root
+	Path    string // unique within the trace
+	Name    string
+	Lane    string // display lane; "" is the trace's main lane
+	Start   time.Time
+	Finish  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	seq   map[string]int // per-name child counter for Path uniqueness
+	ended bool
+}
+
+// Child opens a sub-span starting now on the same lane.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.child(name, s.t.now(), false)
+}
+
+// ChildAt is Child with an explicit start time.
+func (s *Span) ChildAt(name string, start time.Time) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.child(name, start, false)
+}
+
+// Fork opens a sub-span on a lane of its own, for work that runs
+// concurrently with its siblings (a replicator function instance).
+func (s *Span) Fork(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.child(name, s.t.now(), true)
+}
+
+// ForkAt is Fork with an explicit start time.
+func (s *Span) ForkAt(name string, start time.Time) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.child(name, start, true)
+}
+
+func (s *Span) child(name string, start time.Time, fork bool) *Span {
+	s.mu.Lock()
+	if s.seq == nil {
+		s.seq = make(map[string]int)
+	}
+	n := s.seq[name]
+	s.seq[name]++
+	s.mu.Unlock()
+	path := s.Path + "/" + name
+	if n > 0 {
+		path += "#" + strconv.Itoa(n)
+	}
+	lane := s.Lane
+	if fork {
+		lane = path
+	}
+	return &Span{t: s.t, TraceID: s.TraceID, Parent: s.Path, Path: path, Name: name, Lane: lane, Start: start}
+}
+
+// Set attaches an annotation and returns the span for chaining. Setting a
+// key twice keeps both entries; exports use the last value.
+func (s *Span) Set(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+	return s
+}
+
+// SetSeconds attaches a duration annotation in seconds.
+func (s *Span) SetSeconds(key string, d time.Duration) *Span {
+	return s.Set(key, d.Seconds())
+}
+
+// Attrs returns a copy of the span's annotations.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// End closes the span now and records it with the tracer. Ending twice is
+// a no-op; spans that are never ended are not exported.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.EndAt(s.t.now())
+}
+
+// EndAt is End with an explicit finish time.
+func (s *Span) EndAt(at time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.Finish = at
+	s.mu.Unlock()
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, s)
+	s.t.mu.Unlock()
+}
+
+// Duration is the span's recorded length (zero until ended).
+func (s *Span) Duration() time.Duration {
+	if s == nil || s.Finish.IsZero() {
+		return 0
+	}
+	return s.Finish.Sub(s.Start)
+}

@@ -1,0 +1,359 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fakeClock is a deterministic stepping time source for tracer tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(0, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(time.Millisecond)
+	return c.t
+}
+
+func TestTracerDisabledByDefault(t *testing.T) {
+	tr := NewTracer(newFakeClock().now)
+	if tr.Enabled() {
+		t.Fatal("new tracer should start disabled")
+	}
+	sp := tr.StartTrace("t", "task")
+	if sp != nil {
+		t.Fatal("disabled tracer should return nil spans")
+	}
+	// The nil span's whole method set must no-op.
+	sp.Set("k", 1).SetSeconds("d", time.Second)
+	sp.Child("c").End()
+	sp.Fork("f").EndAt(time.Unix(1, 0))
+	sp.End()
+	if got := len(tr.Spans()); got != 0 {
+		t.Fatalf("disabled tracer recorded %d spans", got)
+	}
+}
+
+func TestSpanTreePathsAndLanes(t *testing.T) {
+	tr := NewTracer(newFakeClock().now)
+	tr.Enable()
+	root := tr.StartTrace("t", "task")
+	a := root.Child("step")
+	b := root.Child("step")
+	f := root.Fork("fn:1")
+	c := f.Child("leg")
+
+	if a.Path != "task/step" || a.Parent != "task" {
+		t.Errorf("first child path %q parent %q", a.Path, a.Parent)
+	}
+	if b.Path != "task/step#1" {
+		t.Errorf("duplicate name should get #n suffix, got %q", b.Path)
+	}
+	if a.Lane != "" || b.Lane != "" {
+		t.Errorf("Child must stay on the parent lane, got %q / %q", a.Lane, b.Lane)
+	}
+	if f.Lane != f.Path {
+		t.Errorf("Fork must open its own lane, got lane %q path %q", f.Lane, f.Path)
+	}
+	if c.Lane != f.Lane {
+		t.Errorf("child of a fork stays on the fork's lane, got %q want %q", c.Lane, f.Lane)
+	}
+
+	// Only ended spans are recorded, and double-End records once.
+	a.End()
+	a.End()
+	if got := len(tr.Spans()); got != 1 {
+		t.Fatalf("recorded %d spans, want 1", got)
+	}
+	tr.Reset()
+	if got := len(tr.Spans()); got != 0 {
+		t.Fatalf("Reset left %d spans", got)
+	}
+}
+
+func TestConcurrentSpanNesting(t *testing.T) {
+	tr := NewTracer(newFakeClock().now)
+	tr.Enable()
+	root := tr.StartTrace("t", "task")
+
+	const workers, depth = 16, 8
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := root.Fork("worker")
+			for d := 0; d < depth; d++ {
+				c := sp.Child("op").Set("d", int64(d))
+				c.End()
+			}
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	spans := tr.Spans()
+	if want := workers*(depth+1) + 1; len(spans) != want {
+		t.Fatalf("recorded %d spans, want %d", len(spans), want)
+	}
+	// Every path must be unique within the trace: that is what links
+	// children to parents in the export.
+	seen := make(map[string]bool)
+	for _, s := range spans {
+		if seen[s.Path] {
+			t.Fatalf("duplicate span path %q", s.Path)
+		}
+		seen[s.Path] = true
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(3)
+	g.Add(-1)
+	g.SetMax(10)
+	g.SetMax(7) // lower: no effect
+	if g.Value() != 10 {
+		t.Errorf("gauge = %d, want 10", g.Value())
+	}
+	// nil instruments no-op.
+	var nc *Counter
+	var ng *Gauge
+	nc.Inc()
+	ng.SetMax(1)
+	if nc.Value() != 0 || ng.Value() != 0 {
+		t.Error("nil instruments must read zero")
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// Bucket i is (bounds[i-1], bounds[i]]: a value equal to a bound lands
+	// in that bound's bucket; values above the last bound overflow.
+	for _, v := range []float64{0.5, 1.0, 1.5, 2.0, 4.0, 4.1, 100} {
+		h.Observe(v)
+	}
+	bounds, counts := h.BucketCounts()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("bounds/counts sizes %d/%d", len(bounds), len(counts))
+	}
+	want := []int64{2, 2, 1, 2} // (..1]=0.5,1.0  (1,2]=1.5,2.0  (2,4]=4.0  over=4.1,100
+	for i, c := range counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d (all %v)", i, c, want[i], counts)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if got := h.Min(); got != 0.5 {
+		t.Errorf("min = %v, want 0.5", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Errorf("max = %v, want 100", got)
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+2+4+4.1+100; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(nil)
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100) // 0.01 .. 1.00
+	}
+	// Quantiles are interpolated within buckets, so allow bucket-width
+	// error; the extremes are exact because they clamp to min/max.
+	if got := h.Quantile(0); got != 0.01 {
+		t.Errorf("p0 = %v, want min 0.01", got)
+	}
+	if got := h.Quantile(1); got != 1.0 {
+		t.Errorf("p100 = %v, want max 1.0", got)
+	}
+	if got := h.Quantile(0.5); got < 0.256 || got > 0.512 {
+		t.Errorf("p50 = %v, outside its bucket (0.256, 0.512]", got)
+	}
+	if got := h.Quantile(0.99); got < 0.512 || got > 1.0 {
+		t.Errorf("p99 = %v, outside (0.512, 1.0]", got)
+	}
+	// Quantiles are monotone in p.
+	prev := math.Inf(-1)
+	for _, p := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		q := h.Quantile(p)
+		if q < prev {
+			t.Errorf("quantile not monotone at p=%v: %v < %v", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestRegistryWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.count").Add(3)
+	r.Counter("unused") // zero: skipped
+	r.Gauge("a.peak").SetMax(7)
+	h := r.Histogram("m.lat")
+	h.Observe(0.5)
+	h.Observe(0.5)
+
+	// Same name returns the same instrument.
+	if r.Counter("z.count").Value() != 3 {
+		t.Error("registry did not return the existing counter")
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a.peak 7\n" +
+		"m.lat count=2 sum=1.000000 min=0.500000 max=0.500000 p50=0.500000 p95=0.500000 p99=0.500000\n" +
+		"z.count 3\n"
+	if buf.String() != want {
+		t.Errorf("WriteText:\n%s\nwant:\n%s", buf.String(), want)
+	}
+
+	var nr *Registry
+	if nr.Counter("x") != nil || nr.Gauge("x") != nil || nr.Histogram("x") != nil {
+		t.Error("nil registry must return nil instruments")
+	}
+	if err := nr.WriteText(&buf); err != nil {
+		t.Error("nil registry WriteText must no-op")
+	}
+}
+
+// buildSampleTrace constructs a small two-task trace with explicit
+// timestamps, mimicking the engine's span shapes.
+func buildSampleTrace() *Tracer {
+	base := time.Unix(0, 0)
+	at := func(ms int) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+	tr := NewTracer(func() time.Time { return base })
+	tr.Enable()
+
+	root := tr.StartTraceAt("rule k@1", "task", at(0)).Set("key", "k").Set("size", int64(1<<20))
+	root.ChildAt("notify", at(0)).EndAt(at(5))
+	inv := root.ChildAt("invoke", at(5)).Set("i_s", 0.002)
+	inv.EndAt(at(7))
+	fn := root.ForkAt("fn:inst-1", at(7)).Set("cold", true)
+	fn.ChildAt("startup", at(7)).EndAt(at(12))
+	part := fn.ChildAt("part-0", at(12)).Set("bytes", int64(1<<20))
+	part.ChildAt("leg-down", at(12)).EndAt(at(20))
+	part.ChildAt("leg-up", at(20)).EndAt(at(30))
+	part.EndAt(at(30))
+	fn.EndAt(at(31))
+	root.EndAt(at(32))
+
+	root2 := tr.StartTraceAt("rule k@2", "task", at(10))
+	root2.ChildAt("notify", at(10)).EndAt(at(14))
+	cl := root2.ChildAt("changelog", at(14)).Set("hit", true)
+	cl.EndAt(at(15))
+	root2.EndAt(at(15))
+	return tr
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildSampleTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("export differs from golden file:\n%s", buf.String())
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildSampleTrace().WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildSampleTrace().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two identical traces exported different bytes")
+	}
+	// Repeated export of the same tracer is also stable.
+	tr := buildSampleTrace()
+	var c, d bytes.Buffer
+	if err := tr.WriteChromeTrace(&c); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChromeTrace(&d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c.Bytes(), d.Bytes()) {
+		t.Error("re-export of one tracer is not stable")
+	}
+}
+
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").SetMax(int64(i*1000 + j))
+				r.Histogram("h").Observe(float64(j) / 1000)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 7999 {
+		t.Errorf("gauge max = %d, want 7999", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	_ = fmt.Sprint(c.Value())
+}

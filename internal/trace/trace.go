@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/simclock"
 	"repro/internal/simrand"
 )
 
@@ -170,7 +171,7 @@ func Generate(cfg Config) []Op {
 		}
 		n := poisson(rng, rate)
 		for i := 0; i < n; i++ {
-			at := time.Duration(m)*time.Minute + time.Duration(rng.Float64()*float64(time.Minute))
+			at := time.Duration(m)*time.Minute + simclock.Scale(time.Minute, rng.Float64())
 			rank := zipf.Uint64()
 			key := fmt.Sprintf("obj-%05d", rank)
 			if rng.Float64() < cfg.DeleteFraction {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/pricing"
 	"repro/internal/simclock"
 	"repro/internal/simrand"
+	"repro/internal/telemetry"
 	"repro/internal/workflow"
 )
 
@@ -36,6 +37,12 @@ type World struct {
 	Net   *netsim.Net
 	Meter *pricing.Meter
 
+	// Tracer collects per-task spans on the virtual clock (disabled until
+	// Tracer.Enable); Metrics is the run-wide instrument registry every
+	// service reports into.
+	Tracer  *telemetry.Tracer
+	Metrics *telemetry.Registry
+
 	regions map[cloud.RegionID]*Services
 }
 
@@ -53,16 +60,22 @@ func New() *World {
 		Clock:   clk,
 		Net:     netsim.New(),
 		Meter:   pricing.NewMeter(),
+		Tracer:  telemetry.NewTracer(clk.Now),
+		Metrics: telemetry.NewRegistry(),
 		regions: make(map[cloud.RegionID]*Services),
 	}
 	for _, r := range cloud.AllRegions() {
-		w.regions[r.ID()] = &Services{
+		s := &Services{
 			Region: r,
 			Obj:    objstore.New(clk, r, w.Meter),
 			KV:     kvstore.New(clk, r, w.Meter),
 			Fn:     faas.New(clk, r, w.Net, w.Meter, faas.DefaultConfig(r.Provider)),
 			Wf:     workflow.New(clk, r, w.Meter),
 		}
+		s.Obj.SetTelemetry(w.Metrics)
+		s.KV.SetTelemetry(w.Metrics)
+		s.Fn.SetTelemetry(w.Metrics)
+		w.regions[r.ID()] = s
 	}
 	return w
 }
@@ -82,6 +95,7 @@ func (w *World) Region(id cloud.RegionID) *Services {
 func (w *World) SetFnConfig(id cloud.RegionID, cfg faas.Config) {
 	s := w.Region(id)
 	s.Fn = faas.New(w.Clock, s.Region, w.Net, w.Meter, cfg)
+	s.Fn.SetTelemetry(w.Metrics)
 }
 
 // MoveBytes simulates one transfer leg of bytes from region `from` to
@@ -90,12 +104,25 @@ func (w *World) SetFnConfig(id cloud.RegionID, cfg faas.Config) {
 // calling actor sleeps for the transfer duration; cross-region legs accrue
 // egress cost at the sending provider's rate. It returns the leg duration.
 func (w *World) MoveBytes(from, to cloud.Region, exec cloud.Provider, bytes int64, bwScale float64, rng *rand.Rand) time.Duration {
+	return w.MoveBytesSpan(nil, "", from, to, exec, bytes, bwScale, rng)
+}
+
+// MoveBytesSpan is MoveBytes with trace context: the leg becomes a child
+// span of parent named name ("leg-down"/"leg-up"), annotated with
+// endpoints, bytes moved and the achieved bandwidth.
+func (w *World) MoveBytesSpan(parent *telemetry.Span, name string, from, to cloud.Region, exec cloud.Provider, bytes int64, bwScale float64, rng *rand.Rand) time.Duration {
 	mbps := w.Net.FuncLegMBps(from, to, exec).Sample(rng) * bwScale
 	if mbps < 0.5 {
 		mbps = 0.5
 	}
+	sp := parent.Child(name)
 	d := netsim.TransferTime(bytes, mbps)
 	w.Clock.Sleep(d)
+	sp.Set("from", string(from.ID())).Set("to", string(to.ID())).
+		Set("bytes", bytes).Set("mbps", mbps)
+	sp.End()
+	w.Metrics.Histogram("net.leg.seconds").Observe(simclock.ToSeconds(d))
+	w.Metrics.Counter("net.leg.bytes").Add(bytes)
 	if from.ID() != to.ID() {
 		w.Meter.Add("net:egress", pricing.EgressCost(from, to, bytes))
 	}
@@ -110,6 +137,8 @@ func (w *World) MoveBytesVM(from, to cloud.Region, bytes int64, rng *rand.Rand) 
 	}
 	d := netsim.TransferTime(bytes, mbps)
 	w.Clock.Sleep(d)
+	w.Metrics.Histogram("net.vmleg.seconds").Observe(simclock.ToSeconds(d))
+	w.Metrics.Counter("net.vmleg.bytes").Add(bytes)
 	if from.ID() != to.ID() {
 		w.Meter.Add("net:egress", pricing.EgressCost(from, to, bytes))
 	}
