@@ -309,6 +309,15 @@ func (r *Replication) SyncExisting() (int, error) {
 // Pending reports source writes not yet replicated.
 func (r *Replication) Pending() int { return r.svc.Tracker().PendingCount() }
 
+// DLQSize reports events parked in the dead-letter queue after exhausting
+// their retries and automatic redrives.
+func (r *Replication) DLQSize() int { return len(r.svc.Engine.DLQ()) }
+
+// RedriveDLQ re-dispatches every dead-lettered event with a fresh redrive
+// budget (the operator's "redrive" button), returning how many it
+// re-enqueued. Run the simulation (Wait) afterwards to let them converge.
+func (r *Replication) RedriveDLQ() int { return r.svc.Engine.RedriveDLQ() }
+
 // RegisterCopy hints that object dstKey (with the given ETag) was created
 // by copying srcKey at version srcETag; the destination can then mirror
 // the copy locally at near-zero cost.

@@ -9,6 +9,8 @@
 //	areplica -src aws:us-east-1 -dst azure:eastus -size 128MB -count 5
 //	areplica -src gcp:us-east1 -dst aws:eu-west-1 -slo 30s -replay 10m -rate 60
 //	areplica -size 64MB -count 3 -trace trace.json -metrics metrics.txt
+//	areplica -chaos mixed@7 -count 20 -metrics metrics.txt
+//	areplica -chaos list
 //	areplica -regions
 package main
 
@@ -20,8 +22,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro"
+	"repro/internal/chaos"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -39,6 +43,7 @@ func main() {
 		traceRate  = flag.Float64("rate", 60, "trace request rate (ops/minute)")
 		traceOut   = flag.String("trace", "", "write per-task spans as Chrome trace_event JSON to this file (chrome://tracing, Perfetto)")
 		metricsOut = flag.String("metrics", "", "write the run's aggregate metrics (counters + latency histograms) to this file")
+		chaosFlag  = flag.String("chaos", "", "arm a chaos profile after deployment (name[@seed], e.g. mixed@7; 'list' shows profiles)")
 		regions    = flag.Bool("regions", false, "list available regions and exit")
 		showStats  = flag.Bool("stats", false, "print a per-region activity snapshot at the end")
 		verbose    = flag.Bool("v", false, "print per-object delays")
@@ -51,6 +56,19 @@ func main() {
 			fmt.Println(r)
 		}
 		return
+	}
+	if *chaosFlag == "list" {
+		for _, n := range chaos.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	var chaosProf chaos.Profile
+	if *chaosFlag != "" {
+		var err error
+		if chaosProf, err = chaos.Parse(*chaosFlag); err != nil {
+			fatal(err)
+		}
 	}
 	size, err := parseSize(*sizeFlag)
 	if err != nil {
@@ -82,6 +100,27 @@ func main() {
 	if *traceOut != "" {
 		sim.World().Tracer.Enable()
 	}
+	// Chaos arms after Deploy too: profiling fits a clean model, and
+	// partition windows are anchored at the workload's start.
+	if chaosProf.Enabled() {
+		fmt.Printf("arming chaos profile %s\n", *chaosFlag)
+		sim.World().SetChaos(chaosProf)
+	}
+
+	// Under chaos the source PUT itself can be refused; retry with backoff
+	// like any SDK client (a no-op without injection).
+	put := func(key string, size int64) error {
+		var err error
+		for attempt := 0; attempt < 8; attempt++ {
+			if attempt > 0 {
+				sim.Sleep(250 * time.Millisecond << uint(attempt-1))
+			}
+			if _, err = sim.PutObject(*srcFlag, srcBucket, key, size); err == nil {
+				return nil
+			}
+		}
+		return err
+	}
 
 	if *replayDur > 0 {
 		ops := trace.Generate(trace.DefaultConfig(*replayDur, *traceRate))
@@ -92,7 +131,7 @@ func main() {
 				_ = sim.DeleteObject(*srcFlag, srcBucket, op.Key)
 				return
 			}
-			if _, err := sim.PutObject(*srcFlag, srcBucket, op.Key, op.Size); err != nil {
+			if err := put(op.Key, op.Size); err != nil {
 				fatal(err)
 			}
 		})
@@ -100,8 +139,13 @@ func main() {
 		fmt.Printf("replicating %d x %s objects...\n", *count, *sizeFlag)
 		for i := 0; i < *count; i++ {
 			key := fmt.Sprintf("object-%03d", i)
-			if _, err := sim.PutObject(*srcFlag, srcBucket, key, size); err != nil {
+			if err := put(key, size); err != nil {
 				fatal(err)
+			}
+			if chaosProf.Enabled() {
+				// Space writes out so scheduled partition windows land
+				// mid-workload instead of after it.
+				sim.Sleep(2 * time.Second)
 			}
 		}
 	}
@@ -118,6 +162,14 @@ func main() {
 			fmt.Printf("  %-24s %10s  %8.2fs\n", r.Key, byteSize(r.Size), r.Delay.Seconds())
 		}
 	}
+	if chaosProf.Enabled() && rep.DLQSize() > 0 {
+		// Operator recovery: redrive the dead-letter queue once and let the
+		// re-dispatched events converge.
+		fmt.Printf("redriving %d dead-lettered events...\n", rep.RedriveDLQ())
+		sim.Wait()
+		records = rep.Records()
+	}
+
 	fmt.Printf("\nreplicated %d objects (pending %d)\n", len(records), rep.Pending())
 	fmt.Printf("delay: p50 %.2fs  p99 %.2fs  max %.2fs\n",
 		stats.Percentile(delays, 50), stats.Percentile(delays, 99), stats.Percentile(delays, 100))
@@ -146,6 +198,18 @@ func main() {
 		total += v
 	}
 	fmt.Printf("  %-12s $%.6f\n", "total", total)
+
+	if chaosProf.Enabled() {
+		m := sim.World().Metrics
+		fmt.Printf("\nchaos %s: injected %d faults; engine retries %d, breaker opens %d, degraded plans %d, redrives %d, dlq %d\n",
+			*chaosFlag,
+			m.Counter("chaos.injected").Value(),
+			m.Counter("engine.retries").Value(),
+			m.Counter("engine.breaker_open").Value(),
+			m.Counter("engine.breaker.degraded").Value(),
+			m.Counter("engine.dlq.redriven").Value(),
+			rep.DLQSize())
+	}
 
 	if *showStats {
 		fmt.Println()

@@ -8,6 +8,8 @@
 //	benchtab -all -quick     # reduced sizes/rounds, same shapes
 //	benchtab -table 1        # one table (1, 2, 3 or 4)
 //	benchtab -fig 23         # one figure (2-9, 12, 16-23)
+//	benchtab -chaos matrix   # fault matrix across every chaos profile
+//	benchtab -chaos mixed@7  # fault matrix for one profile spec
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cloud"
@@ -23,23 +26,27 @@ import (
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "regenerate one table (1-4)")
-		fig      = flag.Int("fig", 0, "regenerate one figure (2-9, 12, 16-23)")
-		extra    = flag.String("extra", "", "extension ablations: partsize | overlay")
-		all      = flag.Bool("all", false, "regenerate every table and figure")
-		quick    = flag.Bool("quick", false, "reduced sizes and rounds")
-		csv      = flag.String("csv", "", "also export plottable CSV datasets into this directory")
-		tracedir = flag.String("tracedir", "", "export per-experiment Chrome traces and metrics dumps into this directory")
+		table     = flag.Int("table", 0, "regenerate one table (1-4)")
+		fig       = flag.Int("fig", 0, "regenerate one figure (2-9, 12, 16-23)")
+		extra     = flag.String("extra", "", "extension ablations: partsize | overlay")
+		chaosFlag = flag.String("chaos", "", "fault matrix: 'matrix' (all profiles) or comma-separated profile specs (e.g. mixed@7,storage-flaky)")
+		all       = flag.Bool("all", false, "regenerate every table and figure")
+		quick     = flag.Bool("quick", false, "reduced sizes and rounds")
+		csv       = flag.String("csv", "", "also export plottable CSV datasets into this directory")
+		tracedir  = flag.String("tracedir", "", "export per-experiment Chrome traces and metrics dumps into this directory")
 	)
 	flag.Parse()
 	csvDir = *csv
 	experiments.TraceDir = *tracedir
 
-	if !*all && *table == 0 && *fig == 0 && *extra == "" {
+	if !*all && *table == 0 && *fig == 0 && *extra == "" && *chaosFlag == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 	start := time.Now()
+	if *chaosFlag != "" {
+		runChaos(*chaosFlag, *quick)
+	}
 	if *all {
 		for _, t := range []int{1, 2, 3, 4} {
 			runTable(t, *quick)
@@ -54,7 +61,7 @@ func main() {
 		runTable(*table, *quick)
 	} else if *extra != "" {
 		runExtra(*extra, *quick)
-	} else {
+	} else if *fig != 0 {
 		runFig(*fig, *quick)
 	}
 	if err := experiments.FlushTelemetry(); err != nil {
@@ -144,6 +151,20 @@ func runFig(n int, quick bool) {
 		fmt.Fprintf(os.Stderr, "unknown figure %d\n", n)
 		os.Exit(2)
 	}
+}
+
+func runChaos(spec string, quick bool) {
+	hdr("Fault matrix")
+	cfg := experiments.FaultMatrixConfig{Quick: quick}
+	if spec != "matrix" {
+		cfg.Profiles = strings.Split(spec, ",")
+	}
+	res, err := experiments.RunFaultMatrix(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fault matrix: %v\n", err)
+		os.Exit(2)
+	}
+	emit(res)
 }
 
 func runExtra(name string, quick bool) {

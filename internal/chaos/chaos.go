@@ -1,0 +1,319 @@
+// Package chaos is a seeded, virtual-clock-driven fault-injection
+// framework. One Injector is armed per world (world.SetChaos) and every
+// substrate consults it at its operation boundaries: the object store for
+// transient 503s / slow requests / vanished multipart uploads, the KV
+// store for throttling and contention storms, the FaaS platform for
+// instance crashes, cold-start storms and straggler bandwidth collapse,
+// the network for link degradation and scheduled inter-region partitions,
+// and notification delivery for loss, duplication and reordering.
+//
+// Every decision is drawn from a per-(fault-kind, region) generator seeded
+// by the profile's identity, so identically-seeded runs inject identical
+// fault schedules and stay byte-for-byte reproducible. All Injector
+// methods are nil-safe: a nil *Injector injects nothing, so substrates
+// carry the pointer unconditionally.
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/simrand"
+	"repro/internal/telemetry"
+)
+
+// Fault kinds, used for telemetry counter names (chaos.injected.<kind>).
+const (
+	KindObjFail      = "obj_fail"
+	KindObjSlow      = "obj_slow"
+	KindObjMpuVanish = "obj_mpu_vanish"
+	KindKVThrottle   = "kv_throttle"
+	KindKVContention = "kv_contention"
+	KindFnCrash      = "fn_crash"
+	KindFnColdStorm  = "fn_cold_storm"
+	KindFnStraggler  = "fn_straggler"
+	KindNetDegrade   = "net_degrade"
+	KindNetPartition = "net_partition"
+	KindNotifyLoss   = "notify_loss"
+	KindNotifyDup    = "notify_dup"
+	KindNotifyDelay  = "notify_delay"
+)
+
+var kinds = []string{
+	KindObjFail, KindObjSlow, KindObjMpuVanish,
+	KindKVThrottle, KindKVContention,
+	KindFnCrash, KindFnColdStorm, KindFnStraggler,
+	KindNetDegrade, KindNetPartition,
+	KindNotifyLoss, KindNotifyDup, KindNotifyDelay,
+}
+
+// ObjVerdict is the fate of one object-store request: an optional extra
+// delay (slow request) and whether the request fails transiently.
+type ObjVerdict struct {
+	Fail  bool
+	Delay time.Duration
+}
+
+// NotifyVerdict is the fate of one notification delivery.
+type NotifyVerdict struct {
+	Drop      bool
+	Duplicate bool          // deliver a second copy DupExtra after the first
+	Extra     time.Duration // extra delivery delay (reordering)
+	DupExtra  time.Duration
+}
+
+// Injector draws fault decisions for one armed profile. Create one with
+// NewInjector; a nil Injector never injects.
+type Injector struct {
+	clock *simclock.Clock
+	prof  Profile
+	epoch time.Time // arming time; partition windows are relative to it
+
+	mu   sync.Mutex
+	rngs map[string]*rand.Rand
+
+	injected *telemetry.Counter
+	byKind   map[string]*telemetry.Counter
+}
+
+// NewInjector arms profile p on clock, counting injected faults into reg
+// as chaos.injected and chaos.injected.<kind>. Partition windows start
+// counting from the arming moment.
+func NewInjector(clock *simclock.Clock, p Profile, reg *telemetry.Registry) *Injector {
+	ij := &Injector{
+		clock:    clock,
+		prof:     p,
+		epoch:    clock.Now(),
+		rngs:     make(map[string]*rand.Rand),
+		injected: reg.Counter("chaos.injected"),
+		byKind:   make(map[string]*telemetry.Counter, len(kinds)),
+	}
+	for _, k := range kinds {
+		ij.byKind[k] = reg.Counter("chaos.injected." + k)
+	}
+	return ij
+}
+
+// Profile returns the armed profile.
+func (ij *Injector) Profile() Profile {
+	if ij == nil {
+		return Profile{}
+	}
+	return ij.prof
+}
+
+// count records one injected fault of the given kind.
+func (ij *Injector) count(kind string) {
+	ij.injected.Inc()
+	ij.byKind[kind].Inc()
+}
+
+// roll draws a uniform [0,1) float from the (kind, scope) stream. Each
+// stream is seeded by the profile identity plus its labels, so decision
+// sequences are independent per substrate and region and stable across
+// runs.
+func (ij *Injector) roll(kind, scope string) float64 {
+	ij.mu.Lock()
+	defer ij.mu.Unlock()
+	key := kind + "|" + scope
+	rng, ok := ij.rngs[key]
+	if !ok {
+		rng = simrand.New("chaos", ij.prof.Name, ij.prof.Seed, key)
+		ij.rngs[key] = rng
+	}
+	return rng.Float64()
+}
+
+// scaled returns a duration drawn uniformly from (0, max].
+func (ij *Injector) scaled(kind, scope string, max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	d := simclock.Scale(max, ij.roll(kind+"-d", scope))
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// Obj decides the fate of one object-store request identified by its
+// operation class ("put", "get_range", "mpu_upload", ...).
+func (ij *Injector) Obj(region, op string) ObjVerdict {
+	if ij == nil {
+		return ObjVerdict{}
+	}
+	var v ObjVerdict
+	if ij.prof.ObjSlowRate > 0 && ij.roll(KindObjSlow, region) < ij.prof.ObjSlowRate {
+		v.Delay = ij.scaled(KindObjSlow, region, ij.prof.ObjSlowMax)
+		ij.count(KindObjSlow)
+	}
+	if ij.prof.ObjFailRate > 0 && ij.roll(KindObjFail, region+"|"+op) < ij.prof.ObjFailRate {
+		v.Fail = true
+		ij.count(KindObjFail)
+	}
+	return v
+}
+
+// ObjMpuVanish decides whether an in-progress multipart upload has
+// vanished under the caller (aborted by lifecycle cleanup).
+func (ij *Injector) ObjMpuVanish(region string) bool {
+	if ij == nil || ij.prof.ObjMpuVanishRate <= 0 {
+		return false
+	}
+	if ij.roll(KindObjMpuVanish, region) < ij.prof.ObjMpuVanishRate {
+		ij.count(KindObjMpuVanish)
+		return true
+	}
+	return false
+}
+
+// KVThrottle returns the extra latency of a throttled KV operation (zero
+// when not throttled). The delay models the SDK's internal retries after
+// a ProvisionedThroughputExceeded-class rejection.
+func (ij *Injector) KVThrottle(region string) time.Duration {
+	if ij == nil || ij.prof.KVThrottleRate <= 0 {
+		return 0
+	}
+	if ij.roll(KindKVThrottle, region) < ij.prof.KVThrottleRate {
+		ij.count(KindKVThrottle)
+		return ij.scaled(KindKVThrottle, region, ij.prof.KVThrottleMax)
+	}
+	return 0
+}
+
+// KVContention decides whether a conditional write loses a (spurious)
+// contention race and fails its precondition.
+func (ij *Injector) KVContention(region string) bool {
+	if ij == nil || ij.prof.KVContentionRate <= 0 {
+		return false
+	}
+	if ij.roll(KindKVContention, region) < ij.prof.KVContentionRate {
+		ij.count(KindKVContention)
+		return true
+	}
+	return false
+}
+
+// FnCrash decides whether a function invocation's instance crashes, and
+// if so how far into the execution it stops making progress.
+func (ij *Injector) FnCrash(region string) (after time.Duration, crashed bool) {
+	if ij == nil || ij.prof.FnCrashRate <= 0 {
+		return 0, false
+	}
+	if ij.roll(KindFnCrash, region) < ij.prof.FnCrashRate {
+		ij.count(KindFnCrash)
+		max := ij.prof.FnCrashMax
+		if max <= 0 {
+			max = 30 * time.Second
+		}
+		return ij.scaled(KindFnCrash, region, max), true
+	}
+	return 0, false
+}
+
+// FnColdStorm decides whether the platform reclaimed the warm instance an
+// invocation was about to reuse, forcing a cold start.
+func (ij *Injector) FnColdStorm(region string) bool {
+	if ij == nil || ij.prof.FnColdStormRate <= 0 {
+		return false
+	}
+	if ij.roll(KindFnColdStorm, region) < ij.prof.FnColdStormRate {
+		ij.count(KindFnColdStorm)
+		return true
+	}
+	return false
+}
+
+// FnStraggler returns the bandwidth collapse factor of a freshly started
+// instance (1 when the instance is healthy).
+func (ij *Injector) FnStraggler(region string) float64 {
+	if ij == nil || ij.prof.FnStragglerRate <= 0 {
+		return 1
+	}
+	if ij.roll(KindFnStraggler, region) < ij.prof.FnStragglerRate {
+		ij.count(KindFnStraggler)
+		f := ij.prof.FnStragglerFactor
+		if f <= 0 || f >= 1 {
+			f = 0.2
+		}
+		return f
+	}
+	return 1
+}
+
+// Net decides the fate of one inter-region transfer leg: a stall (the
+// remaining time of an active partition window covering the pair) and a
+// bandwidth scale factor (link degradation; 1 when healthy). Regions and
+// providers are plain strings so the package stays substrate-agnostic.
+func (ij *Injector) Net(fromID, toID, fromProvider, toProvider string) (stall time.Duration, bwScale float64) {
+	if ij == nil {
+		return 0, 1
+	}
+	bwScale = 1
+	if fromID == toID {
+		return 0, 1 // intra-region traffic never partitions or degrades
+	}
+	now := ij.clock.Now()
+	for _, p := range ij.prof.Partitions {
+		if !p.matches(fromID, toID, fromProvider, toProvider) {
+			continue
+		}
+		start := ij.epoch.Add(p.Start)
+		end := start.Add(p.Duration)
+		if !now.Before(start) && now.Before(end) {
+			if s := end.Sub(now); s > stall {
+				stall = s
+			}
+		}
+	}
+	if stall > 0 {
+		ij.count(KindNetPartition)
+	}
+	if ij.prof.NetDegradeRate > 0 && ij.roll(KindNetDegrade, fromID+">"+toID) < ij.prof.NetDegradeRate {
+		f := ij.prof.NetDegradeFactor
+		if f <= 0 || f >= 1 {
+			f = 0.3
+		}
+		bwScale = f
+		ij.count(KindNetDegrade)
+	}
+	return stall, bwScale
+}
+
+// matches reports whether the partition covers the leg (symmetric).
+func (p Partition) matches(fromID, toID, fromProvider, toProvider string) bool {
+	side := func(sel, id, provider string) bool {
+		return sel == "*" || sel == id || sel == provider
+	}
+	return (side(p.A, fromID, fromProvider) && side(p.B, toID, toProvider)) ||
+		(side(p.A, toID, toProvider) && side(p.B, fromID, fromProvider))
+}
+
+// Notify decides the fate of one notification delivery.
+func (ij *Injector) Notify(region string) NotifyVerdict {
+	if ij == nil {
+		return NotifyVerdict{}
+	}
+	var v NotifyVerdict
+	if ij.prof.NotifyLossRate > 0 && ij.roll(KindNotifyLoss, region) < ij.prof.NotifyLossRate {
+		ij.count(KindNotifyLoss)
+		v.Drop = true
+		return v
+	}
+	if ij.prof.NotifyDelayRate > 0 && ij.roll(KindNotifyDelay, region) < ij.prof.NotifyDelayRate {
+		ij.count(KindNotifyDelay)
+		v.Extra = ij.scaled(KindNotifyDelay, region, ij.prof.NotifyDelayMax)
+	}
+	if ij.prof.NotifyDupRate > 0 && ij.roll(KindNotifyDup, region) < ij.prof.NotifyDupRate {
+		ij.count(KindNotifyDup)
+		v.Duplicate = true
+		max := ij.prof.NotifyDelayMax
+		if max <= 0 {
+			max = 2 * time.Second
+		}
+		v.DupExtra = ij.scaled(KindNotifyDup, region, max)
+	}
+	return v
+}

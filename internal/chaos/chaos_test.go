@@ -1,0 +1,177 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/telemetry"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// TestChaosDeterministicStreams verifies the core reproducibility
+// contract: two injectors armed with the same profile and seed draw
+// identical fault schedules, and a different seed draws a different one.
+func TestChaosDeterministicStreams(t *testing.T) {
+	draw := func(seed string) []ObjVerdict {
+		p, _ := Lookup("storage-flaky")
+		p.Seed = seed
+		ij := NewInjector(simclock.New(epoch), p, telemetry.NewRegistry())
+		out := make([]ObjVerdict, 200)
+		for i := range out {
+			out[i] = ij.Obj("aws:us-east-1", "put")
+		}
+		return out
+	}
+	a, b, c := draw("7"), draw("7"), draw("8")
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("verdict %d differs between identically-seeded injectors: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seed 7 and seed 8 drew identical fault schedules")
+	}
+}
+
+// TestChaosStreamsIndependentPerScope verifies per-(kind, scope) decision
+// streams: faults drawn for one region do not perturb another region's
+// schedule, which keeps multi-region runs reproducible under refactors.
+func TestChaosStreamsIndependentPerScope(t *testing.T) {
+	p, _ := Lookup("storage-flaky")
+	mk := func() *Injector { return NewInjector(simclock.New(epoch), p, telemetry.NewRegistry()) }
+
+	solo := mk()
+	var want []ObjVerdict
+	for i := 0; i < 50; i++ {
+		want = append(want, solo.Obj("aws:us-east-1", "put"))
+	}
+
+	mixed := mk()
+	for i := 0; i < 50; i++ {
+		mixed.Obj("azure:eastus", "put") // interleaved other-region traffic
+		if got := mixed.Obj("aws:us-east-1", "put"); got != want[i] {
+			t.Fatalf("verdict %d perturbed by other-region draws: %+v vs %+v", i, got, want[i])
+		}
+	}
+}
+
+// TestChaosNilInjectorInjectsNothing covers the nil-safety contract the
+// substrates rely on to carry the pointer unconditionally.
+func TestChaosNilInjectorInjectsNothing(t *testing.T) {
+	var ij *Injector
+	if v := ij.Obj("r", "put"); v.Fail || v.Delay != 0 {
+		t.Fatal("nil injector failed an object request")
+	}
+	if ij.ObjMpuVanish("r") || ij.KVContention("r") || ij.FnColdStorm("r") {
+		t.Fatal("nil injector injected a fault")
+	}
+	if d := ij.KVThrottle("r"); d != 0 {
+		t.Fatal("nil injector throttled")
+	}
+	if _, crashed := ij.FnCrash("r"); crashed {
+		t.Fatal("nil injector crashed an instance")
+	}
+	if f := ij.FnStraggler("r"); f != 1 {
+		t.Fatal("nil injector degraded an instance")
+	}
+	if stall, bw := ij.Net("a", "b", "p", "q"); stall != 0 || bw != 1 {
+		t.Fatal("nil injector touched the network")
+	}
+	if v := ij.Notify("r"); v.Drop || v.Duplicate || v.Extra != 0 {
+		t.Fatal("nil injector touched a notification")
+	}
+	if ij.Profile().Enabled() {
+		t.Fatal("nil injector reports an enabled profile")
+	}
+}
+
+// TestChaosPartitionWindow exercises the scheduled-partition fault: legs
+// entering the window stall for its remainder, intra-region legs are
+// exempt, and outside the window nothing stalls.
+func TestChaosPartitionWindow(t *testing.T) {
+	clk := simclock.New(epoch)
+	p := Profile{Name: "t", Partitions: []Partition{
+		{A: "aws", B: "azure:eastus", Start: 10 * time.Second, Duration: 30 * time.Second},
+	}}
+	ij := NewInjector(clk, p, nil)
+
+	if stall, _ := ij.Net("aws:us-east-1", "azure:eastus", "aws", "azure"); stall != 0 {
+		t.Fatalf("stall before the window: %v", stall)
+	}
+	clk.Go(func() { clk.Sleep(20 * time.Second) })
+	clk.Quiesce()
+
+	stall, _ := ij.Net("aws:us-east-1", "azure:eastus", "aws", "azure")
+	if stall != 20*time.Second {
+		t.Fatalf("mid-window stall = %v, want the remaining 20s", stall)
+	}
+	// Symmetric: the reverse direction is equally partitioned.
+	if s2, _ := ij.Net("azure:eastus", "aws:us-east-1", "azure", "aws"); s2 != stall {
+		t.Fatalf("partition is not symmetric: %v vs %v", s2, stall)
+	}
+	// Unmatched pair and intra-region legs are unaffected.
+	if s3, _ := ij.Net("gcp:us-east1", "azure:westus2", "gcp", "azure"); s3 != 0 {
+		t.Fatal("partition leaked onto an unmatched pair")
+	}
+	if s4, _ := ij.Net("aws:us-east-1", "aws:us-east-1", "aws", "aws"); s4 != 0 {
+		t.Fatal("partition applied to intra-region traffic")
+	}
+
+	clk.Go(func() { clk.Sleep(25 * time.Second) })
+	clk.Quiesce()
+	if s5, _ := ij.Net("aws:us-east-1", "azure:eastus", "aws", "azure"); s5 != 0 {
+		t.Fatalf("stall after the window lifted: %v", s5)
+	}
+}
+
+// TestChaosParse covers CLI profile specs.
+func TestChaosParse(t *testing.T) {
+	p, err := Parse("mixed@7")
+	if err != nil || p.Name != "mixed" || p.Seed != "7" {
+		t.Fatalf("Parse(mixed@7) = %+v, %v", p, err)
+	}
+	if !p.Enabled() {
+		t.Fatal("mixed profile must be enabled")
+	}
+	if _, err := Parse("no-such-profile"); err == nil {
+		t.Fatal("unknown profile must error")
+	}
+	none, err := Parse("none")
+	if err != nil || none.Enabled() {
+		t.Fatalf("none profile must parse and stay disabled: %+v, %v", none, err)
+	}
+	names := Names()
+	found := false
+	for _, n := range names {
+		if n == "mixed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() = %v, missing mixed", names)
+	}
+}
+
+// TestChaosInjectionCounted verifies the chaos.injected telemetry.
+func TestChaosInjectionCounted(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := Profile{Name: "t", ObjFailRate: 1}
+	ij := NewInjector(simclock.New(epoch), p, reg)
+	for i := 0; i < 5; i++ {
+		if v := ij.Obj("r", "put"); !v.Fail {
+			t.Fatal("rate-1 profile must fail every request")
+		}
+	}
+	if got := reg.Counter("chaos.injected").Value(); got != 5 {
+		t.Fatalf("chaos.injected = %d, want 5", got)
+	}
+	if got := reg.Counter("chaos.injected." + KindObjFail).Value(); got != 5 {
+		t.Fatalf("chaos.injected.%s = %d, want 5", KindObjFail, got)
+	}
+}

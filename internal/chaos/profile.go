@@ -1,0 +1,149 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Profile is a typed fault configuration covering every substrate. Rates
+// are per-decision probabilities in [0,1]; a zero Profile injects nothing.
+// Profiles are plain data so experiments can construct scenario sweeps and
+// CLIs can look built-in ones up by name.
+type Profile struct {
+	Name string
+	// Seed salts every random decision stream; two runs with the same
+	// profile (name and seed) and the same workload draw identical faults.
+	Seed string
+
+	// Object store: transient 503-class failures, slow requests, and
+	// multipart uploads vanishing mid-stream (lifecycle abort / cleanup).
+	ObjFailRate      float64
+	ObjSlowRate      float64
+	ObjSlowMax       time.Duration
+	ObjMpuVanishRate float64
+
+	// KV store: throttling (the SDK retries internally, so the caller sees
+	// added latency) and spurious conditional-write contention.
+	KVThrottleRate   float64
+	KVThrottleMax    time.Duration
+	KVContentionRate float64
+
+	// FaaS: instance crash mid-invocation (the instance stops making
+	// progress some time into the execution), cold-start storms (warm
+	// instances reclaimed under the invoker), and stragglers whose
+	// bandwidth collapses for their whole lifetime.
+	FnCrashRate       float64
+	FnCrashMax        time.Duration
+	FnColdStormRate   float64
+	FnStragglerRate   float64
+	FnStragglerFactor float64
+
+	// Network: per-leg bandwidth degradation and scheduled inter-region
+	// partitions (transfers entering the window stall until it lifts).
+	NetDegradeRate   float64
+	NetDegradeFactor float64
+	Partitions       []Partition
+
+	// Notification delivery: loss, duplication, and reordering via a
+	// bounded extra delay.
+	NotifyLossRate  float64
+	NotifyDupRate   float64
+	NotifyDelayRate float64
+	NotifyDelayMax  time.Duration
+}
+
+// Partition is one scheduled inter-region connectivity outage. A and B
+// match a region ID ("aws:us-east-1"), a provider ("aws"), or "*"; the
+// match is symmetric and only ever applies to inter-region legs. Start is
+// measured from the moment the injector is armed (world.SetChaos).
+type Partition struct {
+	A, B     string
+	Start    time.Duration
+	Duration time.Duration
+}
+
+// Enabled reports whether the profile injects any fault at all.
+func (p Profile) Enabled() bool {
+	return p.ObjFailRate > 0 || p.ObjSlowRate > 0 || p.ObjMpuVanishRate > 0 ||
+		p.KVThrottleRate > 0 || p.KVContentionRate > 0 ||
+		p.FnCrashRate > 0 || p.FnColdStormRate > 0 || p.FnStragglerRate > 0 ||
+		p.NetDegradeRate > 0 || len(p.Partitions) > 0 ||
+		p.NotifyLossRate > 0 || p.NotifyDupRate > 0 || p.NotifyDelayRate > 0
+}
+
+// builtin chaos profiles, each mimicking one class of real-cloud failure
+// (see DESIGN.md "Fault model" for the mapping).
+var builtins = map[string]Profile{
+	"none": {Name: "none"},
+	"storage-flaky": {
+		Name:        "storage-flaky",
+		ObjFailRate: 0.05, ObjSlowRate: 0.02, ObjSlowMax: 800 * time.Millisecond,
+		ObjMpuVanishRate: 0.005,
+	},
+	"kv-throttle": {
+		Name:           "kv-throttle",
+		KVThrottleRate: 0.10, KVThrottleMax: 250 * time.Millisecond,
+		KVContentionRate: 0.02,
+	},
+	"crashy": {
+		Name:        "crashy",
+		FnCrashRate: 0.03, FnCrashMax: 30 * time.Second,
+		FnColdStormRate: 0.10,
+		FnStragglerRate: 0.05, FnStragglerFactor: 0.2,
+	},
+	"partition": {
+		Name:       "partition",
+		Partitions: []Partition{{A: "*", B: "*", Start: 20 * time.Second, Duration: 30 * time.Second}},
+	},
+	"net-degraded": {
+		Name:           "net-degraded",
+		NetDegradeRate: 0.20, NetDegradeFactor: 0.3,
+	},
+	"notify-flaky": {
+		Name:           "notify-flaky",
+		NotifyLossRate: 0.05, NotifyDupRate: 0.05,
+		NotifyDelayRate: 0.15, NotifyDelayMax: 5 * time.Second,
+	},
+	// mixed is the acceptance scenario: 5% object-store faults, 2% FaaS
+	// instance crashes, and one 30-second inter-region partition.
+	"mixed": {
+		Name:        "mixed",
+		ObjFailRate: 0.05,
+		FnCrashRate: 0.02, FnCrashMax: 30 * time.Second,
+		Partitions: []Partition{{A: "*", B: "*", Start: 20 * time.Second, Duration: 30 * time.Second}},
+	},
+}
+
+// Names lists the built-in profile names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builtins))
+	for n := range builtins {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns a built-in profile by name.
+func Lookup(name string) (Profile, bool) {
+	p, ok := builtins[name]
+	return p, ok
+}
+
+// Parse resolves a CLI profile spec of the form "name" or "name@seed"
+// (e.g. "mixed@7"); the seed reseeds every fault stream, giving a
+// different — but equally deterministic — fault schedule.
+func Parse(spec string) (Profile, error) {
+	name, seed := spec, ""
+	if i := strings.IndexByte(spec, '@'); i >= 0 {
+		name, seed = spec[:i], spec[i+1:]
+	}
+	p, ok := Lookup(name)
+	if !ok {
+		return Profile{}, fmt.Errorf("chaos: unknown profile %q (available: %s)", name, strings.Join(Names(), ", "))
+	}
+	p.Seed = seed
+	return p, nil
+}

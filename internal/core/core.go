@@ -141,8 +141,11 @@ func Deploy(w *world.World, opts Options) (*Service, error) {
 				return
 			}
 			// Every source version is registered for delay accounting even
-			// if batching later coalesces it away.
-			eng.Tracker.OnSource(ev)
+			// if batching later coalesces it away; duplicate deliveries
+			// (at-least-once notifications) are dropped here.
+			if !eng.Tracker.OnSource(ev) {
+				return
+			}
 			s.Batcher.Submit(ev)
 		}
 	}

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/telemetry"
+)
+
+// breaker is a per-destination circuit breaker over the distributed
+// replication path. Consecutive infrastructure failures of the part pool
+// (transient request faults, vanished multipart uploads, crashed
+// replicators — but NOT optimistic-validation aborts, which are correct
+// behaviour) trip it open; while open, the engine degrades to the
+// single-function path, which touches far fewer requests per object and
+// so rides out storms that starve the multipart pipeline. After a
+// cooldown the breaker half-opens: the next distributed attempt probes
+// the path, re-opening on failure and closing on success.
+type breaker struct {
+	clock     *simclock.Clock
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+	halfOpen  bool
+
+	opens     *telemetry.Counter // engine.breaker_open
+	openGauge *telemetry.Gauge   // engine.breaker.is_open
+}
+
+func newBreaker(clock *simclock.Clock, threshold int, cooldown time.Duration, reg *telemetry.Registry) *breaker {
+	return &breaker{
+		clock:     clock,
+		threshold: threshold,
+		cooldown:  cooldown,
+		opens:     reg.Counter("engine.breaker_open"),
+		openGauge: reg.Gauge("engine.breaker.is_open"),
+	}
+}
+
+// allow reports whether the distributed path may be attempted. While the
+// cooldown runs it returns false; the first call after the cooldown is
+// the half-open probe.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return true
+	}
+	if b.clock.Now().Before(b.openUntil) {
+		return false
+	}
+	b.halfOpen = true
+	return true
+}
+
+// success records a successful distributed attempt and closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.fails = 0
+	b.openUntil = time.Time{}
+	b.halfOpen = false
+	b.openGauge.Set(0)
+	b.mu.Unlock()
+}
+
+// failure records an infrastructure failure of the distributed path,
+// opening the breaker at the threshold (immediately when half-open).
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.halfOpen || b.fails >= b.threshold {
+		b.openUntil = b.clock.Now().Add(b.cooldown)
+		b.halfOpen = false
+		b.fails = 0
+		b.opens.Inc()
+		b.openGauge.Set(1)
+	}
+}

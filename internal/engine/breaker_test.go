@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/telemetry"
+)
+
+var breakerEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// TestBreakerTripsAtThreshold: consecutive infrastructure failures open
+// the breaker; while open, allow() denies the distributed path.
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	clk := simclock.New(breakerEpoch)
+	b := newBreaker(clk, 3, time.Minute, reg)
+
+	for i := 0; i < 2; i++ {
+		b.failure()
+		if !b.allow() {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.failure()
+	if b.allow() {
+		t.Fatal("breaker still closed at the threshold")
+	}
+	if got := reg.Counter("engine.breaker_open").Value(); got != 1 {
+		t.Fatalf("engine.breaker_open = %d, want 1", got)
+	}
+	if got := reg.Gauge("engine.breaker.is_open").Value(); got != 1 {
+		t.Fatalf("engine.breaker.is_open = %v, want 1", got)
+	}
+}
+
+// TestBreakerSuccessResetsCount: a success between failures clears the
+// consecutive-failure count, so sporadic faults never trip it.
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := newBreaker(simclock.New(breakerEpoch), 3, time.Minute, nil)
+	for i := 0; i < 10; i++ {
+		b.failure()
+		b.failure()
+		b.success()
+	}
+	if !b.allow() {
+		t.Fatal("breaker opened despite successes resetting the count")
+	}
+}
+
+// TestBreakerHalfOpenProbe: after the cooldown the first attempt probes;
+// a probe failure re-opens immediately, a probe success closes.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := simclock.New(breakerEpoch)
+	b := newBreaker(clk, 2, time.Minute, nil)
+	b.failure()
+	b.failure() // open
+
+	clk.Go(func() { clk.Sleep(30 * time.Second) })
+	clk.Quiesce()
+	if b.allow() {
+		t.Fatal("breaker closed before the cooldown elapsed")
+	}
+
+	clk.Go(func() { clk.Sleep(31 * time.Second) })
+	clk.Quiesce()
+	if !b.allow() {
+		t.Fatal("breaker denied the half-open probe")
+	}
+	b.failure() // probe failed: re-open on ONE failure, not the threshold
+	if b.allow() {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+
+	clk.Go(func() { clk.Sleep(61 * time.Second) })
+	clk.Quiesce()
+	if !b.allow() {
+		t.Fatal("breaker denied the second probe")
+	}
+	b.success()
+	if !b.allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	b.failure() // closed again: single failures tolerated up to threshold
+	if !b.allow() {
+		t.Fatal("closed breaker opened on a single failure")
+	}
+}

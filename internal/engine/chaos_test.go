@@ -2,9 +2,14 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/chaos"
+	"repro/internal/cloud"
 	"repro/internal/objstore"
+	"repro/internal/world"
 )
 
 // TestSurvivesTransientStorageFaults injects "503 Slow Down"-class
@@ -111,5 +116,255 @@ func TestFaultsDoNotCorruptAssemblies(t *testing.T) {
 	}
 	if obj.ETag != last.ETag && len(f.eng.DLQ()) == 0 {
 		t.Fatal("stale version at destination without a DLQ record")
+	}
+}
+
+// dupWriteCounter counts duplicate *final writes* at a destination
+// bucket: a distinct PUT (new store sequence number) that writes content
+// identical to the version already current there. Notification chaos may
+// deliver the same event twice; deduping on Seq keeps those from counting.
+type dupWriteCounter struct {
+	mu       sync.Mutex
+	dups     int
+	writes   map[string]int
+	lastSeq  map[string]uint64
+	lastETag map[string]string
+}
+
+func watchDupWrites(t *testing.T, w *world.World, region cloud.RegionID, bucket string) *dupWriteCounter {
+	t.Helper()
+	c := &dupWriteCounter{writes: map[string]int{}, lastSeq: map[string]uint64{}, lastETag: map[string]string{}}
+	err := w.Region(region).Obj.Subscribe(bucket, func(ev objstore.Event) {
+		if ev.Type != objstore.EventPut {
+			return
+		}
+		c.mu.Lock()
+		if ev.Seq > c.lastSeq[ev.Key] {
+			c.writes[ev.Key]++
+			if ev.ETag != "" && c.lastETag[ev.Key] == ev.ETag {
+				c.dups++
+			}
+			c.lastSeq[ev.Key] = ev.Seq
+			c.lastETag[ev.Key] = ev.ETag
+		}
+		c.mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func (c *dupWriteCounter) duplicates() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dups
+}
+
+// TestFaultRetriesConsumeVirtualClock verifies the satellite requirement
+// that retry waits are simulated time, not instantaneous loops: an
+// unreachable destination makes the task burn its backoff schedule and
+// its redrive delays on the virtual clock.
+func TestFaultRetriesConsumeVirtualClock(t *testing.T) {
+	f := newFixture(t, nil)
+	f.w.Region(dstID).Obj.SetFailureRate(1.0)
+	start := f.w.Clock.Now()
+	f.put(t, "stuck", 1<<20, 1)
+	f.w.Clock.Quiesce()
+
+	if got := f.w.Metrics.Counter("engine.retries").Value(); got < 3 {
+		t.Fatalf("engine.retries = %d, want >= 3 (MaxRetries backoffs per dispatch)", got)
+	}
+	// Three dispatches (original + 2 automatic redrives), each with 3
+	// backoffs of >= 250ms, plus two 30s redrive delays: well over a
+	// virtual minute must have elapsed.
+	if elapsed := f.w.Clock.Now().Sub(start); elapsed < time.Minute {
+		t.Fatalf("only %v of virtual time elapsed; retries/redrives did not consume the clock", elapsed)
+	}
+	if len(f.eng.DLQEntries()) != 1 {
+		t.Fatalf("DLQ = %+v, want the stuck event parked", f.eng.DLQEntries())
+	}
+}
+
+// TestFaultDLQAutomaticRedriveRecovers: the destination heals while the
+// event waits out a redrive delay; the automatic redrive converges it
+// without operator action.
+func TestFaultDLQAutomaticRedriveRecovers(t *testing.T) {
+	f := newFixture(t, nil)
+	f.w.Region(dstID).Obj.SetFailureRate(1.0)
+	// Heal mid-redrive: after the first redrive fails (~t=32s) but before
+	// the second fires (~t=63s).
+	f.w.Clock.Delay(45*time.Second, func() {
+		f.w.Region(dstID).Obj.SetFailureRate(0)
+	})
+	res := f.put(t, "heals", 1<<20, 1)
+	f.w.Clock.Quiesce()
+
+	obj, err := f.dstObject(t, "heals")
+	if err != nil || obj.ETag != res.ETag {
+		t.Fatalf("object did not converge after the destination healed: %v", err)
+	}
+	if len(f.eng.DLQ()) != 0 {
+		t.Fatalf("DLQ = %+v, want empty after automatic redrive", f.eng.DLQ())
+	}
+	if got := f.w.Metrics.Counter("engine.dlq.redriven").Value(); got < 1 {
+		t.Fatal("no automatic redrive was recorded")
+	}
+}
+
+// TestFaultDLQRedriveCappedThenManual: a poison event stops being
+// re-enqueued after RedriveMax automatic redrives, and the operator's
+// RedriveDLQ button recovers it once the destination heals.
+func TestFaultDLQRedriveCappedThenManual(t *testing.T) {
+	f := newFixture(t, nil)
+	f.w.Region(dstID).Obj.SetFailureRate(1.0)
+	res := f.put(t, "poison", 1<<20, 1)
+	f.w.Clock.Quiesce()
+
+	entries := f.eng.DLQEntries()
+	if len(entries) != 1 || entries[0].Event.Key != "poison" {
+		t.Fatalf("DLQ = %+v, want the poison event parked", entries)
+	}
+	if entries[0].Redrives != 2 {
+		t.Fatalf("automatic redrives = %d, want the default cap of 2", entries[0].Redrives)
+	}
+	if got := f.w.Metrics.Counter("engine.tasks.dlq").Value(); got != 1 {
+		t.Fatalf("engine.tasks.dlq = %d, want 1", got)
+	}
+
+	f.w.Region(dstID).Obj.SetFailureRate(0)
+	if n := f.eng.RedriveDLQ(); n != 1 {
+		t.Fatalf("RedriveDLQ = %d, want 1", n)
+	}
+	f.w.Clock.Quiesce()
+	obj, err := f.dstObject(t, "poison")
+	if err != nil || obj.ETag != res.ETag {
+		t.Fatalf("manual redrive did not converge the event: %v", err)
+	}
+	if len(f.eng.DLQ()) != 0 {
+		t.Fatal("DLQ not empty after manual redrive")
+	}
+}
+
+// TestChaosNotificationLossConvergesViaBackfill: lost notifications leave
+// objects unreplicated (the engine cannot retry what it never saw); the
+// reconciliation backfill converges them.
+func TestChaosNotificationLossConvergesViaBackfill(t *testing.T) {
+	f := newFixture(t, nil)
+	f.w.SetChaos(chaos.Profile{Name: "loss", NotifyLossRate: 1})
+
+	want := map[string]string{}
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("lost-%d", i)
+		want[key] = f.put(t, key, 1<<20, uint64(i)+1).ETag
+	}
+	f.w.Clock.Quiesce()
+	for key := range want {
+		if _, err := f.dstObject(t, key); err == nil {
+			t.Fatalf("%s replicated although every notification was dropped", key)
+		}
+	}
+	if got := f.w.Metrics.Counter("chaos.injected.notify_loss").Value(); got < 4 {
+		t.Fatalf("chaos.injected.notify_loss = %d, want >= 4", got)
+	}
+
+	f.w.SetChaos(chaos.Profile{})
+	n, err := f.eng.Backfill()
+	if err != nil || n != 4 {
+		t.Fatalf("Backfill = %d, %v, want 4 scheduled", n, err)
+	}
+	f.w.Clock.Quiesce()
+	for key, etag := range want {
+		obj, err := f.dstObject(t, key)
+		if err != nil || obj.ETag != etag {
+			t.Fatalf("%s did not converge via backfill: %v", key, err)
+		}
+	}
+}
+
+// TestChaosNotificationDuplicationDeduped: at-least-once delivery with
+// aggressive duplication must not cause duplicate replication work, and
+// must never produce a duplicate final write at the destination.
+func TestChaosNotificationDuplicationDeduped(t *testing.T) {
+	f := newFixture(t, nil)
+	dup := watchDupWrites(t, f.w, dstID, f.eng.Rule.DstBucket)
+	f.w.SetChaos(chaos.Profile{Name: "dup", NotifyDupRate: 1, NotifyDelayMax: 3 * time.Second})
+
+	want := map[string]string{}
+	for i := 0; i < 6; i++ {
+		key := fmt.Sprintf("twice-%d", i)
+		want[key] = f.put(t, key, 1<<20, uint64(i)+1).ETag
+		f.w.Clock.Sleep(time.Second)
+	}
+	f.w.Clock.Quiesce()
+
+	for key, etag := range want {
+		obj, err := f.dstObject(t, key)
+		if err != nil || obj.ETag != etag {
+			t.Fatalf("%s did not converge: %v", key, err)
+		}
+	}
+	if got := dup.duplicates(); got != 0 {
+		t.Fatalf("%d duplicate final writes at the destination, want 0", got)
+	}
+	deduped := f.w.Metrics.Counter("engine.events.deduped").Value() +
+		f.w.Metrics.Counter("engine.tasks.deduped").Value()
+	if deduped < 6 {
+		t.Fatalf("dedupe counters = %d, want >= 6 (every duplicate delivery rejected)", deduped)
+	}
+}
+
+// TestChaosMixedProfileAcceptance is the issue's acceptance scenario: 5%
+// object-store faults, 2% FaaS instance crashes, and one 30-second
+// inter-region partition. The hardened engine must converge >= 99% of
+// source writes with zero duplicate final writes.
+func TestChaosMixedProfileAcceptance(t *testing.T) {
+	f := newFixture(t, nil)
+	dup := watchDupWrites(t, f.w, dstID, f.eng.Rule.DstBucket)
+	prof, err := chaos.Parse("mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.w.SetChaos(prof)
+
+	// The workload writer retries its PUTs like any SDK client; sizes span
+	// the single-function and distributed paths, and the 2s spacing walks
+	// the workload through the 20s..50s partition window.
+	sizes := []int64{1 << 20, 4 << 20, 24 << 20}
+	want := map[string]string{}
+	for i := 0; i < 30; i++ {
+		key := fmt.Sprintf("mix-%02d", i)
+		blob := objstore.BlobOfSize(sizes[i%len(sizes)], uint64(i)+1)
+		for attempt := 0; ; attempt++ {
+			res, err := f.w.Region(srcID).Obj.Put(f.eng.Rule.SrcBucket, key, blob)
+			if err == nil {
+				want[key] = res.ETag
+				break
+			}
+			if attempt > 10 {
+				t.Fatalf("source put %s never succeeded: %v", key, err)
+			}
+			f.w.Clock.Sleep(200 * time.Millisecond)
+		}
+		f.w.Clock.Sleep(2 * time.Second)
+	}
+	f.w.Clock.Quiesce()
+
+	f.w.SetChaos(chaos.Profile{}) // audit without injection
+	converged := 0
+	for key, etag := range want {
+		if obj, err := f.dstObject(t, key); err == nil && obj.ETag == etag {
+			converged++
+		}
+	}
+	if pct := 100 * float64(converged) / float64(len(want)); pct < 99 {
+		t.Fatalf("convergence %.1f%% (%d/%d, dlq %d), want >= 99%%",
+			pct, converged, len(want), len(f.eng.DLQ()))
+	}
+	if got := dup.duplicates(); got != 0 {
+		t.Fatalf("%d duplicate final writes under the mixed profile, want 0", got)
+	}
+	if got := f.w.Metrics.Counter("chaos.injected").Value(); got == 0 {
+		t.Fatal("no faults were actually injected; the test proved nothing")
 	}
 }

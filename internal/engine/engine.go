@@ -10,6 +10,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/objstore"
 	"repro/internal/planner"
+	"repro/internal/retry"
 	"repro/internal/simclock"
 	"repro/internal/simrand"
 	"repro/internal/telemetry"
@@ -69,8 +71,37 @@ type Rule struct {
 	// Scheduling selects PartPool (default) or FairDispatch.
 	Scheduling SchedulingMode
 	// MaxRetries bounds optimistic-validation retries before an event goes
-	// to the dead-letter queue (default 3).
+	// to the dead-letter queue (default 3). It seeds Retry.MaxAttempts
+	// (attempts = MaxRetries + 1) when Retry is unset.
 	MaxRetries int
+
+	// Retry is the task-level retry policy: attempts, exponential backoff
+	// and jitter between them, all consuming virtual time. Unset fields
+	// fill from retry.TaskDefault (with MaxAttempts from MaxRetries).
+	Retry retry.Policy
+	// RequestRetry is the per-request budget a cloud SDK spends on one API
+	// call before surfacing the error (default retry.RequestDefault).
+	RequestRetry retry.Policy
+	// TaskTimeout, when positive, is a deadline propagated through one
+	// event's whole replication: no new attempt or request retry starts
+	// past it. Zero means no deadline.
+	TaskTimeout time.Duration
+
+	// BreakerThreshold is the consecutive infrastructure failures of the
+	// distributed path that trip the per-destination circuit breaker
+	// (default 3); while open, plans degrade to the single-function path.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before a
+	// half-open probe (default 1 minute).
+	BreakerCooldown time.Duration
+
+	// RedriveMax caps automatic DLQ redrives per event (default 2; -1
+	// disables automatic redrive); an event re-enters the pipeline
+	// RedriveDelay after dead-lettering until the cap, then parks in the
+	// DLQ for manual RedriveDLQ.
+	RedriveMax int
+	// RedriveDelay is the wait before an automatic redrive (default 30s).
+	RedriveDelay time.Duration
 
 	// KeyPrefix, when non-empty, scopes the rule to keys with the prefix
 	// (as in S3 replication rule filters); other keys are ignored.
@@ -93,6 +124,24 @@ func (r Rule) WithDefaults() Rule {
 	}
 	if r.MaxRetries <= 0 {
 		r.MaxRetries = 3
+	}
+	def := retry.TaskDefault()
+	def.MaxAttempts = r.MaxRetries + 1
+	r.Retry = r.Retry.Merge(def)
+	r.RequestRetry = r.RequestRetry.Merge(retry.RequestDefault())
+	if r.BreakerThreshold <= 0 {
+		r.BreakerThreshold = 3
+	}
+	if r.BreakerCooldown <= 0 {
+		r.BreakerCooldown = time.Minute
+	}
+	if r.RedriveMax < 0 {
+		r.RedriveMax = 0
+	} else if r.RedriveMax == 0 {
+		r.RedriveMax = 2
+	}
+	if r.RedriveDelay <= 0 {
+		r.RedriveDelay = 30 * time.Second
 	}
 	return r
 }
@@ -142,16 +191,31 @@ type Engine struct {
 	lock    *replLock
 	ruleID  string
 	taskSeq atomic.Int64
+	breaker *breaker
 
-	tasksOK        *telemetry.Counter
-	tasksFailed    *telemetry.Counter
-	tasksChangelog *telemetry.Counter
-	tasksDLQ       *telemetry.Counter
-	taskHist       *telemetry.Histogram
+	tasksOK         *telemetry.Counter
+	tasksFailed     *telemetry.Counter
+	tasksChangelog  *telemetry.Counter
+	tasksDLQ        *telemetry.Counter
+	tasksDeduped    *telemetry.Counter
+	eventsDeduped   *telemetry.Counter
+	retries         *telemetry.Counter
+	breakerDegraded *telemetry.Counter
+	dlqRedriven     *telemetry.Counter
+	taskHist        *telemetry.Histogram
 
 	mu       sync.Mutex
-	dlq      []objstore.Event
+	dlq      []DLQEntry
+	redrives map[string]int // key@seq -> automatic redrives consumed
 	traceSeq map[string]int // per-version dispatch count, for trace IDs
+}
+
+// DLQEntry is one event that exhausted its retries and automatic
+// redrives.
+type DLQEntry struct {
+	Event    objstore.Event
+	Redrives int       // automatic redrives consumed before parking here
+	At       time.Time // when the event was finally dead-lettered
 }
 
 // New returns an Engine for rule. The replication lock lives in the source
@@ -166,36 +230,102 @@ func New(w *world.World, pl *planner.Planner, rule Rule) *Engine {
 		Tracker:  NewTracker(),
 		ruleID:   ruleID,
 		lock:     newReplLock(w.Region(rule.Src).KV, ruleID),
+		breaker:  newBreaker(w.Clock, rule.BreakerThreshold, rule.BreakerCooldown, w.Metrics),
+		redrives: make(map[string]int),
 		traceSeq: make(map[string]int),
 
-		tasksOK:        w.Metrics.Counter("engine.tasks.ok"),
-		tasksFailed:    w.Metrics.Counter("engine.tasks.failed"),
-		tasksChangelog: w.Metrics.Counter("engine.tasks.changelog"),
-		tasksDLQ:       w.Metrics.Counter("engine.tasks.dlq"),
-		taskHist:       w.Metrics.Histogram("engine.task.seconds"),
+		tasksOK:         w.Metrics.Counter("engine.tasks.ok"),
+		tasksFailed:     w.Metrics.Counter("engine.tasks.failed"),
+		tasksChangelog:  w.Metrics.Counter("engine.tasks.changelog"),
+		tasksDLQ:        w.Metrics.Counter("engine.tasks.dlq"),
+		tasksDeduped:    w.Metrics.Counter("engine.tasks.deduped"),
+		eventsDeduped:   w.Metrics.Counter("engine.events.deduped"),
+		retries:         w.Metrics.Counter("engine.retries"),
+		breakerDegraded: w.Metrics.Counter("engine.breaker.degraded"),
+		dlqRedriven:     w.Metrics.Counter("engine.dlq.redriven"),
+		taskHist:        w.Metrics.Histogram("engine.task.seconds"),
 	}
 	e.Tracker.SetTelemetry(w.Metrics.Histogram("engine.delay.seconds"))
 	return e
 }
 
-// DLQ returns the events that exhausted their retries.
+// DLQ returns the events that exhausted their retries and redrives.
 func (e *Engine) DLQ() []objstore.Event {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return append([]objstore.Event(nil), e.dlq...)
+	out := make([]objstore.Event, len(e.dlq))
+	for i, d := range e.dlq {
+		out[i] = d.Event
+	}
+	return out
+}
+
+// DLQEntries returns the dead-letter queue with redrive accounting.
+func (e *Engine) DLQEntries() []DLQEntry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]DLQEntry(nil), e.dlq...)
+}
+
+// RedriveDLQ drains the dead-letter queue and re-dispatches every parked
+// event with a fresh automatic-redrive budget, returning how many it
+// re-enqueued — the operator's "redrive" button on a real queue.
+func (e *Engine) RedriveDLQ() int {
+	e.mu.Lock()
+	parked := e.dlq
+	e.dlq = nil
+	for _, d := range parked {
+		delete(e.redrives, eventID(d.Event))
+	}
+	e.mu.Unlock()
+	for _, d := range parked {
+		e.dlqRedriven.Inc()
+		e.Dispatch(d.Event)
+	}
+	return len(parked)
+}
+
+// eventID identifies one source version for redrive accounting.
+func eventID(ev objstore.Event) string {
+	return fmt.Sprintf("%s@%d", ev.Key, ev.Seq)
+}
+
+// deadLetter handles an event that exhausted its task attempts: it is
+// re-enqueued after RedriveDelay while the automatic redrive budget
+// lasts (the platform retry of an async invocation), then parked in the
+// DLQ. Capped re-enqueue keeps poison events from looping forever.
+func (e *Engine) deadLetter(ev objstore.Event) {
+	id := eventID(ev)
+	e.mu.Lock()
+	n := e.redrives[id]
+	if n < e.Rule.RedriveMax {
+		e.redrives[id] = n + 1
+		e.mu.Unlock()
+		e.dlqRedriven.Inc()
+		e.W.Clock.Delay(e.Rule.RedriveDelay, func() { e.Dispatch(ev) })
+		return
+	}
+	delete(e.redrives, id)
+	e.dlq = append(e.dlq, DLQEntry{Event: ev, Redrives: n, At: e.W.Clock.Now()})
+	e.mu.Unlock()
+	e.tasksDLQ.Inc()
 }
 
 // HandleEvent is the notification entry point: it registers the event for
 // delay measurement and dispatches an orchestrator invocation. Wire it to
 // the source bucket via objstore.Subscribe (or through the batcher).
-// Events outside the rule's key prefix, and events originated by a
-// replication engine (replica writes in an active-active pair), are
-// ignored.
+// Events outside the rule's key prefix, events originated by a
+// replication engine (replica writes in an active-active pair), and
+// duplicate deliveries of an already-seen (key, version) — bucket
+// notifications are at-least-once — are ignored.
 func (e *Engine) HandleEvent(ev objstore.Event) {
 	if !e.Matches(ev.Key) || strings.HasPrefix(ev.Origin, OriginPrefix) {
 		return
 	}
-	e.Tracker.OnSource(ev)
+	if !e.Tracker.OnSource(ev) {
+		e.eventsDeduped.Inc()
+		return
+	}
 	e.Dispatch(ev)
 }
 
@@ -231,7 +361,10 @@ func (e *Engine) Backfill() (int, error) {
 			Type: objstore.EventPut, Bucket: e.Rule.SrcBucket, Key: m.Key,
 			Size: m.Size, ETag: m.ETag, Seq: m.Seq, Time: e.W.Clock.Now(),
 		}
-		e.Tracker.OnSource(ev)
+		if !e.Tracker.OnSource(ev) {
+			e.eventsDeduped.Inc()
+			continue
+		}
 		e.Dispatch(ev)
 		scheduled++
 	}
@@ -320,6 +453,21 @@ func (e *Engine) orchestrate(ctx *faas.Ctx, ev objstore.Event) {
 	})
 }
 
+// request runs one cloud API call under the rule's per-request retry
+// budget — the quick, tightly-bounded retries of a real SDK. Only
+// ErrUnavailable-class transient faults are retried; anything else
+// (missing keys, vanished uploads, failed preconditions) surfaces
+// immediately.
+func (e *Engine) request(rng *rand.Rand, deadline time.Time, fn func() error) error {
+	return retry.Do(e.W.Clock, rng, e.Rule.RequestRetry, deadline, func(int) error {
+		err := fn()
+		if err != nil && !errors.Is(err, objstore.ErrUnavailable) {
+			return retry.Permanent(err)
+		}
+		return err
+	})
+}
+
 // replicateHeld performs the replication while the lock is held and
 // returns the sequence number of the version it made durable at the
 // destination (0 on failure).
@@ -327,21 +475,59 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 	src := e.W.Region(e.Rule.Src)
 	dst := e.W.Region(e.Rule.Dst)
 	clock := e.W.Clock
+	rng := simrand.New("engine-retry", e.ruleID, ev.Key, fmt.Sprint(ev.Seq))
+	var deadline time.Time
+	if e.Rule.TaskTimeout > 0 {
+		deadline = clock.Now().Add(e.Rule.TaskTimeout)
+	}
 
 	if ev.Type == objstore.EventDelete {
 		dsp := ctx.Span.Child("dst-delete")
-		err := dst.Obj.DeleteWithOrigin(e.Rule.DstBucket, ev.Key, e.origin())
+		err := e.request(rng, deadline, func() error {
+			return dst.Obj.DeleteWithOrigin(e.Rule.DstBucket, ev.Key, e.origin())
+		})
 		dsp.End()
 		if err != nil {
+			e.deadLetter(ev)
 			return 0
 		}
 		e.Tracker.Resolve(ev.Key, ev.Seq, clock.Now())
 		return ev.Seq
 	}
 
+	// Dedupe by ETag+version before doing any work: a duplicate
+	// notification or a redrive racing an earlier completion finds the
+	// destination already holding this exact version. Resolving without
+	// writing is what keeps at-least-once delivery from ever producing a
+	// duplicate final write.
+	if cur, err := dst.Obj.Head(e.Rule.DstBucket, ev.Key); err == nil && cur.ETag == ev.ETag && ev.ETag != "" {
+		ctx.Span.Set("deduped", true)
+		e.tasksDeduped.Inc()
+		e.Tracker.Resolve(ev.Key, ev.Seq, clock.Now())
+		return ev.Seq
+	}
+
 	key := ev.Key
 	etag, seq, size, evTime := ev.ETag, ev.Seq, ev.Size, ev.Time
-	for attempt := 0; attempt <= e.Rule.MaxRetries; attempt++ {
+	for attempt := 0; attempt < e.Rule.Retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			// Exponential backoff with seeded jitter, consuming virtual
+			// time — instantaneous retries would understate convergence
+			// time under faults and hammer a struggling destination.
+			bsp := ctx.Span.Child("backoff").Set("n", int64(attempt))
+			clock.Sleep(e.Rule.Retry.Backoff(attempt-1, rng))
+			bsp.End()
+			e.retries.Inc()
+		}
+		if !ctx.Alive() {
+			// The orchestrator instance crashed; the DLQ redrive (the
+			// platform's async-invocation retry) picks the event up again.
+			break
+		}
+		if !deadline.IsZero() && clock.Now().After(deadline) {
+			ctx.Span.Set("deadline_exceeded", true)
+			break
+		}
 		start := clock.Now()
 		att := ctx.Span.Child("attempt").Set("n", int64(attempt))
 		if e.TryChangelog != nil {
@@ -402,7 +588,12 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 		// Optimistic validation failed (the source version changed
 		// mid-flight) or a request hit a transient fault. Chase the
 		// current head and try again.
-		head, err := src.Obj.Head(e.Rule.SrcBucket, key)
+		var head objstore.Meta
+		err := e.request(rng, deadline, func() error {
+			var herr error
+			head, herr = src.Obj.Head(e.Rule.SrcBucket, key)
+			return herr
+		})
 		switch {
 		case errors.Is(err, objstore.ErrNoSuchKey), errors.Is(err, objstore.ErrNoSuchBucket):
 			return 0 // deleted concurrently; the DELETE event converges us
@@ -411,10 +602,7 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 		}
 		etag, seq, size, evTime = head.ETag, head.Seq, head.Size, head.Created
 	}
-	e.mu.Lock()
-	e.dlq = append(e.dlq, ev)
-	e.mu.Unlock()
-	e.tasksDLQ.Inc()
+	e.deadLetter(ev)
 	return 0
 }
 
@@ -435,18 +623,28 @@ func (e *Engine) report(t TaskResult) {
 
 // execResult is the outcome of one replication attempt.
 type execResult struct {
-	ok     bool
-	seq    uint64 // sequence of the version made durable (single-fn paths)
-	etag   string // its ETag
-	reason string // failure reason when !ok
-	doneAt time.Time
-	insts  []InstanceStat
+	ok         bool
+	seq        uint64 // sequence of the version made durable (single-fn paths)
+	etag       string // its ETag
+	reason     string // failure reason when !ok
+	validation bool   // failed optimistic validation (not an infra fault)
+	doneAt     time.Time
+	insts      []InstanceStat
 }
 
 // execute runs one replication attempt under the chosen plan. sp is the
-// attempt's span; child spans attach to it.
+// attempt's span; child spans attach to it. When the per-destination
+// circuit breaker is open, distributed plans degrade to a single
+// replicator function at the planned location — fewer requests per
+// object, so storms that starve the multipart pipeline are ridden out on
+// the simpler path.
 func (e *Engine) execute(ctx *faas.Ctx, sp *telemetry.Span, key, etag string, size int64, plan planner.Plan) execResult {
 	clock := e.W.Clock
+	if plan.N > 1 && !e.breaker.allow() {
+		sp.Set("degraded", true)
+		e.breakerDegraded.Inc()
+		plan.N = 1
+	}
 	switch {
 	case plan.Local:
 		start := clock.Now()
@@ -468,7 +666,15 @@ func (e *Engine) execute(ctx *faas.Ctx, sp *telemetry.Span, key, etag string, si
 		out.doneAt = clock.Now()
 		return out
 	default:
-		return e.distributed(sp, key, etag, size, plan)
+		out := e.distributed(sp, key, etag, size, plan)
+		if out.ok {
+			e.breaker.success()
+		} else if !out.validation {
+			// Validation aborts are correct behaviour, not destination
+			// trouble; only infrastructure failures feed the breaker.
+			e.breaker.failure()
+		}
+		return out
 	}
 }
 
@@ -489,8 +695,14 @@ func (e *Engine) transferWhole(ctx *faas.Ctx, sp *telemetry.Span, key string) ex
 	src := e.W.Region(e.Rule.Src)
 	dst := e.W.Region(e.Rule.Dst)
 
+	reqRNG := simrand.New("engine-single-req", ctx.Instance.ID, key)
 	gsp := sp.Child("src-get")
-	obj, err := src.Obj.Get(e.Rule.SrcBucket, key)
+	var obj objstore.Object
+	err := e.request(reqRNG, time.Time{}, func() error {
+		var gerr error
+		obj, gerr = src.Obj.Get(e.Rule.SrcBucket, key)
+		return gerr
+	})
 	gsp.End()
 	if err != nil {
 		return execResult{reason: "source read: " + err.Error()}
@@ -502,14 +714,23 @@ func (e *Engine) transferWhole(ctx *faas.Ctx, sp *telemetry.Span, key string) ex
 	downScale := ctx.BandwidthScaleFor(src.Region.Provider)
 	upScale := ctx.BandwidthScaleFor(dst.Region.Provider)
 	for i, off := 0, int64(0); off < obj.Size; i, off = i+1, off+e.Rule.PartSize {
+		if !ctx.Alive() {
+			return execResult{reason: "instance crashed mid-transfer"}
+		}
 		n := min64(e.Rule.PartSize, obj.Size-off)
 		csp := sp.Child(fmt.Sprintf("chunk-%d", i)).Set("bytes", n)
 		e.W.MoveBytesSpan(csp, "leg-down", src.Region, ctx.Region, ctx.Region.Provider, n, downScale, rng)
 		e.W.MoveBytesSpan(csp, "leg-up", ctx.Region, dst.Region, ctx.Region.Provider, n, upScale, rng)
 		csp.End()
 	}
+	if !ctx.Alive() {
+		return execResult{reason: "instance crashed mid-transfer"}
+	}
 	psp := sp.Child("dst-put")
-	_, err = dst.Obj.PutWithOrigin(e.Rule.DstBucket, key, obj.Blob, e.origin())
+	err = e.request(reqRNG, time.Time{}, func() error {
+		_, perr := dst.Obj.PutWithOrigin(e.Rule.DstBucket, key, obj.Blob, e.origin())
+		return perr
+	})
 	psp.End()
 	if err != nil {
 		return execResult{reason: "destination write: " + err.Error()}
@@ -525,8 +746,9 @@ type distState struct {
 	taskID    string
 	mpu       string
 
-	aborted   atomic.Bool
-	completed atomic.Bool
+	aborted    atomic.Bool
+	completed  atomic.Bool
+	validation atomic.Bool // aborted by optimistic validation, not infra
 
 	mu     sync.Mutex
 	reason string
@@ -541,6 +763,14 @@ func (ds *distState) abort(reason string) {
 	}
 	ds.mu.Unlock()
 	ds.aborted.Store(true)
+}
+
+// abortValidation is abort for optimistic-validation failures; the
+// circuit breaker ignores these (the source changing mid-flight is
+// correct behaviour, not destination trouble).
+func (ds *distState) abortValidation(reason string) {
+	ds.validation.Store(true)
+	ds.abort(reason)
 }
 
 // distributed replicates a large object with plan.N replicator functions
@@ -568,7 +798,12 @@ func (e *Engine) distributed(sp *telemetry.Span, key, etag string, size int64, p
 	})
 	isp.End()
 	msp := sp.Child("mpu-create")
-	mpu, err := dst.Obj.CreateMultipartWithOrigin(e.Rule.DstBucket, key, e.origin())
+	var mpu string
+	err := e.request(simrand.New("engine-dist-req", ds.taskID), time.Time{}, func() error {
+		var cerr error
+		mpu, cerr = dst.Obj.CreateMultipartWithOrigin(e.Rule.DstBucket, key, e.origin())
+		return cerr
+	})
 	msp.End()
 	if err != nil {
 		return execResult{reason: "create multipart: " + err.Error(), doneAt: clock.Now()}
@@ -599,7 +834,7 @@ func (e *Engine) distributed(sp *telemetry.Span, key, etag string, size int64, p
 		if reason == "" {
 			reason = "no replicator completed the task"
 		}
-		return execResult{reason: reason, doneAt: clock.Now(), insts: insts}
+		return execResult{reason: reason, validation: ds.validation.Load(), doneAt: clock.Now(), insts: insts}
 	}
 	ds.mu.Lock()
 	doneAt := ds.doneAt
@@ -643,7 +878,7 @@ func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.S
 		return idx
 	}
 
-	for !ds.aborted.Load() {
+	for !ds.aborted.Load() && ctx.Alive() {
 		idx := claim()
 		if idx >= ds.parts {
 			break
@@ -653,20 +888,44 @@ func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.S
 		psp := ctx.Span.Child(fmt.Sprintf("part-%d", idx)).Set("bytes", length)
 
 		gsp := psp.Child("get-range")
-		blob, cur, err := src.Obj.GetRange(e.Rule.SrcBucket, ds.key, off, length)
+		var blob objstore.Blob
+		var cur string
+		err := e.request(rng, time.Time{}, func() error {
+			var gerr error
+			blob, cur, gerr = src.Obj.GetRange(e.Rule.SrcBucket, ds.key, off, length)
+			return gerr
+		})
 		gsp.End()
-		if err != nil || cur != ds.etag {
+		if err != nil {
+			// A transient fault outlived the request budget: infrastructure
+			// failure, distinct from validation.
+			ds.abort(fmt.Sprintf("part %d read: %s", idx, err))
+			psp.Set("aborted", true)
+			psp.End()
+			break
+		}
+		if cur != ds.etag {
 			// Optimistic validation: the object changed mid-replication
 			// (Figure 14); abort the whole task.
-			ds.abort(fmt.Sprintf("optimistic validation: part %d sees a different source version", idx))
+			ds.abortValidation(fmt.Sprintf("optimistic validation: part %d sees a different source version", idx))
 			psp.Set("aborted", true)
 			psp.End()
 			break
 		}
 		e.W.MoveBytesSpan(psp, "leg-down", src.Region, ctx.Region, ctx.Region.Provider, length, ctx.BandwidthScaleFor(src.Region.Provider), rng)
 		e.W.MoveBytesSpan(psp, "leg-up", ctx.Region, dst.Region, ctx.Region.Provider, length, ctx.BandwidthScaleFor(dst.Region.Provider), rng)
+		if !ctx.Alive() {
+			// The instance crashed mid-part; its claim never completes, so
+			// the attempt fails and the engine's task retry takes over.
+			psp.Set("crashed", true)
+			psp.End()
+			break
+		}
 		usp := psp.Child("upload-part")
-		_, err = dst.Obj.UploadPart(ds.mpu, int(idx)+1, blob)
+		err = e.request(rng, time.Time{}, func() error {
+			_, uerr := dst.Obj.UploadPart(ds.mpu, int(idx)+1, blob)
+			return uerr
+		})
 		usp.End()
 		if err != nil {
 			ds.abort("upload part: " + err.Error())
@@ -681,12 +940,17 @@ func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.S
 		if done == ds.parts {
 			// finish_replication (Algorithm 1, line 13).
 			fsp := psp.Child("mpu-complete")
-			res, err := dst.Obj.CompleteMultipart(ds.mpu)
+			var res objstore.PutResult
+			err := e.request(rng, time.Time{}, func() error {
+				var ferr error
+				res, ferr = dst.Obj.CompleteMultipart(ds.mpu)
+				return ferr
+			})
 			fsp.End()
 			if err != nil {
 				ds.abort("complete multipart: " + err.Error())
 			} else if res.ETag != ds.etag {
-				ds.abort("assembled object does not match the source version")
+				ds.abortValidation("assembled object does not match the source version")
 			} else {
 				ds.mu.Lock()
 				ds.doneAt = clock.Now()

@@ -26,9 +26,10 @@ type DelayRecord struct {
 // of the key whose version is not newer than the replicated one, so
 // SLO-bounded batching and lock-coalesced versions are measured correctly.
 type Tracker struct {
-	mu      sync.Mutex
-	pending map[string][]pendingEvent
-	records []DelayRecord
+	mu       sync.Mutex
+	pending  map[string][]pendingEvent
+	resolved map[string]uint64 // per-key high-water mark of resolved versions
+	records  []DelayRecord
 
 	delayHist *telemetry.Histogram // optional; nil no-ops
 }
@@ -41,7 +42,10 @@ type pendingEvent struct {
 
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker {
-	return &Tracker{pending: make(map[string][]pendingEvent)}
+	return &Tracker{
+		pending:  make(map[string][]pendingEvent),
+		resolved: make(map[string]uint64),
+	}
 }
 
 // SetTelemetry feeds every resolved delay into hist (the paper's
@@ -52,11 +56,26 @@ func (t *Tracker) SetTelemetry(hist *telemetry.Histogram) {
 	t.mu.Unlock()
 }
 
-// OnSource registers a source-bucket event awaiting replication.
-func (t *Tracker) OnSource(ev objstore.Event) {
+// OnSource registers a source-bucket event awaiting replication. It
+// returns false — and registers nothing — for duplicate deliveries:
+// either the same (key, version) is already pending, or the version was
+// already resolved (a notification re-delivered after the engine
+// converged). Callers skip dispatch on false; this is the version-level
+// dedupe that keeps at-least-once notification delivery from causing
+// duplicate replication work.
+func (t *Tracker) OnSource(ev objstore.Event) bool {
 	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ev.Seq <= t.resolved[ev.Key] {
+		return false
+	}
+	for _, p := range t.pending[ev.Key] {
+		if p.seq == ev.Seq {
+			return false
+		}
+	}
 	t.pending[ev.Key] = append(t.pending[ev.Key], pendingEvent{seq: ev.Seq, size: ev.Size, at: ev.Time})
-	t.mu.Unlock()
+	return true
 }
 
 // Resolve marks every pending event of key with version <= seq as
@@ -64,6 +83,9 @@ func (t *Tracker) OnSource(ev objstore.Event) {
 func (t *Tracker) Resolve(key string, seq uint64, done time.Time) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if seq > t.resolved[key] {
+		t.resolved[key] = seq
+	}
 	evs := t.pending[key]
 	remaining := evs[:0]
 	for _, ev := range evs {

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/objstore"
+	"repro/internal/simrand"
+	"repro/internal/stats"
+	"repro/internal/world"
+)
+
+// FaultMatrixConfig configures the chaos fault-matrix experiment.
+type FaultMatrixConfig struct {
+	// Profiles are chaos profile specs ("mixed", "storage-flaky@7"); empty
+	// runs every built-in profile. "none" is always included (and run
+	// first) as the cost baseline.
+	Profiles []string
+	// Objects is the number of source writes per scenario (default 40;
+	// quick mode 16).
+	Objects int
+	Quick   bool
+}
+
+// FaultScenario is one row of the fault matrix: a chaos profile's impact
+// on convergence, delay, and cost.
+type FaultScenario struct {
+	Profile         string
+	Objects         int // source objects written
+	Converged       int // destination holds the final source version
+	ConvergencePct  float64
+	P50S, P99S      float64 // replication delay percentiles (seconds)
+	DupFinalWrites  int     // duplicate destination writes of an already-current version
+	DLQ             int     // events still parked in the DLQ after recovery
+	Injected        int64   // chaos decisions that injected a fault
+	Retries         int64   // engine task-level retries
+	BreakerOpens    int64   // circuit-breaker open transitions
+	Redrives        int64   // automatic + manual DLQ redrives
+	CostUSD         float64
+	CostOverheadPct float64 // vs the "none" baseline row
+}
+
+// FaultMatrixResult is the full fault matrix (ISSUE: scenario ×
+// convergence %, p99, cost overhead).
+type FaultMatrixResult struct {
+	Scenarios []FaultScenario
+}
+
+// RunFaultMatrix replays an identical write workload under each chaos
+// profile and measures how far the hardened engine converges, how much
+// the injected faults delay replication, and what the retries cost.
+// Everything is deterministic per profile seed: the same spec list yields
+// byte-identical Print output.
+func RunFaultMatrix(cfg FaultMatrixConfig) (*FaultMatrixResult, error) {
+	specs := cfg.Profiles
+	if len(specs) == 0 {
+		specs = chaos.Names()
+	}
+	// The "none" baseline always runs first so overheads have a reference.
+	ordered := []string{"none"}
+	for _, s := range specs {
+		if s != "none" {
+			ordered = append(ordered, s)
+		}
+	}
+	objects := cfg.Objects
+	if objects <= 0 {
+		objects = 40
+		if cfg.Quick {
+			objects = 16
+		}
+	}
+
+	res := &FaultMatrixResult{}
+	var baseCost float64
+	for i, spec := range ordered {
+		prof, err := chaos.Parse(spec)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := runFaultScenario(prof, spec, objects, cfg.Quick)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			baseCost = sc.CostUSD
+		}
+		if baseCost > 0 {
+			sc.CostOverheadPct = (sc.CostUSD/baseCost - 1) * 100
+		}
+		res.Scenarios = append(res.Scenarios, sc)
+	}
+	return res, nil
+}
+
+// runFaultScenario runs one profile's scenario on a fresh world.
+func runFaultScenario(prof chaos.Profile, spec string, objects int, quick bool) (FaultScenario, error) {
+	w := newWorld("chaos-" + strings.ReplaceAll(spec, "@", "-"))
+	src, dst := AWSEast, AzureEast
+	srcBucket, dstBucket := "chaos-src", "chaos-dst"
+	mustCreate(w, src, srcBucket, true)
+	mustCreate(w, dst, dstBucket, true)
+
+	svc := deployService(w, model.New(), engine.Rule{
+		Src: src, Dst: dst, SrcBucket: srcBucket, DstBucket: dstBucket,
+	}, core.Options{ProfileRounds: profileRounds(quick)})
+
+	// Count duplicate final writes at the destination: a *distinct* PUT
+	// (new sequence number) whose ETag matches the version already current
+	// there replicated the same content twice — exactly what the dedupe
+	// layers must prevent. Deduping on Seq matters because notification
+	// chaos also duplicates deliveries to this subscriber; those are the
+	// same write seen twice, not a duplicate write.
+	var dupMu sync.Mutex
+	dups := 0
+	lastSeq := map[string]uint64{}
+	lastETag := map[string]string{}
+	if err := w.Region(dst).Obj.Subscribe(dstBucket, func(ev objstore.Event) {
+		if ev.Type != objstore.EventPut {
+			return
+		}
+		dupMu.Lock()
+		if ev.Seq > lastSeq[ev.Key] {
+			if ev.ETag != "" && lastETag[ev.Key] == ev.ETag {
+				dups++
+			}
+			lastSeq[ev.Key] = ev.Seq
+			lastETag[ev.Key] = ev.ETag
+		}
+		dupMu.Unlock()
+	}); err != nil {
+		return FaultScenario{}, err
+	}
+
+	// Arm chaos only after deployment so profiling fits a clean model;
+	// partition windows are anchored here.
+	w.SetChaos(prof)
+
+	// Identical workload per scenario: writes spread over ~80s of virtual
+	// time (2s apart) so the built-in partition window (20s..50s after
+	// arming) lands mid-workload, with sizes spanning the single-function
+	// and distributed paths.
+	sizes := []int64{512 * 1024, 4 * MB, 24 * MB, 64 * MB}
+	cost := costDelta(w, func() {
+		for i := 0; i < objects; i++ {
+			key := fmt.Sprintf("obj-%03d", i)
+			putObjectRetrying(w, src, srcBucket, key, sizes[i%len(sizes)], i)
+			w.Clock.Sleep(2 * time.Second)
+		}
+		w.Clock.Quiesce()
+
+		// Recovery: reconciliation backfill sweeps (the periodic job that
+		// catches dropped notifications) and one operator DLQ redrive, all
+		// still under chaos.
+		for pass := 0; pass < 3; pass++ {
+			n, err := svc.Engine.Backfill()
+			w.Clock.Quiesce()
+			if err == nil && n == 0 {
+				break
+			}
+		}
+		if svc.Engine.RedriveDLQ() > 0 {
+			w.Clock.Quiesce()
+		}
+	})
+
+	// Disarm for verification so the convergence audit itself cannot fail.
+	w.SetChaos(chaos.Profile{})
+
+	metas, err := w.Region(src).Obj.List(srcBucket)
+	if err != nil {
+		return FaultScenario{}, err
+	}
+	converged := 0
+	for _, m := range metas {
+		if cur, err := w.Region(dst).Obj.Head(dstBucket, m.Key); err == nil && cur.ETag == m.ETag {
+			converged++
+		}
+	}
+	pct := 100.0
+	if len(metas) > 0 {
+		pct = 100 * float64(converged) / float64(len(metas))
+	}
+
+	delays := svc.Engine.Tracker.DelaysSeconds()
+	dupMu.Lock()
+	dupFinal := dups
+	dupMu.Unlock()
+	return FaultScenario{
+		Profile:        spec,
+		Objects:        len(metas),
+		Converged:      converged,
+		ConvergencePct: pct,
+		P50S:           stats.Percentile(delays, 50),
+		P99S:           stats.Percentile(delays, 99),
+		DupFinalWrites: dupFinal,
+		DLQ:            len(svc.Engine.DLQ()),
+		Injected:       w.Metrics.Counter("chaos.injected").Value(),
+		Retries:        w.Metrics.Counter("engine.retries").Value(),
+		BreakerOpens:   w.Metrics.Counter("engine.breaker_open").Value(),
+		Redrives:       w.Metrics.Counter("engine.dlq.redriven").Value(),
+		CostUSD:        cost,
+	}, nil
+}
+
+// putObjectRetrying is putObject with an application-side retry loop:
+// under chaos the source PUT itself can be refused, and a real client
+// retries. Returns whether the write eventually succeeded.
+func putObjectRetrying(w *world.World, region cloud.RegionID, bucket, key string, size int64, salt int) bool {
+	seed := uint64(simrand.Seed("exp-obj", string(region), bucket, key, fmt.Sprint(salt)))
+	blob := objstore.BlobOfSize(size, seed)
+	for attempt := 0; attempt < 8; attempt++ {
+		if attempt > 0 {
+			w.Clock.Sleep(250 * time.Millisecond << uint(attempt-1))
+		}
+		if _, err := w.Region(region).Obj.Put(bucket, key, blob); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Print writes the fault matrix in the evaluation's table style.
+func (r *FaultMatrixResult) Print(out io.Writer) {
+	fprintf(out, "Fault matrix: chaos profile x convergence/delay/cost (hardened engine)\n")
+	fprintf(out, "%-16s %9s %6s %8s %8s %5s %4s %9s %8s %8s %8s %10s %9s\n",
+		"profile", "converged", "pct", "p50_s", "p99_s", "dup", "dlq",
+		"injected", "retries", "breaker", "redrive", "cost_usd", "overhead")
+	for _, s := range r.Scenarios {
+		fprintf(out, "%-16s %5d/%-3d %5.1f%% %8.2f %8.2f %5d %4d %9d %8d %8d %8d %10.4f %8.1f%%\n",
+			s.Profile, s.Converged, s.Objects, s.ConvergencePct, s.P50S, s.P99S,
+			s.DupFinalWrites, s.DLQ, s.Injected, s.Retries, s.BreakerOpens,
+			s.Redrives, s.CostUSD, s.CostOverheadPct)
+	}
+}
+
+// CSV exports the fault matrix.
+func (r *FaultMatrixResult) CSV() []CSVTable {
+	t := CSVTable{
+		Name: "fault_matrix",
+		Header: []string{"profile", "objects", "converged", "convergence_pct",
+			"p50_s", "p99_s", "dup_final_writes", "dlq", "injected",
+			"retries", "breaker_opens", "redrives", "cost_usd", "cost_overhead_pct"},
+	}
+	for _, s := range r.Scenarios {
+		t.Rows = append(t.Rows, []string{
+			s.Profile, fmt.Sprint(s.Objects), fmt.Sprint(s.Converged), f64(s.ConvergencePct),
+			f64(s.P50S), f64(s.P99S), fmt.Sprint(s.DupFinalWrites), fmt.Sprint(s.DLQ),
+			fmt.Sprint(s.Injected), fmt.Sprint(s.Retries), fmt.Sprint(s.BreakerOpens),
+			fmt.Sprint(s.Redrives), f64(s.CostUSD), f64(s.CostOverheadPct),
+		})
+	}
+	return []CSVTable{t}
+}

@@ -1,0 +1,116 @@
+package faas
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/cloud"
+	"repro/internal/simclock"
+	"repro/internal/telemetry"
+)
+
+// armChaos wires a profile into a fresh AWS platform.
+func armChaos(t *testing.T, p chaos.Profile) (*simclock.Clock, *Platform, *telemetry.Registry) {
+	t.Helper()
+	clk, plat, _ := newPlatform(t, cloud.AWS)
+	reg := telemetry.NewRegistry()
+	plat.SetTelemetry(reg)
+	plat.SetChaos(chaos.NewInjector(clk, p, reg))
+	return clk, plat, reg
+}
+
+// TestChaosCrashStopsProgress: a rate-1 crash profile makes every
+// instance stop making progress partway through; handlers observe it via
+// ctx.Alive() and the crash is counted.
+func TestChaosCrashStopsProgress(t *testing.T) {
+	clk, plat, reg := armChaos(t, chaos.Profile{
+		Name: "t", FnCrashRate: 1, FnCrashMax: 5 * time.Second,
+	})
+
+	var mu sync.Mutex
+	aliveAtStart, aliveAtEnd := 0, 0
+	plat.Invoke(4, func(ctx *Ctx) {
+		mu.Lock()
+		if ctx.Alive() {
+			aliveAtStart++
+		}
+		mu.Unlock()
+		ctx.Clock.Sleep(10 * time.Second) // sleep past any possible crash instant
+		mu.Lock()
+		if ctx.Alive() {
+			aliveAtEnd++
+		}
+		mu.Unlock()
+	})
+	clk.Quiesce()
+
+	if aliveAtStart != 4 {
+		t.Fatalf("%d of 4 instances alive at start, want all (crash comes later)", aliveAtStart)
+	}
+	if aliveAtEnd != 0 {
+		t.Fatalf("%d instances still alive after the crash instant, want 0", aliveAtEnd)
+	}
+	if got := plat.Stats().Crashes; got != 4 {
+		t.Fatalf("Stats().Crashes = %d, want 4", got)
+	}
+	if got := reg.Counter("faas.crashes").Value(); got != 4 {
+		t.Fatalf("faas.crashes = %d, want 4", got)
+	}
+}
+
+// TestChaosCrashedInstancesNotWarmPooled: a crashed instance must never
+// be reused warm — the next invocation cold-starts.
+func TestChaosCrashedInstancesNotWarmPooled(t *testing.T) {
+	clk, plat, _ := armChaos(t, chaos.Profile{
+		Name: "t", FnCrashRate: 1, FnCrashMax: time.Second,
+	})
+	plat.Invoke(1, func(ctx *Ctx) { ctx.Clock.Sleep(2 * time.Second) })
+	clk.Quiesce()
+
+	plat.SetChaos(nil) // heal; only pooling behaviour is under test now
+	plat.Invoke(1, func(ctx *Ctx) {})
+	clk.Quiesce()
+	if st := plat.Stats(); st.ColdStarts != 2 || st.WarmStarts != 0 {
+		t.Fatalf("stats = %+v, want 2 cold starts and no warm reuse of the crashed instance", st)
+	}
+}
+
+// TestChaosColdStormReclaimsWarmInstances: with a storm raging, a warm
+// instance is reclaimed under the invoker and the invocation cold-starts.
+func TestChaosColdStormReclaimsWarmInstances(t *testing.T) {
+	clk, plat, _ := newPlatform(t, cloud.AWS)
+	plat.Invoke(1, func(ctx *Ctx) {})
+	clk.Quiesce()
+	if st := plat.Stats(); st.ColdStarts != 1 || st.WarmStarts != 0 {
+		t.Fatalf("warmup stats = %+v", st)
+	}
+
+	plat.SetChaos(chaos.NewInjector(clk, chaos.Profile{Name: "t", FnColdStormRate: 1}, nil))
+	plat.Invoke(1, func(ctx *Ctx) {})
+	clk.Quiesce()
+	if st := plat.Stats(); st.ColdStarts != 2 || st.WarmStarts != 0 {
+		t.Fatalf("stats = %+v, want the storm to force a second cold start", st)
+	}
+}
+
+// TestChaosStragglerCollapsesBandwidth: straggler instances keep a
+// collapsed bandwidth multiplier for their lifetime.
+func TestChaosStragglerCollapsesBandwidth(t *testing.T) {
+	clk, plat, _ := armChaos(t, chaos.Profile{
+		Name: "t", FnStragglerRate: 1, FnStragglerFactor: 0.2,
+	})
+	var straggler float64
+	plat.Invoke(1, func(ctx *Ctx) { straggler = ctx.Instance.BwMult })
+	clk.Quiesce()
+
+	clk2, plat2, _ := newPlatform(t, cloud.AWS)
+	var healthy float64
+	plat2.Invoke(1, func(ctx *Ctx) { healthy = ctx.Instance.BwMult })
+	clk2.Quiesce()
+
+	if straggler >= healthy*0.5 {
+		t.Fatalf("straggler multiplier %.3f vs healthy %.3f; collapse factor not applied", straggler, healthy)
+	}
+}

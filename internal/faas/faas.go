@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cloud"
 	"repro/internal/netsim"
 	"repro/internal/pricing"
@@ -87,6 +88,7 @@ type Stats struct {
 	ColdStarts    int64
 	WarmStarts    int64
 	Timeouts      int64
+	Crashes       int64 // instances that stopped mid-execution (chaos)
 	MaxConcurrent int
 }
 
@@ -109,6 +111,20 @@ type Ctx struct {
 	// Span is the instance's execution span when the invocation carried
 	// trace context (nil otherwise; all Span methods no-op on nil).
 	Span *telemetry.Span
+
+	// crashAt, when hasCrash is set, is the virtual instant this instance
+	// stops making progress (chaos instance crash). Handlers poll Alive at
+	// loop boundaries; the platform refuses to warm-pool a crashed instance.
+	crashAt  time.Time
+	hasCrash bool
+}
+
+// Alive reports whether the instance is still making progress. A handler
+// that observes false must abandon its work and return — the real-world
+// analogue is the instance simply ceasing to exist mid-execution, with the
+// platform's retry (or the caller's) picking up the pieces.
+func (c *Ctx) Alive() bool {
+	return !c.hasCrash || c.Clock.Now().Before(c.crashAt)
 }
 
 // BandwidthScale returns the instance's end-to-end bandwidth factor:
@@ -133,6 +149,7 @@ type Platform struct {
 
 	mu      sync.Mutex
 	rng     *rand.Rand
+	chaos   *chaos.Injector
 	warm    []*Instance
 	running int
 	nextID  int
@@ -141,6 +158,7 @@ type Platform struct {
 	coldStarts    telemetry.Counter
 	warmStarts    telemetry.Counter
 	timeouts      telemetry.Counter
+	crashes       telemetry.Counter
 	maxConcurrent telemetry.Gauge
 
 	// Optional run-wide registry instruments (nil no-ops until SetTelemetry).
@@ -148,6 +166,7 @@ type Platform struct {
 	regColdStarts  *telemetry.Counter
 	regWarmStarts  *telemetry.Counter
 	regTimeouts    *telemetry.Counter
+	regCrashes     *telemetry.Counter
 	invokeHist     *telemetry.Histogram
 	startupHist    *telemetry.Histogram
 	postponeHist   *telemetry.Histogram
@@ -188,8 +207,23 @@ func (p *Platform) Stats() Stats {
 		ColdStarts:    p.coldStarts.Value(),
 		WarmStarts:    p.warmStarts.Value(),
 		Timeouts:      p.timeouts.Value(),
+		Crashes:       p.crashes.Value(),
 		MaxConcurrent: int(p.maxConcurrent.Value()),
 	}
+}
+
+// SetChaos points the platform at an armed chaos injector (nil disables).
+func (p *Platform) SetChaos(ij *chaos.Injector) {
+	p.mu.Lock()
+	p.chaos = ij
+	p.mu.Unlock()
+}
+
+// injector returns the armed injector (nil-safe).
+func (p *Platform) injector() *chaos.Injector {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.chaos
 }
 
 // SetTelemetry mirrors the platform's activity into run-wide registry
@@ -203,6 +237,7 @@ func (p *Platform) SetTelemetry(reg *telemetry.Registry) {
 	p.regColdStarts = reg.Counter("faas.cold_starts")
 	p.regWarmStarts = reg.Counter("faas.warm_starts")
 	p.regTimeouts = reg.Counter("faas.timeouts")
+	p.regCrashes = reg.Counter("faas.crashes")
 	p.invokeHist = reg.Histogram("faas.invoke.seconds")
 	p.startupHist = reg.Histogram("faas.startup.seconds")
 	p.postponeHist = reg.Histogram("faas.postpone.seconds")
@@ -241,14 +276,23 @@ func (p *Platform) acquire() (inst *Instance, cold bool) {
 			if n := len(p.warm); n > 0 {
 				inst = p.warm[n-1]
 				p.warm = p.warm[:n-1]
-				p.mu.Unlock()
-				p.warmStarts.Inc()
-				p.regWarmStarts.Inc()
-				return inst, false
+				// Cold-start storm: the platform reclaimed the warm instance
+				// under us, so this invocation cold-starts after all.
+				if p.chaos.FnColdStorm(string(p.region.ID())) {
+					inst = nil
+				} else {
+					p.mu.Unlock()
+					p.warmStarts.Inc()
+					p.regWarmStarts.Inc()
+					return inst, false
+				}
 			}
 			p.nextID++
 			id := fmt.Sprintf("%s/fn-%d", p.region.ID(), p.nextID)
 			mult := p.net.InstanceMultiplier(p.region.Provider).Sample(p.rng)
+			// Straggler: a fraction of fresh instances land on degraded hosts
+			// whose bandwidth collapses for their entire lifetime.
+			mult *= p.chaos.FnStraggler(string(p.region.ID()))
 			p.mu.Unlock()
 			p.coldStarts.Inc()
 			p.regColdStarts.Inc()
@@ -368,11 +412,28 @@ func (p *Platform) InvokeLocalSpan(parent *telemetry.Span, handler func(*Ctx)) {
 }
 
 // run executes handler on inst, enforcing the execution limit and billing.
+// Chaos may have doomed the instance to crash partway through: the crash
+// instant is drawn up front, the handler observes it through Ctx.Alive,
+// and a crashed instance is billed only up to the crash and never returns
+// to the warm pool.
 func (p *Platform) run(inst *Instance, handler func(*Ctx), book pricing.Book, sp *telemetry.Span) {
 	start := p.clock.Now()
 	ctx := &Ctx{Instance: inst, Region: p.region, Config: p.cfg, Started: start, Clock: p.clock, Span: sp}
+	if after, crashed := p.injector().FnCrash(string(p.region.ID())); crashed {
+		ctx.hasCrash = true
+		ctx.crashAt = start.Add(after)
+	}
 	handler(ctx)
 	dur := p.clock.Since(start)
+	crashed := ctx.hasCrash && !p.clock.Now().Before(ctx.crashAt)
+	if crashed {
+		if d := ctx.crashAt.Sub(start); d < dur {
+			dur = d
+		}
+		p.crashes.Inc()
+		p.regCrashes.Inc()
+		sp.Set("crashed", true)
+	}
 	if dur > p.cfg.ExecLimit {
 		// The simulator cannot preempt a handler; account the overrun as a
 		// timeout and bill only up to the limit, as the platform would.
@@ -383,7 +444,14 @@ func (p *Platform) run(inst *Instance, handler func(*Ctx), book pricing.Book, sp
 	}
 	p.execHist.Observe(dur.Seconds())
 	p.meter.Add("fn:compute", pricing.FnComputeCost(p.region.Provider, float64(p.cfg.MemMB)/1024, dur))
-	p.release(inst)
+	if crashed {
+		// The instance is gone; free its concurrency slot but do not warm-pool it.
+		p.mu.Lock()
+		p.running--
+		p.mu.Unlock()
+	} else {
+		p.release(inst)
+	}
 	sp.SetSeconds("exec_s", dur)
 	sp.End()
 }

@@ -1,0 +1,76 @@
+package kvstore
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/telemetry"
+)
+
+// TestChaosThrottleAddsLatencyNotErrors: KV throttling models the SDK's
+// internal retries after a ProvisionedThroughputExceeded rejection — the
+// caller sees added virtual-clock latency, never an error.
+func TestChaosThrottleAddsLatencyNotErrors(t *testing.T) {
+	clk, s, _ := newStore()
+	reg := telemetry.NewRegistry()
+	s.SetTelemetry(reg)
+	s.SetChaos(chaos.NewInjector(clk, chaos.Profile{
+		Name: "t", KVThrottleRate: 1, KVThrottleMax: 250 * time.Millisecond,
+	}, reg))
+
+	var throttled time.Duration
+	clk.Go(func() {
+		start := clk.Now()
+		for i := 0; i < 20; i++ {
+			s.Put("t", "k", Item{"n": int64(i)})
+		}
+		throttled = clk.Now().Sub(start)
+	})
+	clk.Quiesce()
+
+	clk2, s2, _ := newStore()
+	var base time.Duration
+	clk2.Go(func() {
+		start := clk2.Now()
+		for i := 0; i < 20; i++ {
+			s2.Put("t", "k", Item{"n": int64(i)})
+		}
+		base = clk2.Now().Sub(start)
+	})
+	clk2.Quiesce()
+
+	if throttled <= base {
+		t.Fatalf("throttled run (%v) not slower than baseline (%v)", throttled, base)
+	}
+	if got := s.Stats().Throttled; got != 20 {
+		t.Fatalf("Stats().Throttled = %d, want 20", got)
+	}
+	if got := reg.Counter("kvstore.throttled").Value(); got != 20 {
+		t.Fatalf("kvstore.throttled = %d, want 20", got)
+	}
+	if it, ok := s.Get("t", "k"); !ok || it.Int("n") != 19 {
+		t.Fatalf("throttled writes lost data: %v, %v", it, ok)
+	}
+}
+
+// TestChaosContentionFailsConditionalPuts: contention chaos makes a
+// conditional write lose a (spurious) race even though its predicate
+// holds; plain writes are unaffected.
+func TestChaosContentionFailsConditionalPuts(t *testing.T) {
+	clk, s, _ := newStore()
+	s.SetChaos(chaos.NewInjector(clk, chaos.Profile{Name: "t", KVContentionRate: 1}, nil))
+
+	always := func(Item, bool) bool { return true }
+	if err := s.ConditionalPut("t", "k", Item{"a": "x"}, always); !errors.Is(err, ErrConditionFailed) {
+		t.Fatalf("ConditionalPut under rate-1 contention = %v, want ErrConditionFailed", err)
+	}
+	if _, ok := s.Get("t", "k"); ok {
+		t.Fatal("contended conditional write still applied")
+	}
+	s.Put("t", "k", Item{"a": "y"}) // unconditional writes never contend
+	if it, ok := s.Get("t", "k"); !ok || it.Str("a") != "y" {
+		t.Fatalf("plain put affected by contention chaos: %v, %v", it, ok)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cloud"
 	"repro/internal/pricing"
 	"repro/internal/simclock"
@@ -62,23 +63,27 @@ type Store struct {
 
 	mu      sync.Mutex
 	rng     latencyRNG
+	chaos   *chaos.Injector
 	tables  map[string]map[string]Item
 	expires map[string]map[string]time.Time // table -> key -> expiry
 
-	reads  telemetry.Counter
-	writes telemetry.Counter
+	reads     telemetry.Counter
+	writes    telemetry.Counter
+	throttled telemetry.Counter
 
 	// Optional run-wide registry instruments (nil no-ops until SetTelemetry).
-	regReads  *telemetry.Counter
-	regWrites *telemetry.Counter
-	opHist    *telemetry.Histogram
+	regReads     *telemetry.Counter
+	regWrites    *telemetry.Counter
+	regThrottled *telemetry.Counter
+	opHist       *telemetry.Histogram
 }
 
 // OpStats is a snapshot of operation counters, for tests and cost sanity
 // checks.
 type OpStats struct {
-	Reads  int64
-	Writes int64
+	Reads     int64
+	Writes    int64
+	Throttled int64 // operations delayed by injected throttling
 }
 
 type latencyRNG struct {
@@ -106,7 +111,14 @@ func (s *Store) Region() cloud.Region { return s.region }
 
 // Stats returns a snapshot of the operation counters.
 func (s *Store) Stats() OpStats {
-	return OpStats{Reads: s.reads.Value(), Writes: s.writes.Value()}
+	return OpStats{Reads: s.reads.Value(), Writes: s.writes.Value(), Throttled: s.throttled.Value()}
+}
+
+// SetChaos points the store at an armed chaos injector (nil disables).
+func (s *Store) SetChaos(ij *chaos.Injector) {
+	s.mu.Lock()
+	s.chaos = ij
+	s.mu.Unlock()
 }
 
 // SetTelemetry mirrors the store's activity into run-wide registry
@@ -118,16 +130,28 @@ func (s *Store) SetTelemetry(reg *telemetry.Registry) {
 	}
 	s.regReads = reg.Counter("kvstore.reads")
 	s.regWrites = reg.Counter("kvstore.writes")
+	s.regThrottled = reg.Counter("kvstore.throttled")
 	s.opHist = reg.Histogram("kvstore.op.seconds")
 }
 
-// simulateOp sleeps one KV operation latency and meters its cost.
+// simulateOp sleeps one KV operation latency and meters its cost. Injected
+// throttling shows up as added latency rather than an error: real SDKs
+// retry ProvisionedThroughputExceeded internally, so callers of DynamoDB
+// and its kin mostly experience throttling as slowness.
 func (s *Store) simulateOp(write bool) {
 	s.rng.mu.Lock()
 	d := s.latency.Mu + s.latency.Sigma*s.rng.rng.NormFloat64()
 	s.rng.mu.Unlock()
 	if d < 0.0005 {
 		d = 0.0005
+	}
+	s.mu.Lock()
+	ij := s.chaos
+	s.mu.Unlock()
+	if extra := ij.KVThrottle(string(s.region.ID())); extra > 0 {
+		s.throttled.Inc()
+		s.regThrottled.Inc()
+		d += simclock.ToSeconds(extra)
 	}
 	s.clock.Sleep(simclock.Seconds(d))
 	s.opHist.Observe(d)
@@ -214,10 +238,16 @@ func (s *Store) Delete(table, key string) {
 }
 
 // ConditionalPut writes item if cond accepts the current state. cond
-// receives the existing item (nil-safe copy) and whether it exists.
+// receives the existing item (nil-safe copy) and whether it exists. Chaos
+// contention storms make a fraction of conditional writes lose a spurious
+// race and fail their precondition without touching the item.
 func (s *Store) ConditionalPut(table, key string, item Item, cond func(cur Item, exists bool) bool) error {
 	s.simulateOp(true)
 	s.mu.Lock()
+	if ij := s.chaos; ij.KVContention(string(s.region.ID())) {
+		s.mu.Unlock()
+		return ErrConditionFailed
+	}
 	defer s.mu.Unlock()
 	s.reapLocked(table, key)
 	cur, exists := s.table(table)[key]

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cloud"
 	"repro/internal/pricing"
 	"repro/internal/simclock"
@@ -23,6 +24,23 @@ import (
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
+
+// Operation classes, used to scope fault injection and per-op failure
+// telemetry (objstore.failures.<op>).
+const (
+	OpPut         = "put"
+	OpGet         = "get"
+	OpGetRange    = "get_range"
+	OpDelete      = "delete"
+	OpCopy        = "copy"
+	OpList        = "list"
+	OpMpuCreate   = "mpu_create"
+	OpMpuUpload   = "mpu_upload"
+	OpMpuComplete = "mpu_complete"
+)
+
+// Ops lists every injectable operation class.
+var Ops = []string{OpPut, OpGet, OpGetRange, OpDelete, OpCopy, OpList, OpMpuCreate, OpMpuUpload, OpMpuComplete}
 
 // Errors returned by store operations.
 var (
@@ -106,18 +124,24 @@ type Store struct {
 	rng         interface{ NormFloat64() float64 }
 	failRng     interface{ Float64() float64 }
 	failureRate float64
+	chaos       *chaos.Injector
 	buckets     map[string]*bucket
 	uploads     map[string]*multipart
 	seq         uint64
 
-	failures telemetry.Counter
+	failures      telemetry.Counter
+	notifyDropped telemetry.Counter
+	notifyDuped   telemetry.Counter
 
 	// Optional run-wide registry instruments (nil no-ops until SetTelemetry).
-	regFailures *telemetry.Counter
-	putHist     *telemetry.Histogram
-	getHist     *telemetry.Histogram
-	copyHist    *telemetry.Histogram
-	notifyHist  *telemetry.Histogram
+	regFailures   *telemetry.Counter
+	regFailByOp   map[string]*telemetry.Counter
+	regNotifyDrop *telemetry.Counter
+	regNotifyDup  *telemetry.Counter
+	putHist       *telemetry.Histogram
+	getHist       *telemetry.Histogram
+	copyHist      *telemetry.Histogram
+	notifyHist    *telemetry.Histogram
 }
 
 type multipart struct {
@@ -178,36 +202,88 @@ func (s *Store) SetFailureRate(rate float64) {
 	s.mu.Unlock()
 }
 
-// maybeFail decides one request's fate under the injected failure rate.
-func (s *Store) maybeFail() error {
+// SetChaos points the store at an armed chaos injector (nil disables).
+// Chaos faults compose with the legacy uniform SetFailureRate.
+func (s *Store) SetChaos(ij *chaos.Injector) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.failureRate > 0 && s.failRng.Float64() < s.failureRate {
+	s.chaos = ij
+	s.mu.Unlock()
+}
+
+// maybeFail decides one request's fate: first the legacy uniform failure
+// rate, then the chaos injector's per-op verdict (which may also add a
+// slow-request delay before succeeding or failing).
+func (s *Store) maybeFail(op string) error {
+	s.mu.Lock()
+	fail := s.failureRate > 0 && s.failRng.Float64() < s.failureRate
+	ij := s.chaos
+	s.mu.Unlock()
+	if !fail {
+		v := ij.Obj(string(s.region.ID()), op)
+		if v.Delay > 0 {
+			s.clock.Sleep(v.Delay)
+		}
+		fail = v.Fail
+	}
+	if fail {
 		s.failures.Inc()
 		s.regFailures.Inc()
+		s.regFailByOp[op].Inc()
 		return ErrUnavailable
 	}
 	return nil
 }
 
+// mpuVanished consults chaos on whether an in-progress multipart upload
+// was reclaimed under the caller; if so the upload is discarded and the
+// request fails with ErrNoSuchUpload, as S3 answers after a lifecycle
+// abort. Callers must not hold s.mu.
+func (s *Store) mpuVanished(uploadID, op string) bool {
+	s.mu.Lock()
+	ij := s.chaos
+	s.mu.Unlock()
+	if !ij.ObjMpuVanish(string(s.region.ID())) {
+		return false
+	}
+	s.mu.Lock()
+	delete(s.uploads, uploadID)
+	s.mu.Unlock()
+	s.failures.Inc()
+	s.regFailures.Inc()
+	s.regFailByOp[op].Inc()
+	return true
+}
+
 // Stats reports request counters.
 type Stats struct {
-	Failures int64 // injected failures served
+	Failures      int64 // injected failures served
+	NotifyDropped int64 // notifications lost to chaos
+	NotifyDuped   int64 // duplicate notification deliveries injected
 }
 
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
-	return Stats{Failures: s.failures.Value()}
+	return Stats{
+		Failures:      s.failures.Value(),
+		NotifyDropped: s.notifyDropped.Value(),
+		NotifyDuped:   s.notifyDuped.Value(),
+	}
 }
 
 // SetTelemetry mirrors the store's activity into run-wide registry
-// instruments: request-latency histograms per operation class and the
-// notification delivery delay T_n.
+// instruments: request-latency histograms per operation class, injected
+// failures per operation, and the notification delivery delay T_n.
 func (s *Store) SetTelemetry(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
 	s.regFailures = reg.Counter("objstore.failures")
+	s.regFailByOp = make(map[string]*telemetry.Counter, len(Ops))
+	for _, op := range Ops {
+		s.regFailByOp[op] = reg.Counter("objstore.failures." + op)
+	}
+	s.regNotifyDrop = reg.Counter("objstore.notify.dropped")
+	s.regNotifyDup = reg.Counter("objstore.notify.duplicated")
 	s.putHist = reg.Histogram("objstore.put.seconds")
 	s.getHist = reg.Histogram("objstore.get.seconds")
 	s.copyHist = reg.Histogram("objstore.copy.seconds")
@@ -253,11 +329,20 @@ func (s *Store) Subscribe(bucketName string, fn func(Event)) error {
 }
 
 // emitLocked schedules delivery of ev to the bucket's subscribers after the
-// notification delay. Caller holds s.mu.
+// notification delay. Chaos may drop the delivery entirely, stretch its
+// delay (reordering it past later events), or schedule a duplicate copy —
+// the at-least-once, unordered contract real bucket notifications carry.
+// Caller holds s.mu.
 func (s *Store) emitLocked(b *bucket, ev Event) {
 	var subs []func(Event)
 	subs = append(subs, b.subscribers...)
 	if len(subs) == 0 {
+		return
+	}
+	v := s.chaos.Notify(string(s.region.ID()))
+	if v.Drop {
+		s.notifyDropped.Inc()
+		s.regNotifyDrop.Inc()
 		return
 	}
 	delay := s.notifyDelay.Mu + s.notifyDelay.Sigma*s.rng.NormFloat64()
@@ -265,11 +350,17 @@ func (s *Store) emitLocked(b *bucket, ev Event) {
 		delay = 0.05
 	}
 	s.notifyHist.Observe(delay)
-	s.clock.Delay(simclock.Seconds(delay), func() {
+	deliver := func() {
 		for _, fn := range subs {
 			fn(ev)
 		}
-	})
+	}
+	s.clock.Delay(simclock.Seconds(delay)+v.Extra, deliver)
+	if v.Duplicate {
+		s.notifyDuped.Inc()
+		s.regNotifyDup.Inc()
+		s.clock.Delay(simclock.Seconds(delay)+v.Extra+v.DupExtra, deliver)
+	}
 }
 
 // storeLocked installs blob as the new current version of key.
@@ -305,7 +396,7 @@ func (s *Store) Put(bucketName, key string, blob Blob) (PutResult, error) {
 func (s *Store) PutWithOrigin(bucketName, key string, blob Blob, origin string) (PutResult, error) {
 	s.sleep(s.putLatency, s.putHist)
 	s.meter.Add("obj:put", s.book.ObjPut)
-	if err := s.maybeFail(); err != nil {
+	if err := s.maybeFail(OpPut); err != nil {
 		return PutResult{}, err
 	}
 	s.mu.Lock()
@@ -317,11 +408,12 @@ func (s *Store) PutWithOrigin(bucketName, key string, blob Blob, origin string) 
 	return s.storeOriginLocked(b, key, blob, origin), nil
 }
 
-// Get returns the current version of key.
-func (s *Store) Get(bucketName, key string) (Object, error) {
+// get is the shared read path; op scopes the fault-injection decision so
+// ranged reads fail independently of whole-object reads.
+func (s *Store) get(op, bucketName, key string) (Object, error) {
 	s.sleep(s.getLatency, s.getHist)
 	s.meter.Add("obj:get", s.book.ObjGet)
-	if err := s.maybeFail(); err != nil {
+	if err := s.maybeFail(op); err != nil {
 		return Object{}, err
 	}
 	s.mu.Lock()
@@ -337,9 +429,14 @@ func (s *Store) Get(bucketName, key string) (Object, error) {
 	return *obj, nil
 }
 
+// Get returns the current version of key.
+func (s *Store) Get(bucketName, key string) (Object, error) {
+	return s.get(OpGet, bucketName, key)
+}
+
 // Head returns the current metadata of key (same fee class as GET).
 func (s *Store) Head(bucketName, key string) (Meta, error) {
-	obj, err := s.Get(bucketName, key)
+	obj, err := s.get(OpGet, bucketName, key)
 	return obj.Meta, err
 }
 
@@ -347,7 +444,7 @@ func (s *Store) Head(bucketName, key string) (Meta, error) {
 // with the full object's ETag, mirroring a ranged GET with its response
 // headers.
 func (s *Store) GetRange(bucketName, key string, off, n int64) (Blob, string, error) {
-	obj, err := s.Get(bucketName, key)
+	obj, err := s.get(OpGetRange, bucketName, key)
 	if err != nil {
 		return Blob{}, "", err
 	}
@@ -367,6 +464,9 @@ func (s *Store) Delete(bucketName, key string) error {
 func (s *Store) DeleteWithOrigin(bucketName, key string, origin string) error {
 	s.sleep(s.putLatency, s.putHist)
 	s.meter.Add("obj:put", s.book.ObjPut)
+	if err := s.maybeFail(OpDelete); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b, ok := s.buckets[bucketName]
@@ -397,6 +497,9 @@ func (s *Store) Copy(srcBucket, srcKey, dstBucket, dstKey, ifMatch string) (PutR
 func (s *Store) CopyWithOrigin(srcBucket, srcKey, dstBucket, dstKey, ifMatch, origin string) (PutResult, error) {
 	s.sleep(s.copyLatency, s.copyHist)
 	s.meter.Add("obj:put", s.book.ObjPut)
+	if err := s.maybeFail(OpCopy); err != nil {
+		return PutResult{}, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sb, ok := s.buckets[srcBucket]
@@ -428,6 +531,9 @@ func (s *Store) Compose(bucketName, dstKey string, srcKeys []string, srcETags []
 func (s *Store) ComposeWithOrigin(bucketName, dstKey string, srcKeys []string, srcETags []string, origin string) (PutResult, error) {
 	s.sleep(s.copyLatency, s.copyHist)
 	s.meter.Add("obj:put", s.book.ObjPut)
+	if err := s.maybeFail(OpCopy); err != nil {
+		return PutResult{}, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b, ok := s.buckets[bucketName]
@@ -458,6 +564,9 @@ func (s *Store) CreateMultipart(bucketName, key string) (string, error) {
 func (s *Store) CreateMultipartWithOrigin(bucketName, key, origin string) (string, error) {
 	s.sleep(s.putLatency, s.putHist)
 	s.meter.Add("obj:put", s.book.ObjPut)
+	if err := s.maybeFail(OpMpuCreate); err != nil {
+		return "", err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.buckets[bucketName]; !ok {
@@ -474,8 +583,11 @@ func (s *Store) CreateMultipartWithOrigin(bucketName, key, origin string) (strin
 func (s *Store) UploadPart(uploadID string, partNum int, blob Blob) (string, error) {
 	s.sleep(s.putLatency, s.putHist)
 	s.meter.Add("obj:put", s.book.ObjPut)
-	if err := s.maybeFail(); err != nil {
+	if err := s.maybeFail(OpMpuUpload); err != nil {
 		return "", err
+	}
+	if s.mpuVanished(uploadID, OpMpuUpload) {
+		return "", ErrNoSuchUpload
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -492,6 +604,12 @@ func (s *Store) UploadPart(uploadID string, partNum int, blob Blob) (string, err
 func (s *Store) CompleteMultipart(uploadID string) (PutResult, error) {
 	s.sleep(s.putLatency, s.putHist)
 	s.meter.Add("obj:put", s.book.ObjPut)
+	if err := s.maybeFail(OpMpuComplete); err != nil {
+		return PutResult{}, err
+	}
+	if s.mpuVanished(uploadID, OpMpuComplete) {
+		return PutResult{}, ErrNoSuchUpload
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	up, ok := s.uploads[uploadID]
@@ -549,6 +667,9 @@ func (s *Store) BucketUsage(bucketName string) (Usage, error) {
 // by key. Priced as one GET-class request per 1000 keys (LIST pagination).
 func (s *Store) List(bucketName string) ([]Meta, error) {
 	s.sleep(s.getLatency, s.getHist)
+	if err := s.maybeFail(OpList); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b, ok := s.buckets[bucketName]

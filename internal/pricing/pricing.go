@@ -184,13 +184,20 @@ func (m *Meter) Merge(other *Meter) {
 	m.mu.Unlock()
 }
 
-// Total returns the sum over all items.
+// Total returns the sum over all items. Summation runs in sorted item
+// order: float addition is not associative, and map iteration order would
+// otherwise wobble the last ULP between identically-seeded runs.
 func (m *Meter) Total() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.items))
+	for k := range m.items {
+		names = append(names, k)
+	}
+	sort.Strings(names)
 	var t float64
-	for _, v := range m.items {
-		t += v
+	for _, k := range names {
+		t += m.items[k]
 	}
 	return t
 }

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cloud"
 	"repro/internal/faas"
 	"repro/internal/kvstore"
@@ -42,6 +43,10 @@ type World struct {
 	// service reports into.
 	Tracer  *telemetry.Tracer
 	Metrics *telemetry.Registry
+
+	// Chaos is the armed fault injector (nil until SetChaos; nil injects
+	// nothing). Every substrate consults it at operation boundaries.
+	Chaos *chaos.Injector
 
 	regions map[cloud.RegionID]*Services
 }
@@ -96,6 +101,27 @@ func (w *World) SetFnConfig(id cloud.RegionID, cfg faas.Config) {
 	s := w.Region(id)
 	s.Fn = faas.New(w.Clock, s.Region, w.Net, w.Meter, cfg)
 	s.Fn.SetTelemetry(w.Metrics)
+	s.Fn.SetChaos(w.Chaos)
+}
+
+// SetChaos arms fault profile p across the whole world: every region's
+// object store, KV store and function platform consults the returned
+// injector, as do inter-region transfer legs (partitions, degradation).
+// Partition windows start counting from the arming moment, so arm after
+// deployment/profiling to keep model fitting clean. Arming a zero Profile
+// disarms chaos.
+func (w *World) SetChaos(p chaos.Profile) *chaos.Injector {
+	var ij *chaos.Injector
+	if p.Enabled() {
+		ij = chaos.NewInjector(w.Clock, p, w.Metrics)
+	}
+	w.Chaos = ij
+	for _, s := range w.regions {
+		s.Obj.SetChaos(ij)
+		s.KV.SetChaos(ij)
+		s.Fn.SetChaos(ij)
+	}
+	return ij
 }
 
 // MoveBytes simulates one transfer leg of bytes from region `from` to
@@ -116,6 +142,23 @@ func (w *World) MoveBytesSpan(parent *telemetry.Span, name string, from, to clou
 		mbps = 0.5
 	}
 	sp := parent.Child(name)
+	stall, netScale := w.Chaos.Net(string(from.ID()), string(to.ID()),
+		string(from.Provider), string(to.Provider))
+	if stall > 0 {
+		// An active inter-region partition: the transfer makes no progress
+		// until the window lifts (TCP stalls rather than erroring out).
+		ps := sp.Child("partition-stall")
+		w.Clock.Sleep(stall)
+		ps.End()
+		w.Metrics.Histogram("net.partition.stall.seconds").Observe(simclock.ToSeconds(stall))
+	}
+	if netScale < 1 {
+		mbps *= netScale
+		if mbps < 0.5 {
+			mbps = 0.5
+		}
+		sp.Set("degraded", netScale)
+	}
 	d := netsim.TransferTime(bytes, mbps)
 	w.Clock.Sleep(d)
 	sp.Set("from", string(from.ID())).Set("to", string(to.ID())).
@@ -134,6 +177,17 @@ func (w *World) MoveBytesVM(from, to cloud.Region, bytes int64, rng *rand.Rand) 
 	mbps := w.Net.VMLegMBps(from, to).Sample(rng)
 	if mbps < 1 {
 		mbps = 1
+	}
+	stall, netScale := w.Chaos.Net(string(from.ID()), string(to.ID()),
+		string(from.Provider), string(to.Provider))
+	if stall > 0 {
+		w.Clock.Sleep(stall)
+	}
+	if netScale < 1 {
+		mbps *= netScale
+		if mbps < 1 {
+			mbps = 1
+		}
 	}
 	d := netsim.TransferTime(bytes, mbps)
 	w.Clock.Sleep(d)
