@@ -27,6 +27,7 @@ import (
 	"repro"
 	"repro/internal/chaos"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -44,6 +45,7 @@ func main() {
 		traceOut   = flag.String("trace", "", "write per-task spans as Chrome trace_event JSON to this file (chrome://tracing, Perfetto)")
 		metricsOut = flag.String("metrics", "", "write the run's aggregate metrics (counters + latency histograms) to this file")
 		chaosFlag  = flag.String("chaos", "", "arm a chaos profile after deployment (name[@seed], e.g. mixed@7; 'list' shows profiles)")
+		critpath   = flag.Bool("critpath", false, "print the critical-path delay attribution across replicated tasks")
 		regions    = flag.Bool("regions", false, "list available regions and exit")
 		showStats  = flag.Bool("stats", false, "print a per-region activity snapshot at the end")
 		verbose    = flag.Bool("v", false, "print per-object delays")
@@ -96,8 +98,9 @@ func main() {
 	profiledItems := sim.CostBreakdown()
 
 	// Tracing starts after Deploy so exports cover the workload's
-	// replication tasks, not the one-time profiling phase.
-	if *traceOut != "" {
+	// replication tasks, not the one-time profiling phase (-critpath
+	// needs the spans too).
+	if *traceOut != "" || *critpath {
 		sim.World().Tracer.Enable()
 	}
 	// Chaos arms after Deploy too: profiling fits a clean model, and
@@ -209,6 +212,14 @@ func main() {
 			m.Counter("engine.breaker.degraded").Value(),
 			m.Counter("engine.dlq.redriven").Value(),
 			rep.DLQSize())
+	}
+
+	if *critpath {
+		fmt.Printf("\ncritical-path attribution (%d tasks):\n", len(records))
+		agg := telemetry.Aggregate(sim.World().Tracer.CriticalPaths())
+		if err := agg.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *showStats {

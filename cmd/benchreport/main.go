@@ -1,0 +1,94 @@
+// Command benchreport runs the canonical regression suite — three
+// representative replication scenarios plus a chaos fault-matrix slice —
+// and writes a deterministic BENCH_<suite>.json report: per-experiment
+// delay percentiles, dollar cost, the dominant critical-path delay
+// category, and virtual-time series digests.
+//
+// Usage:
+//
+//	benchreport -quick                      # CI-sized suite -> BENCH_quick.json
+//	benchreport -o out.json                 # full suite, explicit output
+//	benchreport -quick -compare base.json   # exit 1 on regression vs base
+//
+// Two runs with identical flags produce byte-identical JSON (everything
+// runs on the seeded virtual clock; the report carries no timestamps), so
+// the file diffs cleanly and -compare needs no noise filtering.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "CI-sized workloads and a two-profile fault matrix")
+		out      = flag.String("o", "", "output path (default BENCH_<suite>.json)")
+		compare  = flag.String("compare", "", "baseline BENCH_*.json to diff against; regressions exit non-zero")
+		tol      = flag.Float64("tol", 0.25, "relative regression tolerance for -compare (0.25 = 25% worse allowed)")
+		interval = flag.Duration("interval", 5*time.Second, "virtual-time series sampling interval")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	rep, err := experiments.RunBench(experiments.BenchConfig{Quick: *quick, SampleInterval: *interval})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Print(os.Stderr)
+	fmt.Fprintf(os.Stderr, "(wall time %s)\n", time.Since(start).Round(time.Millisecond))
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rep.Suite + ".json"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "benchreport: write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: close %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+
+	if *compare == "" {
+		return
+	}
+	bf, err := os.Open(*compare)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	baseline, err := experiments.ReadBenchReport(bf)
+	bf.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: parse %s: %v\n", *compare, err)
+		os.Exit(1)
+	}
+	regs := experiments.CompareBench(baseline, rep, experiments.BenchTolerance{Relative: *tol})
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "no regressions vs %s (tol %.0f%%)\n", *compare, 100**tol)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%d regression(s) vs %s:\n", len(regs), *compare)
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "  %s\n", r)
+	}
+	os.Exit(1)
+}

@@ -36,13 +36,54 @@ func main() {
 		tracedir  = flag.String("tracedir", "", "export per-experiment Chrome traces and metrics dumps into this directory")
 	)
 	flag.Parse()
-	csvDir = *csv
-	experiments.TraceDir = *tracedir
 
-	if !*all && *table == 0 && *fig == 0 && *extra == "" && *chaosFlag == "" {
+	// Selectors are mutually exclusive: -all already covers every table,
+	// figure and ablation, and the single-selection flags pick exactly one
+	// experiment each. Reject conflicting combinations instead of silently
+	// preferring one.
+	var selected []string
+	if *table != 0 {
+		selected = append(selected, "-table")
+	}
+	if *fig != 0 {
+		selected = append(selected, "-fig")
+	}
+	if *extra != "" {
+		selected = append(selected, "-extra")
+	}
+	if *all {
+		if len(selected) > 0 || *chaosFlag != "" {
+			conflicting := selected
+			if *chaosFlag != "" {
+				conflicting = append(conflicting, "-chaos")
+			}
+			fmt.Fprintf(os.Stderr, "benchtab: -all already runs everything; drop %s\n",
+				strings.Join(conflicting, ", "))
+			os.Exit(2)
+		}
+	} else if len(selected) > 1 {
+		fmt.Fprintf(os.Stderr, "benchtab: %s select different experiments; pass exactly one\n",
+			strings.Join(selected, ", "))
+		os.Exit(2)
+	}
+	if !*all && len(selected) == 0 && *chaosFlag == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// Fail on unusable output directories before running experiments for
+	// minutes, not after.
+	for _, dir := range []string{*csv, *tracedir} {
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	csvDir = *csv
+	experiments.TraceDir = *tracedir
 	start := time.Now()
 	if *chaosFlag != "" {
 		runChaos(*chaosFlag, *quick)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/model"
 	"repro/internal/profiler"
+	"repro/internal/telemetry"
 	"repro/internal/world"
 )
 
@@ -35,6 +36,7 @@ func main() {
 		out        = flag.String("o", "", "write the fitted profile as JSON to this file")
 		traceOut   = flag.String("trace", "", "write profiling spans as Chrome trace_event JSON to this file")
 		metricsOut = flag.String("metrics", "", "write the run's aggregate metrics to this file")
+		critpath   = flag.Bool("critpath", false, "print the critical-path delay attribution of the profiling runs")
 	)
 	flag.Parse()
 
@@ -52,7 +54,7 @@ func main() {
 	}
 
 	w := world.New()
-	if *traceOut != "" {
+	if *traceOut != "" || *critpath {
 		w.Tracer.Enable()
 	}
 	p := profiler.New(w)
@@ -100,6 +102,14 @@ func main() {
 			fmt.Printf(" %14.2f", d.Quantile(*pct))
 		}
 		fmt.Println()
+	}
+
+	if *critpath {
+		bds := w.Tracer.CriticalPaths()
+		fmt.Printf("\ncritical-path attribution of the profiling workload (%d traces):\n", len(bds))
+		if err := telemetry.Aggregate(bds).WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *traceOut != "" {

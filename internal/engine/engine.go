@@ -202,6 +202,7 @@ type Engine struct {
 	retries         *telemetry.Counter
 	breakerDegraded *telemetry.Counter
 	dlqRedriven     *telemetry.Counter
+	dlqDepth        *telemetry.Gauge
 	taskHist        *telemetry.Histogram
 
 	mu       sync.Mutex
@@ -243,6 +244,7 @@ func New(w *world.World, pl *planner.Planner, rule Rule) *Engine {
 		retries:         w.Metrics.Counter("engine.retries"),
 		breakerDegraded: w.Metrics.Counter("engine.breaker.degraded"),
 		dlqRedriven:     w.Metrics.Counter("engine.dlq.redriven"),
+		dlqDepth:        w.Metrics.Gauge("engine.dlq.depth"),
 		taskHist:        w.Metrics.Histogram("engine.task.seconds"),
 	}
 	e.Tracker.SetTelemetry(w.Metrics.Histogram("engine.delay.seconds"))
@@ -277,6 +279,7 @@ func (e *Engine) RedriveDLQ() int {
 	for _, d := range parked {
 		delete(e.redrives, eventID(d.Event))
 	}
+	e.dlqDepth.Set(0)
 	e.mu.Unlock()
 	for _, d := range parked {
 		e.dlqRedriven.Inc()
@@ -307,6 +310,7 @@ func (e *Engine) deadLetter(ev objstore.Event) {
 	}
 	delete(e.redrives, id)
 	e.dlq = append(e.dlq, DLQEntry{Event: ev, Redrives: n, At: e.W.Clock.Now()})
+	e.dlqDepth.Set(int64(len(e.dlq)))
 	e.mu.Unlock()
 	e.tasksDLQ.Inc()
 }
@@ -457,9 +461,18 @@ func (e *Engine) orchestrate(ctx *faas.Ctx, ev objstore.Event) {
 // budget — the quick, tightly-bounded retries of a real SDK. Only
 // ErrUnavailable-class transient faults are retried; anything else
 // (missing keys, vanished uploads, failed preconditions) surfaces
-// immediately.
-func (e *Engine) request(rng *rand.Rand, deadline time.Time, fn func() error) error {
-	return retry.Do(e.W.Clock, rng, e.Rule.RequestRetry, deadline, func(int) error {
+// immediately. Each backoff wait becomes a "req-backoff" child of sp so
+// request-level retry stalls are attributable on the critical path.
+func (e *Engine) request(sp *telemetry.Span, rng *rand.Rand, deadline time.Time, fn func() error) error {
+	clock := e.W.Clock
+	onWait := func(retry int, wait time.Duration) {
+		start := clock.Now()
+		sp.ChildAt("req-backoff", start).
+			Set(telemetry.CatAttr, string(telemetry.CatBackoff)).
+			Set("n", int64(retry)).
+			EndAt(start.Add(wait))
+	}
+	return retry.DoObserved(clock, rng, e.Rule.RequestRetry, deadline, onWait, func(int) error {
 		err := fn()
 		if err != nil && !errors.Is(err, objstore.ErrUnavailable) {
 			return retry.Permanent(err)
@@ -483,7 +496,7 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 
 	if ev.Type == objstore.EventDelete {
 		dsp := ctx.Span.Child("dst-delete")
-		err := e.request(rng, deadline, func() error {
+		err := e.request(dsp, rng, deadline, func() error {
 			return dst.Obj.DeleteWithOrigin(e.Rule.DstBucket, ev.Key, e.origin())
 		})
 		dsp.End()
@@ -589,7 +602,7 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 		// mid-flight) or a request hit a transient fault. Chase the
 		// current head and try again.
 		var head objstore.Meta
-		err := e.request(rng, deadline, func() error {
+		err := e.request(ctx.Span, rng, deadline, func() error {
 			var herr error
 			head, herr = src.Obj.Head(e.Rule.SrcBucket, key)
 			return herr
@@ -698,7 +711,7 @@ func (e *Engine) transferWhole(ctx *faas.Ctx, sp *telemetry.Span, key string) ex
 	reqRNG := simrand.New("engine-single-req", ctx.Instance.ID, key)
 	gsp := sp.Child("src-get")
 	var obj objstore.Object
-	err := e.request(reqRNG, time.Time{}, func() error {
+	err := e.request(gsp, reqRNG, time.Time{}, func() error {
 		var gerr error
 		obj, gerr = src.Obj.Get(e.Rule.SrcBucket, key)
 		return gerr
@@ -727,7 +740,7 @@ func (e *Engine) transferWhole(ctx *faas.Ctx, sp *telemetry.Span, key string) ex
 		return execResult{reason: "instance crashed mid-transfer"}
 	}
 	psp := sp.Child("dst-put")
-	err = e.request(reqRNG, time.Time{}, func() error {
+	err = e.request(psp, reqRNG, time.Time{}, func() error {
 		_, perr := dst.Obj.PutWithOrigin(e.Rule.DstBucket, key, obj.Blob, e.origin())
 		return perr
 	})
@@ -799,7 +812,7 @@ func (e *Engine) distributed(sp *telemetry.Span, key, etag string, size int64, p
 	isp.End()
 	msp := sp.Child("mpu-create")
 	var mpu string
-	err := e.request(simrand.New("engine-dist-req", ds.taskID), time.Time{}, func() error {
+	err := e.request(msp, simrand.New("engine-dist-req", ds.taskID), time.Time{}, func() error {
 		var cerr error
 		mpu, cerr = dst.Obj.CreateMultipartWithOrigin(e.Rule.DstBucket, key, e.origin())
 		return cerr
@@ -890,7 +903,7 @@ func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.S
 		gsp := psp.Child("get-range")
 		var blob objstore.Blob
 		var cur string
-		err := e.request(rng, time.Time{}, func() error {
+		err := e.request(gsp, rng, time.Time{}, func() error {
 			var gerr error
 			blob, cur, gerr = src.Obj.GetRange(e.Rule.SrcBucket, ds.key, off, length)
 			return gerr
@@ -922,7 +935,7 @@ func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.S
 			break
 		}
 		usp := psp.Child("upload-part")
-		err = e.request(rng, time.Time{}, func() error {
+		err = e.request(usp, rng, time.Time{}, func() error {
 			_, uerr := dst.Obj.UploadPart(ds.mpu, int(idx)+1, blob)
 			return uerr
 		})
@@ -941,7 +954,7 @@ func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.S
 			// finish_replication (Algorithm 1, line 13).
 			fsp := psp.Child("mpu-complete")
 			var res objstore.PutResult
-			err := e.request(rng, time.Time{}, func() error {
+			err := e.request(fsp, rng, time.Time{}, func() error {
 				var ferr error
 				res, ferr = dst.Obj.CompleteMultipart(ds.mpu)
 				return ferr

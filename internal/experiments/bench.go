@@ -1,0 +1,367 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// BenchSchema identifies the BENCH_*.json format; Compare refuses to
+// diff reports of different schemas.
+const BenchSchema = "areplica-bench/v1"
+
+// BenchConfig configures the canonical regression suite.
+type BenchConfig struct {
+	// Quick trims the workloads (fewer objects, a two-profile fault
+	// matrix) to CI size; the full suite runs the same scenarios longer
+	// plus every chaos profile.
+	Quick bool
+	// SampleInterval is the virtual-time series sampling interval
+	// (default 5 s).
+	SampleInterval time.Duration
+}
+
+// BenchCategory is one critical-path category's aggregate share of a
+// scenario's end-to-end replication time.
+type BenchCategory struct {
+	Category string  `json:"category"`
+	Seconds  float64 `json:"seconds"`
+	Fraction float64 `json:"fraction"`
+}
+
+// BenchExperiment is one replication scenario's measurements.
+type BenchExperiment struct {
+	Name       string `json:"name"`
+	Src        string `json:"src"`
+	Dst        string `json:"dst"`
+	Objects    int    `json:"objects"`
+	BytesTotal int64  `json:"bytes_total"`
+
+	P50S    float64 `json:"p50_s"`
+	P99S    float64 `json:"p99_s"`
+	CostUSD float64 `json:"cost_usd"`
+
+	// Dominant is the critical-path category holding the largest share
+	// of the summed task durations; Categories is the full ranked
+	// attribution (fractions sum to 1) and DegradedS the critical-path
+	// seconds spent on breaker-degraded attempts.
+	Dominant   string             `json:"dominant"`
+	Categories []BenchCategory    `json:"categories"`
+	DegradedS  float64            `json:"degraded_s"`
+	Series     []telemetry.Digest `json:"series"`
+}
+
+// BenchFault is one chaos fault-matrix row's regression-relevant subset.
+type BenchFault struct {
+	Profile         string  `json:"profile"`
+	ConvergencePct  float64 `json:"convergence_pct"`
+	P50S            float64 `json:"p50_s"`
+	P99S            float64 `json:"p99_s"`
+	DLQ             int     `json:"dlq"`
+	CostOverheadPct float64 `json:"cost_overhead_pct"`
+}
+
+// BenchReport is the BENCH_*.json document: the canonical quick suite's
+// delay/cost/attribution measurements, deterministic for a given
+// configuration (two identically-configured runs are byte-identical).
+type BenchReport struct {
+	Schema      string            `json:"schema"`
+	Suite       string            `json:"suite"` // "quick" or "full"
+	Experiments []BenchExperiment `json:"experiments"`
+	FaultMatrix []BenchFault      `json:"fault_matrix"`
+}
+
+// benchScenario is one canonical replication workload.
+type benchScenario struct {
+	name     string
+	src, dst cloud.RegionID
+	sizes    []int64
+	objects  int // full-suite object count; quick halves it
+}
+
+// benchScenarios are the representative slices of the paper's evaluation
+// the regression suite replays: a same-continent multi-cloud mix of
+// Table-1 sizes, a distributed-path transcontinental transfer (Figure
+// 12's regime), and a trans-Pacific pair stressing the slowest links.
+func benchScenarios() []benchScenario {
+	return []benchScenario{
+		{
+			name: "mixed-small-aws-azure",
+			src:  AWSEast, dst: AzureEast,
+			sizes:   []int64{512 * 1024, 4 * MB, 16 * MB},
+			objects: 12,
+		},
+		{
+			name: "dist-large-aws-gcpeu",
+			src:  AWSEast, dst: cloud.RegionID("gcp:europe-west6"),
+			sizes:   []int64{96 * MB},
+			objects: 6,
+		},
+		{
+			name: "transpacific-azure-gcpjp",
+			src:  AzureEast, dst: cloud.RegionID("gcp:asia-northeast1"),
+			sizes:   []int64{32 * MB},
+			objects: 8,
+		},
+	}
+}
+
+// RunBench runs the canonical suite and assembles the report.
+func RunBench(cfg BenchConfig) (*BenchReport, error) {
+	interval := cfg.SampleInterval
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	suite := "full"
+	if cfg.Quick {
+		suite = "quick"
+	}
+	rep := &BenchReport{Schema: BenchSchema, Suite: suite}
+
+	for _, sc := range benchScenarios() {
+		exp, err := runBenchScenario(sc, cfg.Quick, interval)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", sc.name, err)
+		}
+		rep.Experiments = append(rep.Experiments, exp)
+	}
+
+	// Chaos slice: quick mode replays the two most diagnostic profiles,
+	// the full suite the whole matrix.
+	profiles := []string{"storage-flaky", "mixed"}
+	if !cfg.Quick {
+		profiles = nil // all built-in profiles
+	}
+	fm, err := RunFaultMatrix(FaultMatrixConfig{Profiles: profiles, Quick: cfg.Quick})
+	if err != nil {
+		return nil, fmt.Errorf("bench fault matrix: %w", err)
+	}
+	for _, s := range fm.Scenarios {
+		rep.FaultMatrix = append(rep.FaultMatrix, BenchFault{
+			Profile:         s.Profile,
+			ConvergencePct:  s.ConvergencePct,
+			P50S:            s.P50S,
+			P99S:            s.P99S,
+			DLQ:             s.DLQ,
+			CostOverheadPct: s.CostOverheadPct,
+		})
+	}
+	return rep, nil
+}
+
+// runBenchScenario replays one scenario on a fresh world with tracing and
+// virtual-time sampling enabled.
+func runBenchScenario(sc benchScenario, quick bool, interval time.Duration) (BenchExperiment, error) {
+	w := newWorld("bench-" + sc.name)
+	srcBucket, dstBucket := "bench-src", "bench-dst"
+	mustCreate(w, sc.src, srcBucket, true)
+	mustCreate(w, sc.dst, dstBucket, true)
+
+	svc := deployService(w, model.New(), engine.Rule{
+		Src: sc.src, Dst: sc.dst, SrcBucket: srcBucket, DstBucket: dstBucket,
+	}, core.Options{ProfileRounds: profileRounds(quick)})
+
+	// Trace only the replication tasks: enable (and clear any profiling
+	// spans) after deployment.
+	w.Tracer.Enable()
+	w.Tracer.Reset()
+
+	sampler := telemetry.NewSampler(w.Clock.Now, interval)
+	sampler.TrackGauge("faas.running", w.Metrics.Gauge("faas.running"))
+	// Bytes relative to the scenario start: path profiling during Deploy
+	// already moved data over the same counter.
+	legBytes := w.Metrics.Counter("net.leg.bytes")
+	base := legBytes.Value()
+	sampler.Track("net.leg.bytes", func() float64 { return float64(legBytes.Value() - base) })
+	sampler.TrackGauge("engine.dlq.depth", w.Metrics.Gauge("engine.dlq.depth"))
+	sampler.TrackGauge("engine.breaker.is_open", w.Metrics.Gauge("engine.breaker.is_open"))
+	sampler.Poll()
+
+	objects := sc.objects
+	if quick {
+		objects = (objects + 1) / 2
+	}
+	var total int64
+	cost := costDelta(w, func() {
+		for i := 0; i < objects; i++ {
+			size := sc.sizes[i%len(sc.sizes)]
+			total += size
+			putObject(w, sc.src, srcBucket, fmt.Sprintf("obj-%03d", i), size, i)
+			w.Clock.Sleep(2 * time.Second)
+			sampler.Poll()
+		}
+	})
+	sampler.Poll()
+
+	delays := svc.Engine.Tracker.DelaysSeconds()
+	if len(delays) != objects {
+		return BenchExperiment{}, fmt.Errorf("resolved %d of %d writes", len(delays), objects)
+	}
+
+	agg := telemetry.Aggregate(w.Tracer.CriticalPaths())
+	exp := BenchExperiment{
+		Name:       sc.name,
+		Src:        string(sc.src),
+		Dst:        string(sc.dst),
+		Objects:    objects,
+		BytesTotal: total,
+		P50S:       stats.Percentile(delays, 50),
+		P99S:       stats.Percentile(delays, 99),
+		CostUSD:    cost,
+		Dominant:   string(agg.Dominant()),
+		DegradedS:  agg.Degraded.Seconds(),
+	}
+	for _, s := range agg.Shares {
+		exp.Categories = append(exp.Categories, BenchCategory{
+			Category: string(s.Category), Seconds: s.Seconds, Fraction: s.Fraction,
+		})
+	}
+	for _, ser := range sampler.Series() {
+		exp.Series = append(exp.Series, ser.Digest())
+	}
+	return exp, nil
+}
+
+// WriteJSON writes the report as deterministic indented JSON (struct
+// field order, ranked slices, no timestamps).
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadBenchReport parses a BENCH_*.json document.
+func ReadBenchReport(rd io.Reader) (*BenchReport, error) {
+	var r BenchReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// BenchTolerance bounds how much worse a metric may get before Compare
+// flags a regression: relative slack plus a metric-specific absolute
+// floor, so near-zero baselines don't trip on noise-scale drift.
+type BenchTolerance struct {
+	// Relative slack (0.25 = 25% worse allowed). Non-positive defaults
+	// to 0.25.
+	Relative float64
+}
+
+func (t BenchTolerance) rel() float64 {
+	if t.Relative <= 0 {
+		return 0.25
+	}
+	return t.Relative
+}
+
+// exceeds reports whether got regressed past old by more than the
+// relative slack plus the absolute floor.
+func (t BenchTolerance) exceeds(old, got, absFloor float64) bool {
+	return got > old*(1+t.rel())+absFloor
+}
+
+// CompareBench diffs a new report against a baseline and returns one
+// human-readable line per regression (empty = pass). Checked per
+// experiment: p50/p99 replication delay (floor 0.05 s), dollar cost
+// (floor 1e-5); per fault-matrix row: convergence (≥1 point drop),
+// p99 under faults, and DLQ growth. A missing experiment/profile or a
+// schema mismatch is itself a regression; new entries absent from the
+// baseline pass (they have nothing to regress against).
+func CompareBench(baseline, got *BenchReport, tol BenchTolerance) []string {
+	var regs []string
+	if baseline.Schema != got.Schema {
+		return []string{fmt.Sprintf("schema mismatch: baseline %q vs new %q", baseline.Schema, got.Schema)}
+	}
+	if baseline.Suite != got.Suite {
+		regs = append(regs, fmt.Sprintf("suite mismatch: baseline %q vs new %q", baseline.Suite, got.Suite))
+	}
+
+	newExp := make(map[string]BenchExperiment, len(got.Experiments))
+	for _, e := range got.Experiments {
+		newExp[e.Name] = e
+	}
+	for _, old := range baseline.Experiments {
+		e, ok := newExp[old.Name]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("%s: experiment missing from new report", old.Name))
+			continue
+		}
+		if tol.exceeds(old.P50S, e.P50S, 0.05) {
+			regs = append(regs, fmt.Sprintf("%s: p50 %.3fs -> %.3fs (tol %.0f%%)", old.Name, old.P50S, e.P50S, 100*tol.rel()))
+		}
+		if tol.exceeds(old.P99S, e.P99S, 0.05) {
+			regs = append(regs, fmt.Sprintf("%s: p99 %.3fs -> %.3fs (tol %.0f%%)", old.Name, old.P99S, e.P99S, 100*tol.rel()))
+		}
+		if tol.exceeds(old.CostUSD, e.CostUSD, 1e-5) {
+			regs = append(regs, fmt.Sprintf("%s: cost $%.6f -> $%.6f (tol %.0f%%)", old.Name, old.CostUSD, e.CostUSD, 100*tol.rel()))
+		}
+	}
+
+	newFault := make(map[string]BenchFault, len(got.FaultMatrix))
+	for _, f := range got.FaultMatrix {
+		newFault[f.Profile] = f
+	}
+	for _, old := range baseline.FaultMatrix {
+		f, ok := newFault[old.Profile]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("fault %s: profile missing from new report", old.Profile))
+			continue
+		}
+		if f.ConvergencePct < old.ConvergencePct-1.0 {
+			regs = append(regs, fmt.Sprintf("fault %s: convergence %.1f%% -> %.1f%%", old.Profile, old.ConvergencePct, f.ConvergencePct))
+		}
+		if tol.exceeds(old.P99S, f.P99S, 0.25) {
+			regs = append(regs, fmt.Sprintf("fault %s: p99 %.3fs -> %.3fs (tol %.0f%%)", old.Profile, old.P99S, f.P99S, 100*tol.rel()))
+		}
+		if f.DLQ > old.DLQ {
+			regs = append(regs, fmt.Sprintf("fault %s: DLQ depth %d -> %d", old.Profile, old.DLQ, f.DLQ))
+		}
+	}
+	return regs
+}
+
+// Print renders the report as a compact human-readable summary.
+func (r *BenchReport) Print(out io.Writer) {
+	fprintf(out, "Bench suite: %s (%s)\n", r.Suite, r.Schema)
+	fprintf(out, "%-26s %4s %10s %8s %8s %10s %-10s\n",
+		"experiment", "n", "bytes", "p50_s", "p99_s", "cost_usd", "dominant")
+	for _, e := range r.Experiments {
+		fprintf(out, "%-26s %4d %10d %8.2f %8.2f %10.4f %-10s\n",
+			e.Name, e.Objects, e.BytesTotal, e.P50S, e.P99S, e.CostUSD, e.Dominant)
+	}
+	if len(r.FaultMatrix) > 0 {
+		fprintf(out, "%-26s %9s %8s %8s %4s %9s\n",
+			"fault profile", "converge", "p50_s", "p99_s", "dlq", "overhead")
+		for _, f := range r.FaultMatrix {
+			fprintf(out, "%-26s %8.1f%% %8.2f %8.2f %4d %8.1f%%\n",
+				f.Profile, f.ConvergencePct, f.P50S, f.P99S, f.DLQ, f.CostOverheadPct)
+		}
+	}
+}
+
+// CheckPartition verifies every task breakdown's category shares sum to
+// the root span duration within tol seconds (the suite's structural
+// invariant); it returns the first violation.
+func CheckPartition(bds []*telemetry.Breakdown, tol float64) error {
+	for _, b := range bds {
+		var sum float64
+		for _, s := range b.Shares {
+			sum += s.Seconds
+		}
+		if math.Abs(sum-b.TotalSeconds) > tol {
+			return fmt.Errorf("trace %s: category shares sum to %.12fs, root span is %.12fs",
+				b.TraceID, sum, b.TotalSeconds)
+		}
+	}
+	return nil
+}

@@ -35,6 +35,73 @@ func TestCSVExport(t *testing.T) {
 	}
 }
 
+// staticExporter is a canned CSVExporter for error-path tests.
+type staticExporter []CSVTable
+
+func (s staticExporter) CSV() []CSVTable { return s }
+
+// flagExporter records whether ExportCSV ever asked it for tables.
+type flagExporter struct{ called bool }
+
+func (f *flagExporter) CSV() []CSVTable { f.called = true; return nil }
+
+func TestExportCSVErrorPaths(t *testing.T) {
+	tbl := CSVTable{Name: "x", Header: []string{"a"}, Rows: [][]string{{"1"}}}
+
+	t.Run("dir is a file", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "not-a-dir")
+		if err := os.WriteFile(path, []byte("occupied"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := ExportCSV(path, staticExporter{tbl}); err == nil {
+			t.Fatal("ExportCSV into a plain file succeeded, want error")
+		}
+	})
+
+	t.Run("unwritable dir", func(t *testing.T) {
+		if os.Getuid() == 0 {
+			t.Skip("root ignores directory permissions")
+		}
+		dir := filepath.Join(t.TempDir(), "ro")
+		if err := os.MkdirAll(dir, 0o555); err != nil {
+			t.Fatal(err)
+		}
+		if err := ExportCSV(dir, staticExporter{tbl}); err == nil {
+			t.Fatal("ExportCSV into an unwritable dir succeeded, want error")
+		}
+	})
+
+	t.Run("name escapes into missing dir", func(t *testing.T) {
+		bad := CSVTable{Name: filepath.Join("missing-sub", "deep", "x"), Header: []string{"a"}}
+		dir := t.TempDir()
+		if err := ExportCSV(dir, staticExporter{bad}); err == nil {
+			t.Fatal("ExportCSV with a nested missing path succeeded, want error")
+		}
+	})
+
+	t.Run("first error stops the export", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "blocker")
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		second := &flagExporter{}
+		// First exporter fails (target is a plain file); the second must
+		// never be asked for its tables.
+		if err := ExportCSV(path, staticExporter{tbl}, second); err == nil {
+			t.Fatal("want error from first exporter")
+		}
+		if second.called {
+			t.Fatal("export continued past the first error")
+		}
+	})
+
+	t.Run("no exporters is a no-op", func(t *testing.T) {
+		if err := ExportCSV(filepath.Join(t.TempDir(), "never-created")); err != nil {
+			t.Fatalf("ExportCSV with no exporters: %v", err)
+		}
+	})
+}
+
 func TestCSVTableShapes(t *testing.T) {
 	res := RunTable(TableConfig{Source: AWSEast, Quick: true})
 	tables := res.CSV()

@@ -167,6 +167,7 @@ type Platform struct {
 	regWarmStarts  *telemetry.Counter
 	regTimeouts    *telemetry.Counter
 	regCrashes     *telemetry.Counter
+	regRunning     *telemetry.Gauge
 	invokeHist     *telemetry.Histogram
 	startupHist    *telemetry.Histogram
 	postponeHist   *telemetry.Histogram
@@ -238,6 +239,7 @@ func (p *Platform) SetTelemetry(reg *telemetry.Registry) {
 	p.regWarmStarts = reg.Counter("faas.warm_starts")
 	p.regTimeouts = reg.Counter("faas.timeouts")
 	p.regCrashes = reg.Counter("faas.crashes")
+	p.regRunning = reg.Gauge("faas.running")
 	p.invokeHist = reg.Histogram("faas.invoke.seconds")
 	p.startupHist = reg.Histogram("faas.startup.seconds")
 	p.postponeHist = reg.Histogram("faas.postpone.seconds")
@@ -263,6 +265,7 @@ func (p *Platform) acquire() (inst *Instance, cold bool) {
 		p.mu.Lock()
 		if p.running < p.cfg.MaxConcurrency {
 			p.running++
+			p.regRunning.Add(1)
 			p.maxConcurrent.SetMax(int64(p.running))
 			now := p.clock.Now()
 			// Reap expired warm instances, then reuse the freshest.
@@ -306,6 +309,7 @@ func (p *Platform) acquire() (inst *Instance, cold bool) {
 func (p *Platform) release(inst *Instance) {
 	p.mu.Lock()
 	p.running--
+	p.regRunning.Add(-1)
 	inst.idleSince = p.clock.Now()
 	p.warm = append(p.warm, inst)
 	p.mu.Unlock()
@@ -448,6 +452,7 @@ func (p *Platform) run(inst *Instance, handler func(*Ctx), book pricing.Book, sp
 		// The instance is gone; free its concurrency slot but do not warm-pool it.
 		p.mu.Lock()
 		p.running--
+		p.regRunning.Add(-1)
 		p.mu.Unlock()
 	} else {
 		p.release(inst)

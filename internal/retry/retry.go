@@ -120,6 +120,16 @@ func (p Policy) Backoff(retry int, rng *rand.Rand) time.Duration {
 // success, the last error on exhaustion, or ErrDeadlineExceeded (wrapping
 // the last error, if any) when the deadline cuts the budget short.
 func Do(clock *simclock.Clock, rng *rand.Rand, p Policy, deadline time.Time, fn func(attempt int) error) error {
+	return DoObserved(clock, rng, p, deadline, nil, fn)
+}
+
+// DoObserved is Do with a wait observer: onWait (when non-nil) is called
+// just before each backoff sleep with the 0-based retry number and the
+// wait about to be consumed. The engine hangs telemetry spans off it so
+// request-level retry stalls are attributable on a task's critical path;
+// the observer must not block.
+func DoObserved(clock *simclock.Clock, rng *rand.Rand, p Policy, deadline time.Time,
+	onWait func(retry int, wait time.Duration), fn func(attempt int) error) error {
 	attempts := p.MaxAttempts
 	if attempts <= 0 {
 		attempts = 1
@@ -127,7 +137,11 @@ func Do(clock *simclock.Clock, rng *rand.Rand, p Policy, deadline time.Time, fn 
 	var last error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			clock.Sleep(p.Backoff(attempt-1, rng))
+			wait := p.Backoff(attempt-1, rng)
+			if onWait != nil {
+				onWait(attempt-1, wait)
+			}
+			clock.Sleep(wait)
 		}
 		if !deadline.IsZero() && clock.Now().After(deadline) {
 			if last == nil {

@@ -1,0 +1,405 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Category names one cause of replication delay on a task's critical
+// path, mirroring the paper's model parameters: invocation latency I,
+// startup delay D, scheduler postponement P, client setup S, transfer
+// legs, KV accesses, object-store requests, retry/backoff waits,
+// partition stalls, and residual idle/orchestration time.
+type Category string
+
+// Critical-path delay categories.
+const (
+	CatNotify    Category = "notify"    // T_n: source notification delivery (plus batching hold)
+	CatInvoke    Category = "invoke"    // I: async invocation API latency
+	CatQueued    Category = "queued"    // concurrency throttling before an instance is granted
+	CatStartup   Category = "startup"   // D: cold-start delay
+	CatPostpone  Category = "postpone"  // P: scheduler postponement
+	CatSetup     Category = "setup"     // S: SDK client setup
+	CatTransfer  Category = "transfer"  // wide-area transfer legs
+	CatStall     Category = "stall"     // inter-region partition stalls
+	CatObjStore  Category = "objstore"  // object-store requests (GET/PUT/multipart)
+	CatKV        Category = "kv"        // KV accesses (lock, part pool, completion)
+	CatChangelog Category = "changelog" // changelog lookup/apply
+	CatBackoff   Category = "backoff"   // retry backoff waits (task- and request-level)
+	CatIdle      Category = "idle"      // orchestration gaps and handler time outside any child span
+)
+
+// CatAttr is the span attribute key an instrumentation point may set to
+// pin the span's critical-path category explicitly; it wins over the
+// name-based inference below.
+const CatAttr = "cat"
+
+// categoryOf maps one span to its delay category: an explicit CatAttr
+// tag first, then the span-name conventions of the replication stack.
+func categoryOf(s *Span) Category {
+	attrs := s.Attrs()
+	for i := len(attrs) - 1; i >= 0; i-- {
+		if attrs[i].Key == CatAttr {
+			if c, ok := attrs[i].Value.(string); ok {
+				return Category(c)
+			}
+		}
+	}
+	switch name := s.Name; {
+	case name == "notify":
+		return CatNotify
+	case name == "invoke":
+		return CatInvoke
+	case name == "queued":
+		return CatQueued
+	case name == "startup":
+		return CatStartup
+	case name == "setup":
+		return CatSetup
+	case name == "backoff" || name == "req-backoff":
+		return CatBackoff
+	case name == "partition-stall":
+		return CatStall
+	case name == "leg-down" || name == "leg-up":
+		return CatTransfer
+	case name == "changelog":
+		return CatChangelog
+	case hasPrefix(name, "kv:"):
+		return CatKV
+	case name == "src-get" || name == "dst-put" || name == "dst-delete" ||
+		name == "get-range" || name == "upload-part" || hasPrefix(name, "mpu-"):
+		return CatObjStore
+	default:
+		// Structural spans: the task root, attempts, fn:<instance>
+		// executions, part-/chunk- containers. Their own uncovered time is
+		// orchestration/idle.
+		return CatIdle
+	}
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+// CategoryShare is one category's attributed slice of a critical path.
+type CategoryShare struct {
+	Category Category
+	Duration time.Duration
+	Seconds  float64
+	Fraction float64 // of the root span duration (0 when the root is zero-length)
+}
+
+// Breakdown attributes one trace's end-to-end duration to delay
+// categories along its critical path. The category durations partition
+// the root span exactly: summed as Durations they equal Total, and
+// summed as Seconds they match TotalSeconds to within float rounding
+// (well under 1e-9 s for any simulated task).
+type Breakdown struct {
+	TraceID string
+	Root    *Span
+	Total   time.Duration
+	// TotalSeconds is Total in seconds (the root span duration).
+	TotalSeconds float64
+	// Shares is the ranked attribution, largest first (ties by name).
+	Shares []CategoryShare
+	// Degraded is the critical-path time spent inside attempts the
+	// circuit breaker degraded to the single-function path.
+	Degraded time.Duration
+}
+
+// Seconds returns the named category's attributed seconds (0 when absent).
+func (b *Breakdown) Seconds(c Category) float64 {
+	for _, s := range b.Shares {
+		if s.Category == c {
+			return s.Seconds
+		}
+	}
+	return 0
+}
+
+// Dominant returns the category holding the largest share ("" for an
+// empty breakdown).
+func (b *Breakdown) Dominant() Category {
+	if len(b.Shares) == 0 {
+		return ""
+	}
+	return b.Shares[0].Category
+}
+
+// cpNode is one span in the reconstructed tree, with its interval
+// clamped to its parent's.
+type cpNode struct {
+	s             *Span
+	start, finish time.Time
+	kids          []*cpNode
+}
+
+// CriticalPaths reconstructs every trace among spans and returns one
+// Breakdown per trace, ordered by root start time then trace ID. A
+// trace contributes only if its root span (Parent == "") ended; spans
+// whose parent never ended are not attributed.
+func CriticalPaths(spans []*Span) []*Breakdown {
+	byTrace := make(map[string][]*Span)
+	var order []string
+	for _, s := range spans {
+		if _, ok := byTrace[s.TraceID]; !ok {
+			order = append(order, s.TraceID)
+		}
+		byTrace[s.TraceID] = append(byTrace[s.TraceID], s)
+	}
+
+	var out []*Breakdown
+	for _, id := range order {
+		if b := breakdownOf(id, byTrace[id]); b != nil {
+			out = append(out, b)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Root.Start.Equal(out[j].Root.Start) {
+			return out[i].Root.Start.Before(out[j].Root.Start)
+		}
+		return out[i].TraceID < out[j].TraceID
+	})
+	return out
+}
+
+// CriticalPaths is the tracer-level convenience: one Breakdown per
+// collected trace.
+func (t *Tracer) CriticalPaths() []*Breakdown {
+	return CriticalPaths(t.Spans())
+}
+
+// breakdownOf builds the span tree of one trace and walks its critical
+// path.
+func breakdownOf(traceID string, spans []*Span) *Breakdown {
+	byPath := make(map[string]*cpNode, len(spans))
+	var root *cpNode
+	for _, s := range spans {
+		n := &cpNode{s: s, start: s.Start, finish: s.Finish}
+		byPath[s.Path] = n
+		if s.Parent == "" && root == nil {
+			root = n
+		}
+	}
+	if root == nil {
+		return nil
+	}
+	for _, n := range byPath {
+		if n == root {
+			continue
+		}
+		if p, ok := byPath[n.s.Parent]; ok {
+			p.kids = append(p.kids, n)
+		}
+	}
+	// Clamp every node to its parent's window (top-down) and order
+	// children deterministically by finish, then start, then path — the
+	// backward walk scans this order from the end.
+	var prepare func(n *cpNode)
+	prepare = func(n *cpNode) {
+		sort.Slice(n.kids, func(i, j int) bool {
+			a, b := n.kids[i], n.kids[j]
+			if !a.finish.Equal(b.finish) {
+				return a.finish.Before(b.finish)
+			}
+			if !a.start.Equal(b.start) {
+				return a.start.Before(b.start)
+			}
+			return a.s.Path < b.s.Path
+		})
+		for _, k := range n.kids {
+			if k.start.Before(n.start) {
+				k.start = n.start
+			}
+			if k.finish.After(n.finish) {
+				k.finish = n.finish
+			}
+			if k.finish.Before(k.start) {
+				k.finish = k.start
+			}
+			prepare(k)
+		}
+	}
+	prepare(root)
+
+	b := &Breakdown{TraceID: traceID, Root: root.s, Total: root.finish.Sub(root.start)}
+	cats := make(map[Category]time.Duration)
+	emit := func(n *cpNode, lo, hi time.Time, degraded bool) {
+		seg := hi.Sub(lo)
+		if seg <= 0 {
+			return
+		}
+		if degraded {
+			b.Degraded += seg
+		}
+		cat := categoryOf(n.s)
+		if cat == CatStartup {
+			// The startup span covers D + P in one sleep; its p_s attribute
+			// carries the scheduler postponement to split out.
+			if p := attrSeconds(n.s, "p_s"); p > 0 {
+				pd := time.Duration(p * float64(time.Second))
+				if pd > seg {
+					pd = seg
+				}
+				cats[CatPostpone] += pd
+				seg -= pd
+			}
+		}
+		cats[cat] += seg
+	}
+	walkCritical(root, false, emit)
+
+	for c, d := range cats {
+		s := CategoryShare{Category: c, Duration: d, Seconds: d.Seconds()}
+		if b.Total > 0 {
+			s.Fraction = float64(d) / float64(b.Total)
+		}
+		b.Shares = append(b.Shares, s)
+	}
+	sort.Slice(b.Shares, func(i, j int) bool {
+		if b.Shares[i].Duration != b.Shares[j].Duration {
+			return b.Shares[i].Duration > b.Shares[j].Duration
+		}
+		return b.Shares[i].Category < b.Shares[j].Category
+	})
+	b.TotalSeconds = b.Total.Seconds()
+	return b
+}
+
+// walkCritical walks n's critical path backward from its finish: the
+// child that finished last is the one the parent waited on; before that
+// child started, the enabling predecessor is the last sibling to finish
+// before that start, and gaps no child covers belong to the parent
+// itself. Concurrent forks off the critical path (siblings still running
+// when the critical child finished) contribute nothing — exactly the
+// paper's question of which lane gated the task. emit receives disjoint
+// segments that partition [n.start, n.finish].
+func walkCritical(n *cpNode, degraded bool, emit func(*cpNode, time.Time, time.Time, bool)) {
+	degraded = degraded || isDegradedAttempt(n.s)
+	cur := n.finish
+	i := len(n.kids) - 1
+	for cur.After(n.start) {
+		for i >= 0 && n.kids[i].finish.After(cur) {
+			i--
+		}
+		if i < 0 || !n.kids[i].finish.After(n.start) {
+			emit(n, n.start, cur, degraded)
+			return
+		}
+		k := n.kids[i]
+		if k.finish.Before(cur) {
+			emit(n, k.finish, cur, degraded)
+		}
+		walkCritical(k, degraded, emit)
+		cur = k.start
+		i--
+	}
+}
+
+// isDegradedAttempt reports whether s is an engine attempt the circuit
+// breaker degraded to the single-function path.
+func isDegradedAttempt(s *Span) bool {
+	if s.Name != "attempt" {
+		return false
+	}
+	for _, a := range s.Attrs() {
+		if a.Key == "degraded" {
+			if v, ok := a.Value.(bool); ok && v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// attrSeconds returns the last float64 value of the named attribute (0
+// when absent).
+func attrSeconds(s *Span, key string) float64 {
+	attrs := s.Attrs()
+	for i := len(attrs) - 1; i >= 0; i-- {
+		if attrs[i].Key == key {
+			if v, ok := attrs[i].Value.(float64); ok {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+// Attribution aggregates critical-path breakdowns across many tasks.
+type Attribution struct {
+	Tasks        int
+	Total        time.Duration
+	TotalSeconds float64
+	Shares       []CategoryShare // ranked, fractions of the summed total
+	Degraded     time.Duration
+}
+
+// Aggregate sums per-task breakdowns into one ranked attribution.
+func Aggregate(bds []*Breakdown) Attribution {
+	cats := make(map[Category]time.Duration)
+	a := Attribution{}
+	for _, b := range bds {
+		a.Tasks++
+		a.Total += b.Total
+		a.Degraded += b.Degraded
+		for _, s := range b.Shares {
+			cats[s.Category] += s.Duration
+		}
+	}
+	for c, d := range cats {
+		s := CategoryShare{Category: c, Duration: d, Seconds: d.Seconds()}
+		if a.Total > 0 {
+			s.Fraction = float64(d) / float64(a.Total)
+		}
+		a.Shares = append(a.Shares, s)
+	}
+	sort.Slice(a.Shares, func(i, j int) bool {
+		if a.Shares[i].Duration != a.Shares[j].Duration {
+			return a.Shares[i].Duration > a.Shares[j].Duration
+		}
+		return a.Shares[i].Category < a.Shares[j].Category
+	})
+	a.TotalSeconds = a.Total.Seconds()
+	return a
+}
+
+// Seconds returns the named category's aggregate seconds (0 when absent).
+func (a Attribution) Seconds(c Category) float64 {
+	for _, s := range a.Shares {
+		if s.Category == c {
+			return s.Seconds
+		}
+	}
+	return 0
+}
+
+// Dominant returns the category holding the largest aggregate share
+// ("" when no tasks were attributed).
+func (a Attribution) Dominant() Category {
+	if len(a.Shares) == 0 {
+		return ""
+	}
+	return a.Shares[0].Category
+}
+
+// WriteText renders the attribution as a ranked table.
+func (a Attribution) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-10s %12s %8s\n", "category", "seconds", "share"); err != nil {
+		return err
+	}
+	for _, s := range a.Shares {
+		if _, err := fmt.Fprintf(w, "%-10s %12.3f %7.1f%%\n", s.Category, s.Seconds, 100*s.Fraction); err != nil {
+			return err
+		}
+	}
+	if a.Degraded > 0 {
+		if _, err := fmt.Fprintf(w, "(%0.3fs of the critical path ran on breaker-degraded attempts)\n",
+			a.Degraded.Seconds()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

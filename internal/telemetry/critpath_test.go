@@ -1,0 +1,275 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// cpTracer returns an enabled tracer with a fixed now (tests set explicit
+// span times) and the base instant spans hang off.
+func cpTracer() (*Tracer, time.Time) {
+	base := time.Unix(0, 0)
+	tr := NewTracer(func() time.Time { return base })
+	tr.Enable()
+	return tr, base
+}
+
+func at(base time.Time, sec float64) time.Time {
+	return base.Add(time.Duration(sec * float64(time.Second)))
+}
+
+// checkPartition asserts the breakdown's category durations partition the
+// root span exactly (the ISSUE's 1e-9 s acceptance bound — here exact, in
+// integer nanoseconds).
+func checkPartition(t *testing.T, b *Breakdown) {
+	t.Helper()
+	var sum time.Duration
+	var frac float64
+	for _, s := range b.Shares {
+		sum += s.Duration
+		frac += s.Fraction
+	}
+	if sum != b.Total {
+		t.Fatalf("share durations sum to %v, root span is %v", sum, b.Total)
+	}
+	var secs float64
+	for _, s := range b.Shares {
+		secs += s.Seconds
+	}
+	if math.Abs(secs-b.TotalSeconds) > 1e-9 {
+		t.Fatalf("share seconds sum to %v, want %v (diff %g)", secs, b.TotalSeconds, secs-b.TotalSeconds)
+	}
+	if b.Total > 0 && math.Abs(frac-1) > 1e-12 {
+		t.Fatalf("fractions sum to %v, want 1", frac)
+	}
+}
+
+func TestCriticalPathSerial(t *testing.T) {
+	tr, base := cpTracer()
+	root := tr.StartTraceAt("t1", "task", at(base, 0))
+	root.ChildAt("notify", at(base, 0)).EndAt(at(base, 1))
+	root.ChildAt("invoke", at(base, 1)).EndAt(at(base, 2))
+	root.ChildAt("kv:lock", at(base, 2)).EndAt(at(base, 3))
+	root.ChildAt("src-get", at(base, 3)).EndAt(at(base, 6))
+	root.ChildAt("dst-put", at(base, 6)).EndAt(at(base, 9))
+	root.EndAt(at(base, 10)) // 9..10 uncovered -> idle
+
+	bds := tr.CriticalPaths()
+	if len(bds) != 1 {
+		t.Fatalf("got %d breakdowns, want 1", len(bds))
+	}
+	b := bds[0]
+	checkPartition(t, b)
+	want := map[Category]float64{
+		CatObjStore: 6, CatNotify: 1, CatInvoke: 1, CatKV: 1, CatIdle: 1,
+	}
+	for c, sec := range want {
+		if got := b.Seconds(c); math.Abs(got-sec) > 1e-12 {
+			t.Errorf("category %s = %vs, want %vs", c, got, sec)
+		}
+	}
+	if b.Dominant() != CatObjStore {
+		t.Errorf("dominant = %s, want %s", b.Dominant(), CatObjStore)
+	}
+}
+
+func TestCriticalPathConcurrentLanes(t *testing.T) {
+	tr, base := cpTracer()
+	root := tr.StartTraceAt("t1", "task", at(base, 0))
+	// Fast lane finishes early: entirely off the critical path.
+	fast := root.ForkAt("fn:a", at(base, 1))
+	fast.ChildAt("leg-down", at(base, 1)).EndAt(at(base, 4))
+	fast.EndAt(at(base, 5))
+	// Slow lane gates the task.
+	slow := root.ForkAt("fn:b", at(base, 1))
+	slow.ChildAt("leg-up", at(base, 2)).EndAt(at(base, 7))
+	slow.EndAt(at(base, 8))
+	root.EndAt(at(base, 10))
+
+	b := tr.CriticalPaths()[0]
+	checkPartition(t, b)
+	// Critical path: root idle 0-1 and 8-10, fn:b idle 1-2 and 7-8,
+	// leg-up 2-7. fn:a's leg-down must contribute nothing.
+	if got := b.Seconds(CatTransfer); math.Abs(got-5) > 1e-12 {
+		t.Errorf("transfer = %vs, want 5 (off-path lane leaked in?)", got)
+	}
+	if got := b.Seconds(CatIdle); math.Abs(got-5) > 1e-12 {
+		t.Errorf("idle = %vs, want 5", got)
+	}
+}
+
+func TestCriticalPathStartupSplit(t *testing.T) {
+	tr, base := cpTracer()
+	root := tr.StartTraceAt("t1", "task", at(base, 0))
+	fn := root.ForkAt("fn:x", at(base, 0))
+	// D+P sleep covered by one startup span: 3s total, 2s of it postponement.
+	fn.ChildAt("startup", at(base, 0)).Set("d_s", 1.0).Set("p_s", 2.0).EndAt(at(base, 3))
+	fn.ChildAt("leg-up", at(base, 3)).EndAt(at(base, 9))
+	fn.EndAt(at(base, 9))
+	root.EndAt(at(base, 9))
+
+	b := tr.CriticalPaths()[0]
+	checkPartition(t, b)
+	if got := b.Seconds(CatStartup); math.Abs(got-1) > 1e-12 {
+		t.Errorf("startup = %vs, want 1", got)
+	}
+	if got := b.Seconds(CatPostpone); math.Abs(got-2) > 1e-12 {
+		t.Errorf("postpone = %vs, want 2", got)
+	}
+}
+
+func TestCriticalPathExplicitCategoryAttr(t *testing.T) {
+	tr, base := cpTracer()
+	root := tr.StartTraceAt("t1", "task", at(base, 0))
+	root.ChildAt("mystery-op", at(base, 0)).
+		Set(CatAttr, string(CatBackoff)).
+		EndAt(at(base, 4))
+	root.EndAt(at(base, 4))
+
+	b := tr.CriticalPaths()[0]
+	checkPartition(t, b)
+	if got := b.Seconds(CatBackoff); math.Abs(got-4) > 1e-12 {
+		t.Errorf("backoff = %vs, want 4 (cat attr should win over name)", got)
+	}
+}
+
+func TestCriticalPathDegradedRollup(t *testing.T) {
+	tr, base := cpTracer()
+	root := tr.StartTraceAt("t1", "task", at(base, 0))
+	att := root.ChildAt("attempt", at(base, 0))
+	att.Set("degraded", true)
+	att.ChildAt("dst-put", at(base, 1)).EndAt(at(base, 5))
+	att.EndAt(at(base, 6))
+	root.EndAt(at(base, 8))
+
+	b := tr.CriticalPaths()[0]
+	checkPartition(t, b)
+	if got := b.Degraded.Seconds(); math.Abs(got-6) > 1e-12 {
+		t.Errorf("degraded = %vs, want 6 (entire attempt window)", got)
+	}
+	// Degradation is a rollup, not a category: the shares still partition.
+	if got := b.Seconds(CatObjStore); math.Abs(got-4) > 1e-12 {
+		t.Errorf("objstore = %vs, want 4", got)
+	}
+}
+
+func TestCriticalPathChildClampedToParent(t *testing.T) {
+	tr, base := cpTracer()
+	root := tr.StartTraceAt("t1", "task", at(base, 0))
+	// Child overhangs its parent on both sides; it must be clamped, never
+	// pushing attributed time outside the root window.
+	root.ChildAt("leg-up", at(base, -2)).EndAt(at(base, 12))
+	root.EndAt(at(base, 10))
+
+	b := tr.CriticalPaths()[0]
+	checkPartition(t, b)
+	if got := b.Seconds(CatTransfer); math.Abs(got-10) > 1e-12 {
+		t.Errorf("transfer = %vs, want 10", got)
+	}
+}
+
+func TestCriticalPathsOrderAndAggregate(t *testing.T) {
+	tr, base := cpTracer()
+	// Second trace starts earlier: output must be ordered by root start.
+	r2 := tr.StartTraceAt("zz", "task", at(base, 5))
+	r2.ChildAt("leg-up", at(base, 5)).EndAt(at(base, 8))
+	r2.EndAt(at(base, 8))
+	r1 := tr.StartTraceAt("aa", "task", at(base, 0))
+	r1.ChildAt("src-get", at(base, 0)).EndAt(at(base, 2))
+	r1.EndAt(at(base, 2))
+
+	bds := tr.CriticalPaths()
+	if len(bds) != 2 || bds[0].TraceID != "aa" || bds[1].TraceID != "zz" {
+		t.Fatalf("breakdown order wrong: %+v", []string{bds[0].TraceID, bds[1].TraceID})
+	}
+
+	agg := Aggregate(bds)
+	if agg.Tasks != 2 {
+		t.Fatalf("aggregate tasks = %d, want 2", agg.Tasks)
+	}
+	if got := agg.Total; got != 5*time.Second {
+		t.Fatalf("aggregate total = %v, want 5s", got)
+	}
+	if agg.Dominant() != CatTransfer {
+		t.Errorf("aggregate dominant = %s, want transfer", agg.Dominant())
+	}
+	var sb strings.Builder
+	if err := agg.WriteText(&sb); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if !strings.Contains(sb.String(), "transfer") || !strings.Contains(sb.String(), "objstore") {
+		t.Errorf("WriteText missing categories:\n%s", sb.String())
+	}
+}
+
+func TestCriticalPathUnendedRootSkipped(t *testing.T) {
+	tr, base := cpTracer()
+	root := tr.StartTraceAt("t1", "task", at(base, 0))
+	root.ChildAt("src-get", at(base, 0)).EndAt(at(base, 2))
+	// Root never ends: only the child reaches the tracer, and the trace
+	// has no root span -> no breakdown.
+	if bds := tr.CriticalPaths(); len(bds) != 0 {
+		t.Fatalf("got %d breakdowns for a trace with no ended root, want 0", len(bds))
+	}
+	_ = root
+}
+
+// TestCriticalPathPartitionStress builds a deterministic irregular tree —
+// overlapping children, nested forks, gaps, zero-length spans — and checks
+// the partition invariant plus run-to-run determinism.
+func TestCriticalPathPartitionStress(t *testing.T) {
+	build := func() []*Breakdown {
+		tr, base := cpTracer()
+		root := tr.StartTraceAt("t1", "task", at(base, 0))
+		root.ChildAt("notify", at(base, 0)).EndAt(at(base, 0.25))
+		for i := 0; i < 3; i++ {
+			s := 0.25 + float64(i)*0.1
+			fn := root.ForkAt("fn:x", at(base, s))
+			fn.ChildAt("startup", at(base, s)).Set("p_s", 0.05).EndAt(at(base, s+0.3))
+			leg := fn.ChildAt("leg-up", at(base, s+0.3))
+			leg.ChildAt("partition-stall", at(base, s+0.4)).EndAt(at(base, s+0.4)) // zero-length
+			leg.EndAt(at(base, s+1.2+float64(i)*0.5))
+			fn.ChildAt("kv:done", at(base, s+1.2+float64(i)*0.5)).EndAt(at(base, s+1.3+float64(i)*0.5))
+			fn.EndAt(at(base, s+1.3+float64(i)*0.5))
+		}
+		root.ChildAt("changelog", at(base, 3.1)).EndAt(at(base, 3.4))
+		root.EndAt(at(base, 3.5))
+		return tr.CriticalPaths()
+	}
+	a, b := build(), build()
+	if len(a) != 1 {
+		t.Fatalf("got %d breakdowns, want 1", len(a))
+	}
+	checkPartition(t, a[0])
+	if len(a[0].Shares) != len(b[0].Shares) {
+		t.Fatalf("non-deterministic share count: %d vs %d", len(a[0].Shares), len(b[0].Shares))
+	}
+	for i := range a[0].Shares {
+		if a[0].Shares[i] != b[0].Shares[i] {
+			t.Fatalf("non-deterministic share %d: %+v vs %+v", i, a[0].Shares[i], b[0].Shares[i])
+		}
+	}
+}
+
+func TestCategoryOfNames(t *testing.T) {
+	tr, base := cpTracer()
+	root := tr.StartTraceAt("t1", "task", at(base, 0))
+	cases := map[string]Category{
+		"notify": CatNotify, "invoke": CatInvoke, "queued": CatQueued,
+		"startup": CatStartup, "setup": CatSetup, "backoff": CatBackoff,
+		"req-backoff": CatBackoff, "partition-stall": CatStall,
+		"leg-down": CatTransfer, "leg-up": CatTransfer,
+		"changelog": CatChangelog, "kv:claim": CatKV,
+		"src-get": CatObjStore, "dst-put": CatObjStore, "dst-delete": CatObjStore,
+		"get-range": CatObjStore, "upload-part": CatObjStore, "mpu-create": CatObjStore,
+		"attempt": CatIdle, "chunk-0": CatIdle,
+	}
+	for name, want := range cases {
+		sp := root.ChildAt(name, at(base, 0))
+		if got := categoryOf(sp); got != want {
+			t.Errorf("categoryOf(%q) = %s, want %s", name, got, want)
+		}
+	}
+}

@@ -219,13 +219,17 @@ func (h *Histogram) BucketCounts() (bounds []float64, counts []int64) {
 }
 
 // Quantile estimates the p-quantile (p in [0,1]) by linear interpolation
-// within the containing bucket, clamped to the observed min/max.
+// within the containing bucket, clamped to the observed min/max. An
+// empty (or nil) histogram returns 0 for every p; p <= 0 (or NaN)
+// returns the observed minimum and p >= 1 the observed maximum, so the
+// estimate never leaves the observed range — including observations
+// below the first bound or in the overflow bucket.
 func (h *Histogram) Quantile(p float64) float64 {
 	n := h.Count()
 	if n == 0 {
 		return 0
 	}
-	if p <= 0 {
+	if !(p > 0) { // p <= 0 and NaN
 		return h.Min()
 	}
 	if p >= 1 {
@@ -236,11 +240,15 @@ func (h *Histogram) Quantile(p float64) float64 {
 	for i := range h.counts {
 		c := h.counts[i].Load()
 		if c == 0 {
-			cum += c
 			continue
 		}
 		if float64(cum+c) >= target {
-			lo := 0.0
+			// Interpolate within [lo, hi]: the bucket's bounds tightened to
+			// the observed extremes. The first bucket has no lower bound and
+			// the overflow bucket no upper one — without the min/max clamp a
+			// single sample there would interpolate against ±infinity (or,
+			// for negative observations, against a bogus 0 floor).
+			lo := math.Inf(-1)
 			if i > 0 {
 				lo = h.bounds[i-1]
 			}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramQuantileEdgeCases pins the boundary behaviour the bench
+// harness depends on: an estimate must never leave the observed range,
+// whatever p or however sparse the histogram.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	cases := []struct {
+		name    string
+		observe []float64
+		p       float64
+		want    float64
+	}{
+		{"empty p50", nil, 0.5, 0},
+		{"empty p0", nil, 0, 0},
+		{"empty p1", nil, 1, 0},
+		{"p0 returns min", []float64{1.5, 3, 3.5}, 0, 1.5},
+		{"negative p returns min", []float64{1.5, 3}, -0.3, 1.5},
+		{"NaN p returns min", []float64{1.5, 3}, math.NaN(), 1.5},
+		{"p1 returns max", []float64{1.5, 3, 3.5}, 1, 3.5},
+		{"p above 1 returns max", []float64{1.5, 3}, 1.7, 3},
+		{"single overflow sample", []float64{100}, 0.5, 100},
+		{"single overflow sample p99", []float64{100}, 0.99, 100},
+		{"single first-bucket sample", []float64{0.5}, 0.5, 0.5},
+		{"negative observation", []float64{-3}, 0.5, -3},
+		// Bucket (2,4] tightened to the observed [2.5, 3.5]; target 0.02 of
+		// 2 samples interpolates to 2.5 + 0.01*(3.5-2.5).
+		{"interpolates within tightened bucket", []float64{2.5, 3.5}, 0.01, 2.51},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(bounds)
+			for _, v := range tc.observe {
+				h.Observe(v)
+			}
+			got := h.Quantile(tc.p)
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("Quantile(%v) = %v, want %v", tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHistogramQuantileWithinObservedRange fuzzes p over a mixed histogram
+// (underflow region, interior buckets, overflow) and asserts the estimate
+// stays inside [Min, Max] and is monotone in p.
+func TestHistogramQuantileWithinObservedRange(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{-2, 0.1, 1.5, 3, 3, 6, 20, 50} {
+		h.Observe(v)
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		q := h.Quantile(p)
+		if q < h.Min()-1e-9 || q > h.Max()+1e-9 {
+			t.Fatalf("Quantile(%v) = %v outside observed [%v, %v]", p, q, h.Min(), h.Max())
+		}
+		if q < prev-1e-9 {
+			t.Fatalf("Quantile not monotone: p=%v gave %v after %v", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestNilHistogramQuantile(t *testing.T) {
+	var h *Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram Quantile = %v, want 0", got)
+	}
+}
+
+// TestWriteTextDeterministicUnderConcurrentRegistration registers and
+// bumps instruments from many goroutines, then checks WriteText emits the
+// same sorted byte stream every time — the property the BENCH harness and
+// golden files rely on.
+func TestWriteTextDeterministicUnderConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				r.Counter(fmt.Sprintf("c.%02d", i)).Add(int64(i + 1))
+				r.Gauge(fmt.Sprintf("g.%02d", i)).Set(int64(i + 1))
+				r.Histogram(fmt.Sprintf("h.%02d", i)).Observe(float64(i + 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var first bytes.Buffer
+	if err := r.WriteText(&first); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		var again bytes.Buffer
+		if err := r.WriteText(&again); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("WriteText not deterministic:\n--- first\n%s--- again\n%s", first.String(), again.String())
+		}
+	}
+
+	lines := strings.Split(strings.TrimRight(first.String(), "\n"), "\n")
+	if len(lines) != 60 {
+		t.Fatalf("got %d lines, want 60", len(lines))
+	}
+	for i := 1; i < len(lines); i++ {
+		a := strings.SplitN(lines[i-1], " ", 2)[0]
+		b := strings.SplitN(lines[i], " ", 2)[0]
+		if a >= b {
+			t.Fatalf("output not name-sorted: %q before %q", lines[i-1], lines[i])
+		}
+	}
+}
