@@ -224,6 +224,21 @@ type Rule struct {
 	// Replication.RegisterCopy / RegisterConcat.
 	Changelog bool
 
+	// Scrub attaches an anti-entropy scrubber: a periodic Merkle-tree
+	// comparison of the two bucket listings that repairs divergence
+	// (missed notifications, stale replicas, orphans) through the normal
+	// replication path. Drive it with Replication.StartScrub or
+	// Replication.ScrubUntilClean.
+	Scrub bool
+	// ScrubCadence is the virtual-time interval between scrub rounds
+	// (0 = derived from DivergenceSLO, else the 60s default).
+	ScrubCadence time.Duration
+	// DivergenceSLO declares how long a divergent key may stay unrepaired;
+	// a scrub cadence of DivergenceSLO/2 is derived from it when
+	// ScrubCadence is unset, and repairs of older versions are counted as
+	// SLO violations.
+	DivergenceSLO time.Duration
+
 	// ProfileRounds overrides profiling effort (default 12 samples per
 	// parameter).
 	ProfileRounds int
@@ -263,6 +278,9 @@ func (s *Sim) Deploy(r Rule) (*Replication, error) {
 		},
 		EnableChangelog: r.Changelog,
 		EnableBatching:  r.Batching,
+		EnableScrub:     r.Scrub,
+		ScrubCadence:    r.ScrubCadence,
+		DivergenceSLO:   r.DivergenceSLO,
 		Relays:          relays,
 		ProfileRounds:   r.ProfileRounds,
 		Model:           s.model, // deployments share profiling work
@@ -344,6 +362,51 @@ func (r *Replication) RegisterConcat(dstKey, dstETag string, sources []ConcatSou
 	return r.svc.RegisterChangelog(changelog.Log{
 		Key: dstKey, ETag: dstETag, Op: changelog.OpConcat, Sources: srcs,
 	})
+}
+
+// ScrubReport summarizes anti-entropy activity (requires Rule.Scrub).
+type ScrubReport struct {
+	Rounds        int   // scrub rounds run
+	Divergent     int   // divergent keys found in the last round
+	Repairs       int   // repairs enqueued in the last round (incl. redrives)
+	SLOViolations int   // repaired versions older than the divergence SLO
+	DigestBytes   int64 // digest traffic shipped in the last round
+	Clean         bool  // last round found the pair converged
+}
+
+// StartScrub launches the periodic anti-entropy loop on the virtual clock;
+// it stops itself after consecutive clean rounds so Wait can drain.
+func (r *Replication) StartScrub() error {
+	if r.svc.Scrubber == nil {
+		return fmt.Errorf("areplica: scrub is not enabled on this rule")
+	}
+	r.svc.Scrubber.Start()
+	return nil
+}
+
+// StopScrub makes a running scrub loop exit after its current round.
+func (r *Replication) StopScrub() {
+	if r.svc.Scrubber != nil {
+		r.svc.Scrubber.Stop()
+	}
+}
+
+// ScrubUntilClean runs scrub rounds a cadence apart until the bucket pair
+// is verifiably converged (two consecutive clean Merkle exchanges), and
+// reports the outcome.
+func (r *Replication) ScrubUntilClean() (ScrubReport, error) {
+	if r.svc.Scrubber == nil {
+		return ScrubReport{}, fmt.Errorf("areplica: scrub is not enabled on this rule")
+	}
+	rounds, last, err := r.svc.Scrubber.RunUntilClean()
+	return ScrubReport{
+		Rounds:        rounds,
+		Divergent:     last.Divergent,
+		Repairs:       last.RepairsDispatched + last.RepairsRedriven,
+		SLOViolations: last.SLOViolations,
+		DigestBytes:   last.DigestBytes,
+		Clean:         last.Clean,
+	}, err
 }
 
 // Service exposes the underlying core service for experiments.

@@ -10,6 +10,7 @@
 //	areplica -src gcp:us-east1 -dst aws:eu-west-1 -slo 30s -replay 10m -rate 60
 //	areplica -size 64MB -count 3 -trace trace.json -metrics metrics.txt
 //	areplica -chaos mixed@7 -count 20 -metrics metrics.txt
+//	areplica -chaos notify-flaky@3 -scrub 30s -count 12
 //	areplica -chaos list
 //	areplica -regions
 package main
@@ -45,6 +46,7 @@ func main() {
 		traceOut   = flag.String("trace", "", "write per-task spans as Chrome trace_event JSON to this file (chrome://tracing, Perfetto)")
 		metricsOut = flag.String("metrics", "", "write the run's aggregate metrics (counters + latency histograms) to this file")
 		chaosFlag  = flag.String("chaos", "", "arm a chaos profile after deployment (name[@seed], e.g. mixed@7; 'list' shows profiles)")
+		scrubFlag  = flag.Duration("scrub", 0, "run anti-entropy scrubbing at this cadence (e.g. 30s; 0 = off)")
 		critpath   = flag.Bool("critpath", false, "print the critical-path delay attribution across replicated tasks")
 		regions    = flag.Bool("regions", false, "list available regions and exit")
 		showStats  = flag.Bool("stats", false, "print a per-region activity snapshot at the end")
@@ -90,6 +92,7 @@ func main() {
 		SrcRegion: *srcFlag, SrcBucket: srcBucket,
 		DstRegion: *dstFlag, DstBucket: dstBucket,
 		SLO: *sloFlag, Percentile: *pct, Batching: *batching,
+		Scrub: *scrubFlag > 0, ScrubCadence: *scrubFlag,
 	})
 	if err != nil {
 		fatal(err)
@@ -108,6 +111,12 @@ func main() {
 	if chaosProf.Enabled() {
 		fmt.Printf("arming chaos profile %s\n", *chaosFlag)
 		sim.World().SetChaos(chaosProf)
+	}
+	if *scrubFlag > 0 {
+		if err := rep.StartScrub(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("scrubbing every %s\n", *scrubFlag)
 	}
 
 	// Under chaos the source PUT itself can be refused; retry with backoff
@@ -154,6 +163,22 @@ func main() {
 	}
 	sim.Wait()
 
+	if chaosProf.Enabled() && rep.DLQSize() > 0 {
+		// Operator recovery: redrive the dead-letter queue once and let the
+		// re-dispatched events converge.
+		fmt.Printf("redriving %d dead-lettered events...\n", rep.RedriveDLQ())
+		sim.Wait()
+	}
+	var scrubRep areplica.ScrubReport
+	if *scrubFlag > 0 {
+		// Final anti-entropy pass: prove convergence with a clean Merkle
+		// exchange, repairing whatever the notifications missed.
+		if scrubRep, err = rep.ScrubUntilClean(); err != nil {
+			fatal(err)
+		}
+		sim.Wait()
+	}
+
 	records := rep.Records()
 	if len(records) == 0 {
 		fatal(fmt.Errorf("no replications completed"))
@@ -164,13 +189,6 @@ func main() {
 		if *verbose {
 			fmt.Printf("  %-24s %10s  %8.2fs\n", r.Key, byteSize(r.Size), r.Delay.Seconds())
 		}
-	}
-	if chaosProf.Enabled() && rep.DLQSize() > 0 {
-		// Operator recovery: redrive the dead-letter queue once and let the
-		// re-dispatched events converge.
-		fmt.Printf("redriving %d dead-lettered events...\n", rep.RedriveDLQ())
-		sim.Wait()
-		records = rep.Records()
 	}
 
 	fmt.Printf("\nreplicated %d objects (pending %d)\n", len(records), rep.Pending())
@@ -212,6 +230,19 @@ func main() {
 			m.Counter("engine.breaker.degraded").Value(),
 			m.Counter("engine.dlq.redriven").Value(),
 			rep.DLQSize())
+	}
+
+	if *scrubFlag > 0 {
+		m := sim.World().Metrics
+		fmt.Printf("\nscrub cadence %s: %d rounds, %d divergent keys found, repairs %d dispatched / %d redriven, %d SLO violations, %d digest bytes (final round clean=%v)\n",
+			*scrubFlag,
+			m.Counter("antientropy.rounds").Value(),
+			m.Counter("antientropy.divergent_keys").Value(),
+			m.Counter("antientropy.repair.dispatched").Value(),
+			m.Counter("antientropy.repair.redriven").Value(),
+			m.Counter("antientropy.slo_violations").Value(),
+			m.Counter("antientropy.digest.bytes").Value(),
+			scrubRep.Clean)
 	}
 
 	if *critpath {

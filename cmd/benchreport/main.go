@@ -31,6 +31,7 @@ func main() {
 		compare  = flag.String("compare", "", "baseline BENCH_*.json to diff against; regressions exit non-zero")
 		tol      = flag.Float64("tol", 0.25, "relative regression tolerance for -compare (0.25 = 25% worse allowed)")
 		interval = flag.Duration("interval", 5*time.Second, "virtual-time series sampling interval")
+		scrub    = flag.Bool("scrub", false, "include the anti-entropy cadence sweep in the report")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -39,7 +40,7 @@ func main() {
 	}
 
 	start := time.Now()
-	rep, err := experiments.RunBench(experiments.BenchConfig{Quick: *quick, SampleInterval: *interval})
+	rep, err := experiments.RunBench(experiments.BenchConfig{Quick: *quick, SampleInterval: *interval, Scrub: *scrub})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		os.Exit(1)

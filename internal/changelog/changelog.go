@@ -125,6 +125,13 @@ func (a *Applier) Apply(l Log) bool {
 	if err := l.Validate(); err != nil {
 		return false
 	}
+	// Idempotence guard: changelog notifications can be delivered twice
+	// (chaos notify-dup, DLQ redrives racing the scrubber). If the
+	// destination already holds the expected version, re-applying would
+	// issue a second final write; one metered HEAD avoids that.
+	if cur, err := a.Dst.Head(a.DstBucket, l.Key); err == nil && cur.ETag == l.ETag {
+		return true
+	}
 	switch l.Op {
 	case OpCopy:
 		src := l.Sources[0]

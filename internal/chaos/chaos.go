@@ -291,6 +291,14 @@ func (p Partition) matches(fromID, toID, fromProvider, toProvider string) bool {
 		(side(p.A, toID, toProvider) && side(p.B, fromID, fromProvider))
 }
 
+// NotifyChangelog decides the fate of one changelog-hint delivery (§5.4):
+// the changelog propagates piggybacked on its own notification copy, so it
+// shares the notify-flaky rates but draws from an independent per-region
+// stream, keeping object-event schedules unchanged when changelogs are off.
+func (ij *Injector) NotifyChangelog(region string) NotifyVerdict {
+	return ij.Notify(region + "|changelog")
+}
+
 // Notify decides the fate of one notification delivery.
 func (ij *Injector) Notify(region string) NotifyVerdict {
 	if ij == nil {

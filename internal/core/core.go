@@ -8,9 +8,11 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/antientropy"
 	"repro/internal/batching"
 	"repro/internal/changelog"
 	"repro/internal/cloud"
@@ -43,6 +45,18 @@ type Options struct {
 	// (§6's extension); they are profiled alongside the rule's own paths.
 	Relays []cloud.RegionID
 
+	// EnableScrub attaches an anti-entropy scrubber to the rule. The
+	// scrubber is constructed but not started: call Service.Scrubber.Start
+	// (periodic loop) or RunUntilClean (driver-paced rounds) once the
+	// workload is underway.
+	EnableScrub bool
+	// ScrubCadence is the interval between scrub rounds (0 derives it from
+	// DivergenceSLO, or the package default).
+	ScrubCadence time.Duration
+	// DivergenceSLO is the declared bound on unrepaired divergence; see
+	// antientropy.Config.
+	DivergenceSLO time.Duration
+
 	// ProfileRounds overrides the profiler's sampling effort (default 12).
 	ProfileRounds int
 	// Model, when non-nil, is used (and extended) instead of a fresh
@@ -65,6 +79,7 @@ type Service struct {
 
 	Batcher    *batching.Batcher
 	Changelogs *changelog.Store
+	Scrubber   *antientropy.Scrubber
 
 	estMu    sync.Mutex
 	estCache map[int64]time.Duration
@@ -121,10 +136,30 @@ func Deploy(w *world.World, opts Options) (*Service, error) {
 			if !ok {
 				return false
 			}
+			// The changelog hint propagates piggybacked on its own
+			// notification copy (§5.4), so the notify-flaky chaos rates
+			// apply to it too: a dropped hint is a lookup miss (the caller
+			// falls back to full replication), and a duplicated one delivers
+			// — and applies — a second time, which Applier.Apply's
+			// idempotence guard must turn into a no-op.
+			v := w.Chaos.NotifyChangelog(string(rule.Src))
+			if v.Drop {
+				sp.Set("op", string(log.Op)).Set("chaos-dropped", true)
+				return false
+			}
 			applied := applier.Apply(log)
 			sp.Set("op", string(log.Op)).Set("applied", applied)
+			if applied && v.Duplicate {
+				w.Clock.Delay(v.DupExtra, func() { applier.Apply(log) })
+			}
 			return applied
 		}
+	}
+	if opts.EnableScrub {
+		s.Scrubber = antientropy.New(eng, antientropy.Config{
+			Cadence:       opts.ScrubCadence,
+			DivergenceSLO: opts.DivergenceSLO,
+		})
 	}
 
 	handler := eng.HandleEvent
@@ -137,7 +172,10 @@ func Deploy(w *world.World, opts Options) (*Service, error) {
 		// service (§7), so their Wait states are billed.
 		s.Batcher.SetDelayer(w.Region(rule.Src).Wf.Delay)
 		handler = func(ev objstore.Event) {
-			if !eng.Matches(ev.Key) {
+			// Same filters as Engine.HandleEvent: key prefix, plus the
+			// origin loop-breaker so a sibling rule's replica writes in an
+			// active-active pair never feed back through the batcher.
+			if !eng.Matches(ev.Key) || strings.HasPrefix(ev.Origin, engine.OriginPrefix) {
 				return
 			}
 			// Every source version is registered for delay accounting even

@@ -293,6 +293,70 @@ func eventID(ev objstore.Event) string {
 	return fmt.Sprintf("%s@%d", ev.Key, ev.Seq)
 }
 
+// RepairOutcome classifies what Repair did with one divergent key.
+type RepairOutcome string
+
+// Repair outcomes.
+const (
+	// RepairDispatched: a synthetic event entered the normal replication path.
+	RepairDispatched RepairOutcome = "dispatched"
+	// RepairRedriven: the key was parked in the DLQ and its entries were
+	// redriven instead of enqueueing a duplicate task.
+	RepairRedriven RepairOutcome = "redriven"
+	// RepairInflight: a task for this version is already pending, so the
+	// repair deduped against it.
+	RepairInflight RepairOutcome = "inflight"
+)
+
+// Repair enqueues one anti-entropy repair through the normal replication
+// path — retries, breaker and DLQ included — deduplicating against work
+// already in flight. A key parked in the DLQ is redriven with a fresh
+// automatic-redrive budget rather than double-enqueued: the parked task's
+// Tracker entry is still pending, so a fresh event for the same version
+// would be deduped forever. Synthetic orphan deletes carry no source
+// sequence and bypass the tracker; destination deletes are idempotent.
+func (e *Engine) Repair(ev objstore.Event) RepairOutcome {
+	if n := e.redriveKey(ev.Key); n > 0 {
+		return RepairRedriven
+	}
+	if ev.Type != objstore.EventDelete && !e.Tracker.OnSource(ev) {
+		if e.Tracker.PendingFor(ev.Key) {
+			// A task for this key is genuinely in flight; let it finish and
+			// re-check next round.
+			e.eventsDeduped.Inc()
+			return RepairInflight
+		}
+		// The version is below the tracker's resolved high-water mark but
+		// the destination diverged anyway (replica loss or overwrite after
+		// a successful replication): force re-replication past the dedupe.
+	}
+	e.Dispatch(ev)
+	return RepairDispatched
+}
+
+// redriveKey drains the DLQ entries parked for one key and re-dispatches
+// them — the scrubber's targeted version of RedriveDLQ.
+func (e *Engine) redriveKey(key string) int {
+	e.mu.Lock()
+	var parked, kept []DLQEntry
+	for _, d := range e.dlq {
+		if d.Event.Key == key {
+			parked = append(parked, d)
+			delete(e.redrives, eventID(d.Event))
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	e.dlq = kept
+	e.dlqDepth.Set(int64(len(e.dlq)))
+	e.mu.Unlock()
+	for _, d := range parked {
+		e.dlqRedriven.Inc()
+		e.Dispatch(d.Event)
+	}
+	return len(parked)
+}
+
 // deadLetter handles an event that exhausted its task attempts: it is
 // re-enqueued after RedriveDelay while the automatic redrive budget
 // lasts (the platform retry of an async invocation), then parked in the
@@ -335,6 +399,10 @@ func (e *Engine) HandleEvent(ev objstore.Event) {
 
 // origin returns the tag this engine stamps on its destination writes.
 func (e *Engine) origin() string { return OriginPrefix + e.ruleID }
+
+// RuleID returns the engine's stable rule identifier
+// ("src/bucket->dst/bucket"), used for trace IDs and per-rule KV tables.
+func (e *Engine) RuleID() string { return e.ruleID }
 
 // Matches reports whether a key falls under this rule's prefix filter.
 func (e *Engine) Matches(key string) bool {

@@ -129,6 +129,13 @@ func (t *Tracker) DelaysSeconds() []float64 {
 	return out
 }
 
+// PendingFor reports whether any event for key awaits resolution.
+func (t *Tracker) PendingFor(key string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pending[key]) > 0
+}
+
 // PendingCount reports events that have not been resolved yet.
 func (t *Tracker) PendingCount() int {
 	t.mu.Lock()

@@ -28,6 +28,10 @@ type BenchConfig struct {
 	// SampleInterval is the virtual-time series sampling interval
 	// (default 5 s).
 	SampleInterval time.Duration
+	// Scrub adds the anti-entropy cadence sweep (experiments.RunScrub) to
+	// the report, guarding the scrubber's convergence and digest-traffic
+	// characteristics against regressions.
+	Scrub bool
 }
 
 // BenchCategory is one critical-path category's aggregate share of a
@@ -70,6 +74,20 @@ type BenchFault struct {
 	CostOverheadPct float64 `json:"cost_overhead_pct"`
 }
 
+// BenchScrub is one anti-entropy sweep row's regression-relevant subset
+// (BenchConfig.Scrub). The "off" row pins the baseline divergence the
+// lossy workload produces; cadence rows pin full convergence and the
+// digest traffic paid for it.
+type BenchScrub struct {
+	Cadence            string  `json:"cadence"`
+	ConvergencePct     float64 `json:"convergence_pct"`
+	ResidualDivergence int     `json:"residual_divergence"`
+	Rounds             int64   `json:"rounds"`
+	DigestBytes        int64   `json:"digest_bytes"`
+	DupFinalWrites     int     `json:"dup_final_writes"`
+	ScrubCostUSD       float64 `json:"scrub_cost_usd"`
+}
+
 // BenchReport is the BENCH_*.json document: the canonical quick suite's
 // delay/cost/attribution measurements, deterministic for a given
 // configuration (two identically-configured runs are byte-identical).
@@ -78,6 +96,7 @@ type BenchReport struct {
 	Suite       string            `json:"suite"` // "quick" or "full"
 	Experiments []BenchExperiment `json:"experiments"`
 	FaultMatrix []BenchFault      `json:"fault_matrix"`
+	Scrub       []BenchScrub      `json:"scrub,omitempty"`
 }
 
 // benchScenario is one canonical replication workload.
@@ -154,6 +173,24 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 			DLQ:             s.DLQ,
 			CostOverheadPct: s.CostOverheadPct,
 		})
+	}
+
+	if cfg.Scrub {
+		sw, err := RunScrub(ScrubConfig{Quick: cfg.Quick})
+		if err != nil {
+			return nil, fmt.Errorf("bench scrub sweep: %w", err)
+		}
+		for _, p := range sw.Points {
+			rep.Scrub = append(rep.Scrub, BenchScrub{
+				Cadence:            p.Cadence,
+				ConvergencePct:     p.ConvergencePct,
+				ResidualDivergence: p.ResidualDivergence,
+				Rounds:             p.Rounds,
+				DigestBytes:        p.DigestBytes,
+				DupFinalWrites:     p.DupFinalWrites,
+				ScrubCostUSD:       p.ScrubCostUSD,
+			})
+		}
 	}
 	return rep, nil
 }
@@ -327,6 +364,37 @@ func CompareBench(baseline, got *BenchReport, tol BenchTolerance) []string {
 			regs = append(regs, fmt.Sprintf("fault %s: DLQ depth %d -> %d", old.Profile, old.DLQ, f.DLQ))
 		}
 	}
+
+	// Scrub sweep: scrubbed cadences must not converge less or leave more
+	// divergence behind than the baseline run did; duplicate final writes
+	// are a hard zero-tolerance bar; digest traffic may drift by the
+	// relative slack plus one root exchange's floor.
+	newScrub := make(map[string]BenchScrub, len(got.Scrub))
+	for _, s := range got.Scrub {
+		newScrub[s.Cadence] = s
+	}
+	for _, old := range baseline.Scrub {
+		s, ok := newScrub[old.Cadence]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("scrub %s: cadence missing from new report", old.Cadence))
+			continue
+		}
+		if s.ConvergencePct < old.ConvergencePct-1.0 {
+			regs = append(regs, fmt.Sprintf("scrub %s: convergence %.1f%% -> %.1f%%", old.Cadence, old.ConvergencePct, s.ConvergencePct))
+		}
+		if s.ResidualDivergence > old.ResidualDivergence {
+			regs = append(regs, fmt.Sprintf("scrub %s: residual divergence %d -> %d", old.Cadence, old.ResidualDivergence, s.ResidualDivergence))
+		}
+		if s.DupFinalWrites > old.DupFinalWrites {
+			regs = append(regs, fmt.Sprintf("scrub %s: duplicate final writes %d -> %d", old.Cadence, old.DupFinalWrites, s.DupFinalWrites))
+		}
+		if tol.exceeds(float64(old.DigestBytes), float64(s.DigestBytes), 64) {
+			regs = append(regs, fmt.Sprintf("scrub %s: digest bytes %d -> %d (tol %.0f%%)", old.Cadence, old.DigestBytes, s.DigestBytes, 100*tol.rel()))
+		}
+		if tol.exceeds(old.ScrubCostUSD, s.ScrubCostUSD, 1e-5) {
+			regs = append(regs, fmt.Sprintf("scrub %s: marginal cost $%.6f -> $%.6f (tol %.0f%%)", old.Cadence, old.ScrubCostUSD, s.ScrubCostUSD, 100*tol.rel()))
+		}
+	}
 	return regs
 }
 
@@ -345,6 +413,15 @@ func (r *BenchReport) Print(out io.Writer) {
 		for _, f := range r.FaultMatrix {
 			fprintf(out, "%-26s %8.1f%% %8.2f %8.2f %4d %8.1f%%\n",
 				f.Profile, f.ConvergencePct, f.P50S, f.P99S, f.DLQ, f.CostOverheadPct)
+		}
+	}
+	if len(r.Scrub) > 0 {
+		fprintf(out, "%-26s %9s %9s %7s %10s %4s %10s\n",
+			"scrub cadence", "converge", "residual", "rounds", "digest_b", "dup", "scrub_usd")
+		for _, s := range r.Scrub {
+			fprintf(out, "%-26s %8.1f%% %9d %7d %10d %4d %10.4f\n",
+				s.Cadence, s.ConvergencePct, s.ResidualDivergence, s.Rounds,
+				s.DigestBytes, s.DupFinalWrites, s.ScrubCostUSD)
 		}
 	}
 }

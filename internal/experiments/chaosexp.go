@@ -39,7 +39,11 @@ type FaultScenario struct {
 	ConvergencePct  float64
 	P50S, P99S      float64 // replication delay percentiles (seconds)
 	DupFinalWrites  int     // duplicate destination writes of an already-current version
-	DLQ             int     // events still parked in the DLQ after recovery
+	// ResidualDivergence counts keys still divergent after recovery: source
+	// versions missing or stale at the destination plus destination orphans
+	// — what an anti-entropy pass (experiments.RunScrub) would repair.
+	ResidualDivergence int
+	DLQ                int // events still parked in the DLQ after recovery
 	Injected        int64   // chaos decisions that injected a fault
 	Retries         int64   // engine task-level retries
 	BreakerOpens    int64   // circuit-breaker open transitions
@@ -195,14 +199,15 @@ func runFaultScenario(prof chaos.Profile, spec string, objects int, quick bool) 
 	dupFinal := dups
 	dupMu.Unlock()
 	return FaultScenario{
-		Profile:        spec,
-		Objects:        len(metas),
-		Converged:      converged,
-		ConvergencePct: pct,
-		P50S:           stats.Percentile(delays, 50),
-		P99S:           stats.Percentile(delays, 99),
-		DupFinalWrites: dupFinal,
-		DLQ:            len(svc.Engine.DLQ()),
+		Profile:            spec,
+		Objects:            len(metas),
+		Converged:          converged,
+		ConvergencePct:     pct,
+		P50S:               stats.Percentile(delays, 50),
+		P99S:               stats.Percentile(delays, 99),
+		DupFinalWrites:     dupFinal,
+		ResidualDivergence: auditDivergence(w, svc),
+		DLQ:                len(svc.Engine.DLQ()),
 		Injected:       w.Metrics.Counter("chaos.injected").Value(),
 		Retries:        w.Metrics.Counter("engine.retries").Value(),
 		BreakerOpens:   w.Metrics.Counter("engine.breaker_open").Value(),
@@ -231,14 +236,14 @@ func putObjectRetrying(w *world.World, region cloud.RegionID, bucket, key string
 // Print writes the fault matrix in the evaluation's table style.
 func (r *FaultMatrixResult) Print(out io.Writer) {
 	fprintf(out, "Fault matrix: chaos profile x convergence/delay/cost (hardened engine)\n")
-	fprintf(out, "%-16s %9s %6s %8s %8s %5s %4s %9s %8s %8s %8s %10s %9s\n",
-		"profile", "converged", "pct", "p50_s", "p99_s", "dup", "dlq",
+	fprintf(out, "%-16s %9s %6s %8s %8s %5s %8s %4s %9s %8s %8s %8s %10s %9s\n",
+		"profile", "converged", "pct", "p50_s", "p99_s", "dup", "residual", "dlq",
 		"injected", "retries", "breaker", "redrive", "cost_usd", "overhead")
 	for _, s := range r.Scenarios {
-		fprintf(out, "%-16s %5d/%-3d %5.1f%% %8.2f %8.2f %5d %4d %9d %8d %8d %8d %10.4f %8.1f%%\n",
+		fprintf(out, "%-16s %5d/%-3d %5.1f%% %8.2f %8.2f %5d %8d %4d %9d %8d %8d %8d %10.4f %8.1f%%\n",
 			s.Profile, s.Converged, s.Objects, s.ConvergencePct, s.P50S, s.P99S,
-			s.DupFinalWrites, s.DLQ, s.Injected, s.Retries, s.BreakerOpens,
-			s.Redrives, s.CostUSD, s.CostOverheadPct)
+			s.DupFinalWrites, s.ResidualDivergence, s.DLQ, s.Injected, s.Retries,
+			s.BreakerOpens, s.Redrives, s.CostUSD, s.CostOverheadPct)
 	}
 }
 
@@ -247,13 +252,15 @@ func (r *FaultMatrixResult) CSV() []CSVTable {
 	t := CSVTable{
 		Name: "fault_matrix",
 		Header: []string{"profile", "objects", "converged", "convergence_pct",
-			"p50_s", "p99_s", "dup_final_writes", "dlq", "injected",
-			"retries", "breaker_opens", "redrives", "cost_usd", "cost_overhead_pct"},
+			"p50_s", "p99_s", "dup_final_writes", "residual_divergence", "dlq",
+			"injected", "retries", "breaker_opens", "redrives", "cost_usd",
+			"cost_overhead_pct"},
 	}
 	for _, s := range r.Scenarios {
 		t.Rows = append(t.Rows, []string{
 			s.Profile, fmt.Sprint(s.Objects), fmt.Sprint(s.Converged), f64(s.ConvergencePct),
-			f64(s.P50S), f64(s.P99S), fmt.Sprint(s.DupFinalWrites), fmt.Sprint(s.DLQ),
+			f64(s.P50S), f64(s.P99S), fmt.Sprint(s.DupFinalWrites),
+			fmt.Sprint(s.ResidualDivergence), fmt.Sprint(s.DLQ),
 			fmt.Sprint(s.Injected), fmt.Sprint(s.Retries), fmt.Sprint(s.BreakerOpens),
 			fmt.Sprint(s.Redrives), f64(s.CostUSD), f64(s.CostOverheadPct),
 		})

@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/objstore"
+	"repro/internal/world"
+)
+
+// ScrubConfig configures the anti-entropy cadence sweep.
+type ScrubConfig struct {
+	// Cadences are the scrub intervals to sweep (default 15s/30s/60s/120s;
+	// quick mode 20s/60s). A no-scrub baseline row always runs first.
+	Cadences []time.Duration
+	// Objects is the number of source writes per scenario (default 32;
+	// quick mode 12).
+	Objects int
+	// Profile is a chaos spec ("notify-flaky@7"); empty uses a built-in
+	// lossy profile (25% notification loss, 5% duplication) so that
+	// notification-driven replication alone visibly fails to converge.
+	Profile string
+	Quick   bool
+}
+
+// ScrubPoint is one row of the sweep: what a scrub cadence buys (residual
+// divergence, divergence age) and what it costs (digest traffic, dollars).
+type ScrubPoint struct {
+	Cadence            string // "off" for the no-scrub baseline
+	CadenceS           float64
+	Objects            int
+	Converged          int
+	ConvergencePct     float64
+	ResidualDivergence int // missing + stale + orphaned keys at the final audit
+	Rounds             int64
+	RepairsDispatched  int64
+	RepairsRedriven    int64
+	RepairsDeduped     int64
+	SLOViolations      int64 // repairs older than the declared divergence SLO (2x cadence)
+	DigestBytes        int64
+	RepairAgeP50S      float64 // divergence age when the scrubber repaired it
+	RepairAgeMaxS      float64
+	DupFinalWrites     int
+	TotalCostUSD       float64
+	ScrubCostUSD       float64 // marginal cost vs the no-scrub baseline
+	CostOverheadPct    float64
+}
+
+// ScrubResult is the divergence-vs-cadence-vs-cost curve.
+type ScrubResult struct {
+	Profile string
+	Points  []ScrubPoint
+}
+
+// RunScrub replays an identical lossy-notification workload once without
+// anti-entropy and once per scrub cadence, with the scrubber's periodic
+// loop running alongside the writes. The baseline row shows how far
+// notification-driven replication alone diverges; each cadence row shows
+// the residual divergence going to zero, the divergence age the cadence
+// bounds, and the digest/repair dollars it costs. Deterministic per
+// profile seed: the same config yields byte-identical Print output.
+func RunScrub(cfg ScrubConfig) (*ScrubResult, error) {
+	cadences := cfg.Cadences
+	if len(cadences) == 0 {
+		cadences = []time.Duration{15 * time.Second, 30 * time.Second, 60 * time.Second, 120 * time.Second}
+		if cfg.Quick {
+			cadences = []time.Duration{20 * time.Second, 60 * time.Second}
+		}
+	}
+	objects := cfg.Objects
+	if objects <= 0 {
+		objects = 32
+		if cfg.Quick {
+			objects = 12
+		}
+	}
+	prof := chaos.Profile{
+		Name: "notify-lossy", Seed: "scrub",
+		NotifyLossRate: 0.25, NotifyDupRate: 0.05,
+	}
+	if cfg.Profile != "" {
+		var err error
+		if prof, err = chaos.Parse(cfg.Profile); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &ScrubResult{Profile: prof.Name}
+	base, err := runScrubScenario(prof, 0, objects, cfg.Quick)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = append(res.Points, base)
+	for _, cad := range cadences {
+		pt, err := runScrubScenario(prof, cad, objects, cfg.Quick)
+		if err != nil {
+			return nil, err
+		}
+		pt.ScrubCostUSD = pt.TotalCostUSD - base.TotalCostUSD
+		if base.TotalCostUSD > 0 {
+			pt.CostOverheadPct = (pt.TotalCostUSD/base.TotalCostUSD - 1) * 100
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// runScrubScenario runs one cadence's scenario on a fresh world. Cadence 0
+// is the no-scrub baseline.
+func runScrubScenario(prof chaos.Profile, cadence time.Duration, objects int, quick bool) (ScrubPoint, error) {
+	label := "off"
+	if cadence > 0 {
+		label = fmt.Sprintf("%ds", int(cadence.Seconds()))
+	}
+	w := newWorld("scrub-" + label)
+	src, dst := AWSEast, AzureEast
+	srcBucket, dstBucket := "scrub-src", "scrub-dst"
+	mustCreate(w, src, srcBucket, true)
+	mustCreate(w, dst, dstBucket, true)
+
+	svc := deployService(w, model.New(), engine.Rule{
+		Src: src, Dst: dst, SrcBucket: srcBucket, DstBucket: dstBucket,
+	}, core.Options{
+		ProfileRounds: profileRounds(quick),
+		EnableScrub:   cadence > 0,
+		ScrubCadence:  cadence,
+		DivergenceSLO: 2 * cadence,
+	})
+
+	// Duplicate-final-write audit, deduped on Seq (notify-dup chaos replays
+	// deliveries of single writes; those are not duplicate writes).
+	var dupMu sync.Mutex
+	dups := 0
+	lastSeq := map[string]uint64{}
+	lastETag := map[string]string{}
+	if err := w.Region(dst).Obj.Subscribe(dstBucket, func(ev objstore.Event) {
+		if ev.Type != objstore.EventPut {
+			return
+		}
+		dupMu.Lock()
+		if ev.Seq > lastSeq[ev.Key] {
+			if ev.ETag != "" && lastETag[ev.Key] == ev.ETag {
+				dups++
+			}
+			lastSeq[ev.Key] = ev.Seq
+			lastETag[ev.Key] = ev.ETag
+		}
+		dupMu.Unlock()
+	}); err != nil {
+		return ScrubPoint{}, err
+	}
+
+	w.SetChaos(prof)
+	cost := costDelta(w, func() {
+		// Writes 2s apart; the periodic scrub loop runs alongside them, so
+		// the divergence-age histogram reflects the cadence, not just a
+		// single post-hoc sweep.
+		for i := 0; i < objects; i++ {
+			key := fmt.Sprintf("obj-%03d", i)
+			putObjectRetrying(w, src, srcBucket, key, []int64{256 * 1024, MB, 4 * MB}[i%3], i)
+			if i == 0 && svc.Scrubber != nil {
+				svc.Scrubber.Start()
+			}
+			w.Clock.Sleep(2 * time.Second)
+		}
+		w.Clock.Quiesce()
+		// The periodic loop self-terminates after two clean rounds; if it
+		// exited before late drops appeared, a driver-paced pass finishes
+		// the job (still under chaos).
+		if svc.Scrubber != nil {
+			if n := auditDivergence(w, svc); n > 0 {
+				if _, _, err := svc.Scrubber.RunUntilClean(); err != nil {
+					panic(err)
+				}
+				w.Clock.Quiesce()
+			}
+		}
+	})
+	w.SetChaos(chaos.Profile{})
+
+	metas, err := w.Region(src).Obj.List(srcBucket)
+	if err != nil {
+		return ScrubPoint{}, err
+	}
+	converged := 0
+	for _, m := range metas {
+		if cur, err := w.Region(dst).Obj.Head(dstBucket, m.Key); err == nil && cur.ETag == m.ETag {
+			converged++
+		}
+	}
+	pct := 100.0
+	if len(metas) > 0 {
+		pct = 100 * float64(converged) / float64(len(metas))
+	}
+
+	ageHist := w.Metrics.Histogram("antientropy.divergence.age.seconds")
+	ageP50, ageMax := 0.0, 0.0
+	if ageHist.Count() > 0 {
+		ageP50, ageMax = ageHist.Quantile(0.5), ageHist.Max()
+	}
+	dupMu.Lock()
+	dupFinal := dups
+	dupMu.Unlock()
+	return ScrubPoint{
+		Cadence:            label,
+		CadenceS:           cadence.Seconds(),
+		Objects:            len(metas),
+		Converged:          converged,
+		ConvergencePct:     pct,
+		ResidualDivergence: auditDivergence(w, svc),
+		Rounds:             w.Metrics.Counter("antientropy.rounds").Value(),
+		RepairsDispatched:  w.Metrics.Counter("antientropy.repair.dispatched").Value(),
+		RepairsRedriven:    w.Metrics.Counter("antientropy.repair.redriven").Value(),
+		RepairsDeduped:     w.Metrics.Counter("antientropy.repair.deduped").Value(),
+		SLOViolations:      w.Metrics.Counter("antientropy.slo_violations").Value(),
+		DigestBytes:        w.Metrics.Counter("antientropy.digest.bytes").Value(),
+		RepairAgeP50S:      ageP50,
+		RepairAgeMaxS:      ageMax,
+		DupFinalWrites:     dupFinal,
+		TotalCostUSD:       cost,
+	}, nil
+}
+
+// auditDivergence counts keys where the destination does not hold the
+// current source version (missing or stale) plus destination keys absent
+// from the source (orphans) — the residual divergence metric.
+func auditDivergence(w *world.World, svc *core.Service) int {
+	rule := svc.Rule
+	srcMetas, err := w.Region(rule.Src).Obj.List(rule.SrcBucket)
+	if err != nil {
+		panic(err)
+	}
+	dstMetas, err := w.Region(rule.Dst).Obj.List(rule.DstBucket)
+	if err != nil {
+		panic(err)
+	}
+	onSrc := make(map[string]string, len(srcMetas))
+	divergent := 0
+	for _, m := range srcMetas {
+		onSrc[m.Key] = m.ETag
+	}
+	dstETag := make(map[string]string, len(dstMetas))
+	for _, m := range dstMetas {
+		dstETag[m.Key] = m.ETag
+		if _, ok := onSrc[m.Key]; !ok {
+			divergent++ // orphan
+		}
+	}
+	for k, etag := range onSrc {
+		if dstETag[k] != etag {
+			divergent++ // missing or stale
+		}
+	}
+	return divergent
+}
+
+// Print writes the sweep in the evaluation's table style.
+func (r *ScrubResult) Print(out io.Writer) {
+	fprintf(out, "Anti-entropy: scrub cadence x residual divergence/age/cost (profile %s)\n", r.Profile)
+	fprintf(out, "%-8s %9s %6s %9s %7s %8s %8s %7s %10s %9s %9s %4s %10s %10s %9s\n",
+		"cadence", "converged", "pct", "residual", "rounds", "repairs", "redriven",
+		"slo_vio", "digest_b", "age_p50s", "age_max_s", "dup", "cost_usd", "scrub_usd", "overhead")
+	for _, p := range r.Points {
+		fprintf(out, "%-8s %5d/%-3d %5.1f%% %9d %7d %8d %8d %7d %10d %9.1f %9.1f %4d %10.4f %10.4f %8.1f%%\n",
+			p.Cadence, p.Converged, p.Objects, p.ConvergencePct, p.ResidualDivergence,
+			p.Rounds, p.RepairsDispatched, p.RepairsRedriven, p.SLOViolations,
+			p.DigestBytes, p.RepairAgeP50S, p.RepairAgeMaxS, p.DupFinalWrites,
+			p.TotalCostUSD, p.ScrubCostUSD, p.CostOverheadPct)
+	}
+}
+
+// CSV exports the sweep.
+func (r *ScrubResult) CSV() []CSVTable {
+	t := CSVTable{
+		Name: "scrub_cadence",
+		Header: []string{"cadence", "cadence_s", "objects", "converged", "convergence_pct",
+			"residual_divergence", "rounds", "repairs_dispatched", "repairs_redriven",
+			"repairs_deduped", "slo_violations", "digest_bytes", "repair_age_p50_s",
+			"repair_age_max_s", "dup_final_writes", "total_cost_usd", "scrub_cost_usd",
+			"cost_overhead_pct"},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			p.Cadence, f64(p.CadenceS), fmt.Sprint(p.Objects), fmt.Sprint(p.Converged),
+			f64(p.ConvergencePct), fmt.Sprint(p.ResidualDivergence), fmt.Sprint(p.Rounds),
+			fmt.Sprint(p.RepairsDispatched), fmt.Sprint(p.RepairsRedriven),
+			fmt.Sprint(p.RepairsDeduped), fmt.Sprint(p.SLOViolations),
+			fmt.Sprint(p.DigestBytes), f64(p.RepairAgeP50S), f64(p.RepairAgeMaxS),
+			fmt.Sprint(p.DupFinalWrites), f64(p.TotalCostUSD), f64(p.ScrubCostUSD),
+			f64(p.CostOverheadPct),
+		})
+	}
+	return []CSVTable{t}
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -663,30 +664,64 @@ func (s *Store) BucketUsage(bucketName string) (Usage, error) {
 	return u, nil
 }
 
-// List returns the current metadata of every object in a bucket, sorted
-// by key. Priced as one GET-class request per 1000 keys (LIST pagination).
-func (s *Store) List(bucketName string) ([]Meta, error) {
+// MaxListPage is the largest number of keys one LIST request returns,
+// mirroring the 1000-key page caps of S3, Blob Storage and GCS.
+const MaxListPage = 1000
+
+// ListPage returns up to max metadata entries, in key order, for objects
+// whose keys start with prefix and sort strictly after startAfter. Each
+// call is one metered LIST request (ObjList pricing) with GET-class
+// latency; truncated reports whether further pages remain. max values
+// outside (0, MaxListPage] are clamped to MaxListPage.
+func (s *Store) ListPage(bucketName, prefix, startAfter string, max int) (page []Meta, truncated bool, err error) {
 	s.sleep(s.getLatency, s.getHist)
 	if err := s.maybeFail(OpList); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b, ok := s.buckets[bucketName]
 	if !ok {
-		return nil, ErrNoSuchBucket
+		return nil, false, ErrNoSuchBucket
 	}
-	pages := (len(b.objects) + 999) / 1000
-	if pages == 0 {
-		pages = 1
+	s.meter.Add("obj:list", s.book.ObjList)
+	if max <= 0 || max > MaxListPage {
+		max = MaxListPage
 	}
-	s.meter.Add("obj:get", float64(pages)*s.book.ObjGet)
-	out := make([]Meta, 0, len(b.objects))
-	for _, o := range b.objects {
-		out = append(out, o.Meta)
+	keys := make([]string, 0, len(b.objects))
+	for k := range b.objects {
+		if strings.HasPrefix(k, prefix) && k > startAfter {
+			keys = append(keys, k)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	return out, nil
+	sort.Strings(keys)
+	if len(keys) > max {
+		keys, truncated = keys[:max], true
+	}
+	page = make([]Meta, len(keys))
+	for i, k := range keys {
+		page[i] = b.objects[k].Meta
+	}
+	return page, truncated, nil
+}
+
+// List returns the current metadata of every object in a bucket, sorted by
+// key: a convenience wrapper that pages through ListPage, costing one LIST
+// request per MaxListPage keys.
+func (s *Store) List(bucketName string) ([]Meta, error) {
+	var out []Meta
+	startAfter := ""
+	for {
+		page, truncated, err := s.ListPage(bucketName, "", startAfter, MaxListPage)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, page...)
+		if !truncated {
+			return out, nil
+		}
+		startAfter = page[len(page)-1].Key
+	}
 }
 
 // TotalUsage sums storage across all buckets (accounting helper).

@@ -34,8 +34,9 @@ type Book struct {
 	KVRead  float64 // per read
 
 	// Object storage requests.
-	ObjPut float64 // per PUT/COPY/POST
-	ObjGet float64 // per GET
+	ObjPut  float64 // per PUT/COPY/POST
+	ObjGet  float64 // per GET
+	ObjList float64 // per LIST page request (up to 1000 keys)
 
 	// VMs (Skyplane baseline).
 	VMHourly      float64
@@ -63,6 +64,7 @@ var books = map[cloud.Provider]Book{
 		KVRead:               0.125e-6,
 		ObjPut:               5.0e-6, // S3
 		ObjGet:               0.4e-6,
+		ObjList:              5.0e-6, // S3 LIST bills at the PUT tier
 		VMHourly:             1.30,
 		VMMinBillable:        60 * time.Second,
 		WorkflowTransition:   25e-6, // Step Functions standard
@@ -80,6 +82,7 @@ var books = map[cloud.Provider]Book{
 		KVRead:               0.30e-6,
 		ObjPut:               6.5e-6, // Blob Storage
 		ObjGet:               0.5e-6,
+		ObjList:              6.5e-6, // List Blobs is a write-class operation
 		VMHourly:             1.20,
 		VMMinBillable:        60 * time.Second,
 		WorkflowTransition:   15e-6, // Durable Functions orchestration
@@ -96,6 +99,7 @@ var books = map[cloud.Provider]Book{
 		KVRead:               0.60e-6,
 		ObjPut:               5.0e-6, // GCS class A
 		ObjGet:               0.4e-6,
+		ObjList:              5.0e-6, // GCS list is class A
 		VMHourly:             1.40,
 		VMMinBillable:        60 * time.Second,
 		WorkflowTransition:   10e-6, // Google Workflows internal steps

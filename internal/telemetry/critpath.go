@@ -28,6 +28,7 @@ const (
 	CatKV        Category = "kv"        // KV accesses (lock, part pool, completion)
 	CatChangelog Category = "changelog" // changelog lookup/apply
 	CatBackoff   Category = "backoff"   // retry backoff waits (task- and request-level)
+	CatScrub     Category = "scrub"     // anti-entropy listing, digest exchange and diffing
 	CatIdle      Category = "idle"      // orchestration gaps and handler time outside any child span
 )
 
@@ -68,6 +69,8 @@ func categoryOf(s *Span) Category {
 		return CatChangelog
 	case hasPrefix(name, "kv:"):
 		return CatKV
+	case hasPrefix(name, "scrub"):
+		return CatScrub
 	case name == "src-get" || name == "dst-put" || name == "dst-delete" ||
 		name == "get-range" || name == "upload-part" || hasPrefix(name, "mpu-"):
 		return CatObjStore

@@ -60,6 +60,29 @@ func (w *World) Snapshot() Snapshot {
 	return snap
 }
 
+// BucketListing enumerates a bucket's current objects under prefix through
+// the metered, paginated ListPage API — the same listing path real clients
+// and the anti-entropy scrubber pay for, as opposed to TotalUsage's free
+// accounting shortcut. It returns the metadata in key order plus the
+// number of LIST page requests it issued.
+func (w *World) BucketListing(region cloud.RegionID, bucket, prefix string) ([]objstore.Meta, int, error) {
+	s := w.Region(region)
+	var out []objstore.Meta
+	startAfter, pages := "", 0
+	for {
+		page, truncated, err := s.Obj.ListPage(bucket, prefix, startAfter, objstore.MaxListPage)
+		if err != nil {
+			return nil, pages, err
+		}
+		pages++
+		out = append(out, page...)
+		if !truncated {
+			return out, pages, nil
+		}
+		startAfter = page[len(page)-1].Key
+	}
+}
+
 // Print writes the snapshot, omitting idle regions.
 func (s Snapshot) Print(w io.Writer) {
 	fmt.Fprintf(w, "world snapshot at %s (virtual)\n", s.At.Format(time.RFC3339))
