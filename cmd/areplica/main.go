@@ -47,7 +47,11 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write the run's aggregate metrics (counters + latency histograms) to this file")
 		chaosFlag  = flag.String("chaos", "", "arm a chaos profile after deployment (name[@seed], e.g. mixed@7; 'list' shows profiles)")
 		scrubFlag  = flag.Duration("scrub", 0, "run anti-entropy scrubbing at this cadence (e.g. 30s; 0 = off)")
-		critpath   = flag.Bool("critpath", false, "print the critical-path delay attribution across replicated tasks")
+		noDoubleBuf     = flag.Bool("no-doublebuffer", false, "disable the pipelined data plane (serialize each part's download and upload)")
+		claimBatch      = flag.Int("claim-batch", 0, "parts claimed per part-pool KV operation (0 = default 4, 1 = per-part)")
+		hedgeBudget     = flag.Int("hedge", 0, "speculative tail-part duplications per task (0 = default 4, -1 = disable)")
+		noAdaptiveParts = flag.Bool("no-adaptive-parts", false, "pin the distributed part size to 8MB instead of adapting per object")
+		critpath        = flag.Bool("critpath", false, "print the critical-path delay attribution across replicated tasks")
 		regions    = flag.Bool("regions", false, "list available regions and exit")
 		showStats  = flag.Bool("stats", false, "print a per-region activity snapshot at the end")
 		verbose    = flag.Bool("v", false, "print per-object delays")
@@ -93,6 +97,8 @@ func main() {
 		DstRegion: *dstFlag, DstBucket: dstBucket,
 		SLO: *sloFlag, Percentile: *pct, Batching: *batching,
 		Scrub: *scrubFlag > 0, ScrubCadence: *scrubFlag,
+		DisableDoubleBuffer: *noDoubleBuf, ClaimBatch: *claimBatch,
+		HedgeBudget: *hedgeBudget, DisableAdaptiveParts: *noAdaptiveParts,
 	})
 	if err != nil {
 		fatal(err)
@@ -222,10 +228,11 @@ func main() {
 
 	if chaosProf.Enabled() {
 		m := sim.World().Metrics
-		fmt.Printf("\nchaos %s: injected %d faults; engine retries %d, breaker opens %d, degraded plans %d, redrives %d, dlq %d\n",
+		fmt.Printf("\nchaos %s: injected %d faults; engine retries %d, hedged parts %d, breaker opens %d, degraded plans %d, redrives %d, dlq %d\n",
 			*chaosFlag,
 			m.Counter("chaos.injected").Value(),
 			m.Counter("engine.retries").Value(),
+			m.Counter("engine.parts.hedged").Value(),
 			m.Counter("engine.breaker_open").Value(),
 			m.Counter("engine.breaker.degraded").Value(),
 			m.Counter("engine.dlq.redriven").Value(),

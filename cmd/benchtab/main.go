@@ -28,7 +28,7 @@ func main() {
 	var (
 		table     = flag.Int("table", 0, "regenerate one table (1-4)")
 		fig       = flag.Int("fig", 0, "regenerate one figure (2-9, 12, 16-23)")
-		extra     = flag.String("extra", "", "extension ablations: partsize | overlay")
+		extra     = flag.String("extra", "", "extension ablations: partsize | overlay | pipeline")
 		chaosFlag = flag.String("chaos", "", "fault matrix: 'matrix' (all profiles) or comma-separated profile specs (e.g. mixed@7,storage-flaky)")
 		all       = flag.Bool("all", false, "regenerate every table and figure")
 		quick     = flag.Bool("quick", false, "reduced sizes and rounds")
@@ -95,7 +95,7 @@ func main() {
 		for _, f := range []int{2, 3, 4, 5, 6, 7, 8, 9, 12, 16, 17, 18, 19, 20, 21, 22, 23} {
 			runFig(f, *quick)
 		}
-		for _, e := range []string{"partsize", "overlay"} {
+		for _, e := range []string{"partsize", "overlay", "pipeline"} {
 			runExtra(e, *quick)
 		}
 	} else if *table != 0 {
@@ -216,6 +216,9 @@ func runExtra(name string, quick bool) {
 	case "overlay":
 		hdr("Extra: overlay relay ablation")
 		experiments.RunOverlayAblation(quick).Print(os.Stdout)
+	case "pipeline":
+		hdr("Extra: pipelined data plane ablation")
+		emit(experiments.RunPipeline(quick))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown extra %q\n", name)
 		os.Exit(2)

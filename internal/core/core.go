@@ -110,6 +110,9 @@ func Deploy(w *world.World, opts Options) (*Service, error) {
 
 	pl := planner.New(m)
 	pl.Relays = opts.Relays
+	pl.ExecLimitFor = func(loc cloud.RegionID) time.Duration {
+		return w.Region(loc).Fn.Config().ExecLimit
+	}
 	eng := engine.New(w, pl, rule)
 	lg := logger.New(m, rule.Src, rule.Dst)
 	userHook := opts.OnTaskDone
@@ -203,7 +206,7 @@ func (s *Service) estimate(size int64) time.Duration {
 		return d
 	}
 	s.estMu.Unlock()
-	p, err := s.Planner.Plan(s.Rule.Src, s.Rule.Dst, size, 0, s.Rule.Percentile)
+	p, err := s.Planner.PlanWith(s.Rule.Src, s.Rule.Dst, size, 0, s.Rule.Percentile, s.Engine.PlanOpts())
 	d := 5 * time.Second
 	if err == nil {
 		d = simclock.Seconds(p.EstSeconds)

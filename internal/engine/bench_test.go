@@ -1,0 +1,40 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Wall-clock benchmarks for the distributed data plane: virtual time is
+// free, so these measure the simulator's own CPU and allocation cost per
+// replicated object — the goroutine churn of the double-buffered lanes,
+// the part-ledger bookkeeping, and the span traffic they emit.
+
+func benchDistributed(b *testing.B, mutate func(*Rule)) {
+	f := newFixture(b, func(r *Rule) {
+		r.ForceN = 16
+		r.ForceLoc = srcID
+		if mutate != nil {
+			mutate(r)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.put(b, fmt.Sprintf("obj-%d", i), 128<<20, uint64(i)+1)
+		f.w.Clock.Quiesce()
+	}
+}
+
+func BenchmarkDistributedPipelined(b *testing.B) {
+	benchDistributed(b, nil)
+}
+
+func BenchmarkDistributedSerialBaseline(b *testing.B) {
+	benchDistributed(b, func(r *Rule) {
+		r.DisableDoubleBuffer = true
+		r.ClaimBatch = 1
+		r.HedgeBudget = -1
+		r.DisableAdaptiveParts = true
+	})
+}

@@ -67,9 +67,29 @@ type Rule struct {
 	// Percentile is the model percentile plans must satisfy (default 0.99).
 	Percentile float64
 	// PartSize is the distributed-replication part size (default 8 MB).
+	// With adaptive part sizing enabled the planner overrides it per
+	// object; it remains the fallback for unprofiled paths, ForceN with
+	// adaptive sizing off, and the single-function chunk loop.
 	PartSize int64
 	// Scheduling selects PartPool (default) or FairDispatch.
 	Scheduling SchedulingMode
+
+	// DisableDoubleBuffer turns off the pipelined data plane: each
+	// replicator falls back to serializing part i's download and upload
+	// instead of overlapping part i+1's download with part i's upload.
+	DisableDoubleBuffer bool
+	// ClaimBatch is how many parts a replicator claims (and acknowledges)
+	// per part-pool KV increment. 0 takes planner.DefaultClaimBatch; 1
+	// restores the per-part claims of the unbatched data plane.
+	ClaimBatch int
+	// HedgeBudget bounds how many in-flight parts an idle replicator may
+	// speculatively duplicate once the pool is exhausted (idempotent
+	// part uploads make duplicates safe). 0 takes the default of 4; a
+	// negative value disables hedging. FairDispatch never hedges.
+	HedgeBudget int
+	// DisableAdaptiveParts pins distributed transfers to PartSize
+	// instead of letting the planner pick a per-object part size.
+	DisableAdaptiveParts bool
 	// MaxRetries bounds optimistic-validation retries before an event goes
 	// to the dead-letter queue (default 3). It seeds Retry.MaxAttempts
 	// (attempts = MaxRetries + 1) when Retry is unset.
@@ -143,6 +163,15 @@ func (r Rule) WithDefaults() Rule {
 	if r.RedriveDelay <= 0 {
 		r.RedriveDelay = 30 * time.Second
 	}
+	if r.ClaimBatch <= 0 {
+		r.ClaimBatch = planner.DefaultClaimBatch
+	}
+	// A negative HedgeBudget (disabled) is kept as-is so WithDefaults is
+	// idempotent: mapping it to 0 would turn into the default of 4 on a
+	// second application.
+	if r.HedgeBudget == 0 {
+		r.HedgeBudget = 4
+	}
 	return r
 }
 
@@ -200,6 +229,7 @@ type Engine struct {
 	tasksDeduped    *telemetry.Counter
 	eventsDeduped   *telemetry.Counter
 	retries         *telemetry.Counter
+	partsHedged     *telemetry.Counter
 	breakerDegraded *telemetry.Counter
 	dlqRedriven     *telemetry.Counter
 	dlqDepth        *telemetry.Gauge
@@ -242,6 +272,7 @@ func New(w *world.World, pl *planner.Planner, rule Rule) *Engine {
 		tasksDeduped:    w.Metrics.Counter("engine.tasks.deduped"),
 		eventsDeduped:   w.Metrics.Counter("engine.events.deduped"),
 		retries:         w.Metrics.Counter("engine.retries"),
+		partsHedged:     w.Metrics.Counter("engine.parts.hedged"),
 		breakerDegraded: w.Metrics.Counter("engine.breaker.degraded"),
 		dlqRedriven:     w.Metrics.Counter("engine.dlq.redriven"),
 		dlqDepth:        w.Metrics.Gauge("engine.dlq.depth"),
@@ -633,13 +664,16 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 				loc = e.Rule.Src
 			}
 			plan = planner.Plan{N: e.Rule.ForceN, Loc: loc}
+			if plan.N > 1 && !e.Rule.DisableAdaptiveParts {
+				plan.PartSize = e.Planner.PartSizeFor(e.Rule.Src, e.Rule.Dst, loc, size, plan.N)
+			}
 		} else {
 			var remaining time.Duration
 			if e.Rule.SLO > 0 {
 				remaining = e.Rule.SLO - clock.Since(evTime)
 			}
 			var err error
-			plan, err = e.Planner.Plan(e.Rule.Src, e.Rule.Dst, size, remaining, e.Rule.Percentile)
+			plan, err = e.Planner.PlanWith(e.Rule.Src, e.Rule.Dst, size, remaining, e.Rule.Percentile, e.PlanOpts())
 			if err != nil {
 				att.Set("error", err.Error())
 				att.End()
@@ -759,11 +793,26 @@ func (e *Engine) execute(ctx *faas.Ctx, sp *telemetry.Span, key, etag string, si
 	}
 }
 
-func (e *Engine) chunks(size int64) int64 {
+// PlanOpts is the planner configuration matching the rule's data plane,
+// so predictions and cost estimates price what the engine will execute.
+func (e *Engine) PlanOpts() planner.PlanOpts {
+	opts := planner.PlanOpts{
+		NoPipeline: e.Rule.DisableDoubleBuffer,
+		ClaimBatch: e.Rule.ClaimBatch,
+	}
+	if e.Rule.DisableAdaptiveParts {
+		opts.FixedPartSize = e.Rule.PartSize
+	}
+	return opts
+}
+
+func (e *Engine) chunks(size int64) int64 { return chunksOf(size, e.Rule.PartSize) }
+
+func chunksOf(size, partSize int64) int64 {
 	if size <= 0 {
 		return 1
 	}
-	return (size + e.Rule.PartSize - 1) / e.Rule.PartSize
+	return (size + partSize - 1) / partSize
 }
 
 // transferWhole replicates the object's *current* version with the
@@ -798,7 +847,7 @@ func (e *Engine) transferWhole(ctx *faas.Ctx, sp *telemetry.Span, key string) ex
 		if !ctx.Alive() {
 			return execResult{reason: "instance crashed mid-transfer"}
 		}
-		n := min64(e.Rule.PartSize, obj.Size-off)
+		n := min(e.Rule.PartSize, obj.Size-off)
 		csp := sp.Child(fmt.Sprintf("chunk-%d", i)).Set("bytes", n)
 		e.W.MoveBytesSpan(csp, "leg-down", src.Region, ctx.Region, ctx.Region.Provider, n, downScale, rng)
 		e.W.MoveBytesSpan(csp, "leg-up", ctx.Region, dst.Region, ctx.Region.Provider, n, upScale, rng)
@@ -819,11 +868,19 @@ func (e *Engine) transferWhole(ctx *faas.Ctx, sp *telemetry.Span, key string) ex
 	return execResult{ok: true, seq: obj.Seq, etag: obj.ETag}
 }
 
+// Per-part phases of the hedging ledger.
+const (
+	partPool    uint8 = iota // still in the pool, unclaimed
+	partClaimed              // claimed by an instance, upload not yet counted
+	partCounted              // counted toward the task's done total
+)
+
 // distState is the shared state of one distributed replication task.
 type distState struct {
 	key, etag string
 	size      int64
 	parts     int64
+	partSize  int64
 	taskID    string
 	mpu       string
 
@@ -834,6 +891,73 @@ type distState struct {
 	mu     sync.Mutex
 	reason string
 	doneAt time.Time
+
+	// Hedging ledger, under mu: which parts are claimed-but-uncounted,
+	// who claimed them, and which have already been hedged. The KV pool
+	// counters stay authoritative for completion; this ledger only steers
+	// speculation (never at itself, never twice at the same part).
+	phase  []uint8
+	owner  []string
+	hedged map[int64]bool
+	hedges int
+}
+
+// markClaimed records that inst took part idx out of the pool.
+func (ds *distState) markClaimed(idx int64, inst string) {
+	ds.mu.Lock()
+	if ds.phase[idx] == partPool {
+		ds.phase[idx] = partClaimed
+		ds.owner[idx] = inst
+	}
+	ds.mu.Unlock()
+}
+
+// acquireDone reports whether the caller is the first to deliver part
+// idx; only that delivery may count toward the KV done total. Duplicate
+// hedged uploads land idempotently in the MPU but must not double-count.
+func (ds *distState) acquireDone(idx int64) bool {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.phase[idx] == partCounted {
+		return false
+	}
+	ds.phase[idx] = partCounted
+	return true
+}
+
+// hedgePick selects the claimed-but-uncounted part a speculative
+// duplicate rescues the most: the highest-indexed unhedged part of the
+// owner with the most uncounted claims (the furthest-behind straggler,
+// which works its claims lowest-first, so its last part is the one it
+// reaches latest). Each pick consumes hedge budget.
+func (ds *distState) hedgePick(inst string, budget int) (int64, bool) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.hedges >= budget {
+		return 0, false
+	}
+	behind := make(map[string]int)
+	for idx := int64(0); idx < ds.parts; idx++ {
+		if ds.phase[idx] == partClaimed && ds.owner[idx] != inst {
+			behind[ds.owner[idx]]++
+		}
+	}
+	pick, most := int64(-1), 0
+	for idx := int64(0); idx < ds.parts; idx++ {
+		if ds.phase[idx] != partClaimed || ds.owner[idx] == inst || ds.hedged[idx] {
+			continue
+		}
+		// >= prefers the highest index within the laggiest owner's claims.
+		if n := behind[ds.owner[idx]]; n >= most {
+			pick, most = idx, n
+		}
+	}
+	if pick < 0 {
+		return 0, false
+	}
+	ds.hedged[pick] = true
+	ds.hedges++
+	return pick, true
 }
 
 // abort marks the task failed with a reason (first reason wins).
@@ -864,16 +988,24 @@ func (e *Engine) distributed(sp *telemetry.Span, key, etag string, size int64, p
 	loc := e.W.Region(plan.Loc)
 	clock := e.W.Clock
 
+	partSize := plan.PartSize
+	if partSize <= 0 {
+		partSize = e.Rule.PartSize
+	}
 	ds := &distState{
 		key: key, etag: etag, size: size,
-		parts: e.chunks(size),
+		parts:    chunksOf(size, partSize),
+		partSize: partSize,
 		// Task ids embed the rule identity: several rules may share the
 		// location region's database, and their part pools must not collide.
 		taskID: fmt.Sprintf("%s#task-%d", e.ruleID, e.taskSeq.Add(1)),
 	}
+	ds.phase = make([]uint8, ds.parts)
+	ds.owner = make([]string, ds.parts)
+	ds.hedged = make(map[int64]bool)
 	// init_replication + create_part_pool (Algorithm 1, lines 2-4): the
 	// task record with its claim and completion counters.
-	isp := sp.Child("kv:init-pool").Set("parts", ds.parts)
+	isp := sp.Child("kv:init-pool").Set("parts", ds.parts).Set("part_bytes", partSize)
 	loc.KV.Put("areplica-tasks", ds.taskID, kvstore.Item{
 		"etag": etag, "total": ds.parts, "next": int64(0), "done": int64(0),
 	})
@@ -923,52 +1055,101 @@ func (e *Engine) distributed(sp *telemetry.Span, key, etag string, size int64, p
 	return execResult{ok: true, etag: etag, doneAt: doneAt, insts: insts}
 }
 
+// fetched is one part that finished its download stage and awaits its
+// upload stage. Its part span stays open across the stage boundary.
+type fetched struct {
+	idx    int64
+	length int64
+	blob   objstore.Blob
+	psp    *telemetry.Span
+	hedged bool
+}
+
 // replicator is the body of one replicator function (Algorithm 1, lines
-// 7-13): claim a part, download it from the source, upload it to the
-// destination, update completion; the instance that delivers the last part
-// concludes the task.
+// 7-13), rebuilt as a pipelined data plane: parts are claimed from the
+// pool in batches of ClaimBatch (one KV increment each), part i+1's
+// download overlaps part i's upload on a concurrent sub-lane (double
+// buffering), completion updates are batched symmetrically, and once the
+// pool drains an idle instance hedges stragglers' in-flight parts —
+// idempotent part uploads make the duplicates safe. The instance whose
+// completion update closes the counter concludes the task.
 func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.Services, fairIdx, n int) InstanceStat {
 	clock := e.W.Clock
-	rng := simrand.New("engine-dist", ds.taskID, ctx.Instance.ID)
+	// The concurrent download lane must not share a rand.Rand with the
+	// upload stage: two independent streams keep each stage's draws
+	// deterministic regardless of interleaving.
+	upRNG := simrand.New("engine-dist", ds.taskID, ctx.Instance.ID)
+	downRNG := simrand.New("engine-dist-down", ds.taskID, ctx.Instance.ID)
 	start := clock.Now()
 	stat := InstanceStat{ID: ctx.Instance.ID}
 
 	ssp := ctx.Span.Child("setup")
-	e.W.SetupSleep(src.Region, dst.Region, rng)
+	e.W.SetupSleep(src.Region, dst.Region, upRNG)
 	ssp.End()
 
 	// Fair dispatch: a fixed contiguous range per instance.
 	per := (ds.parts + int64(n) - 1) / int64(n)
 	fairLo := int64(fairIdx) * per
-	fairHi := min64(fairLo+per, ds.parts)
+	fairHi := min(fairLo+per, ds.parts)
 	fairNext := fairLo
 
-	claim := func() int64 {
+	batch := max(e.Rule.ClaimBatch, 1)
+	var claimed []int64 // parts claimed by the last pool increment, not yet fetched
+	var hiSeen int64    // highest pool position this instance has observed
+
+	claim := func(sp *telemetry.Span) int64 {
 		if e.Rule.Scheduling == FairDispatch {
 			if fairNext >= fairHi {
-				return ds.parts // exhausted
+				return ds.parts // range exhausted
 			}
 			idx := fairNext
 			fairNext++
+			ds.markClaimed(idx, ctx.Instance.ID)
 			return idx
 		}
-		// get_part_from_pool: one KV access to claim.
-		csp := ctx.Span.Child("kv:claim")
-		idx := loc.KV.Increment("areplica-tasks", ds.taskID, "next", 1) - 1
-		csp.End()
+		if len(claimed) == 0 {
+			// get_part_from_pool, amortized: one KV increment claims up
+			// to batch parts. The batch tapers with the pool (guided
+			// self-scheduling): full-sized while at least two rounds per
+			// instance remain, down to single parts near exhaustion, so
+			// slow instances are not stuck with a large final batch the
+			// fast ones could have drained part by part.
+			b := int64(batch)
+			if rem := ds.parts - hiSeen; rem < 2*int64(n)*b {
+				b = max(rem/(2*int64(n)), 1)
+			}
+			csp := sp.Child("kv:claim").Set("batch", b)
+			hi := loc.KV.Increment("areplica-tasks", ds.taskID, "next", b)
+			csp.End()
+			hiSeen = max(hiSeen, hi)
+			for idx := hi - b; idx < min(hi, ds.parts); idx++ {
+				ds.markClaimed(idx, ctx.Instance.ID)
+				claimed = append(claimed, idx)
+			}
+			if len(claimed) == 0 {
+				return ds.parts // pool exhausted
+			}
+		}
+		idx := claimed[0]
+		claimed = claimed[1:]
 		return idx
 	}
 
-	for !ds.aborted.Load() && ctx.Alive() {
-		idx := claim()
-		if idx >= ds.parts {
-			break
-		}
-		off := idx * e.Rule.PartSize
-		length := min64(e.Rule.PartSize, ds.size-off)
+	// fetch runs a part's download stage: ranged GET (with optimistic
+	// validation) and the src→loc leg. Hedged fetches that hit a fault
+	// are abandoned rather than aborting the task — the part's owner
+	// still holds the claim.
+	fetch := func(fctx *faas.Ctx, rng *rand.Rand, idx int64, hedged bool) *fetched {
+		off := idx * ds.partSize
+		length := min(ds.partSize, ds.size-off)
 		psp := ctx.Span.Child(fmt.Sprintf("part-%d", idx)).Set("bytes", length)
-
+		legDown := "leg-down"
 		gsp := psp.Child("get-range")
+		if hedged {
+			psp.Set("hedged", true)
+			legDown = "hedge-leg-down"
+			gsp.Set(telemetry.CatAttr, string(telemetry.CatHedge))
+		}
 		var blob objstore.Blob
 		var cur string
 		err := e.request(gsp, rng, time.Time{}, func() error {
@@ -978,12 +1159,17 @@ func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.S
 		})
 		gsp.End()
 		if err != nil {
+			if hedged {
+				psp.Set("abandoned", true)
+				psp.End()
+				return nil
+			}
 			// A transient fault outlived the request budget: infrastructure
 			// failure, distinct from validation.
 			ds.abort(fmt.Sprintf("part %d read: %s", idx, err))
 			psp.Set("aborted", true)
 			psp.End()
-			break
+			return nil
 		}
 		if cur != ds.etag {
 			// Optimistic validation: the object changed mid-replication
@@ -991,63 +1177,180 @@ func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.S
 			ds.abortValidation(fmt.Sprintf("optimistic validation: part %d sees a different source version", idx))
 			psp.Set("aborted", true)
 			psp.End()
-			break
+			return nil
 		}
-		e.W.MoveBytesSpan(psp, "leg-down", src.Region, ctx.Region, ctx.Region.Provider, length, ctx.BandwidthScaleFor(src.Region.Provider), rng)
-		e.W.MoveBytesSpan(psp, "leg-up", ctx.Region, dst.Region, ctx.Region.Provider, length, ctx.BandwidthScaleFor(dst.Region.Provider), rng)
+		e.W.MoveBytesSpan(psp, legDown, src.Region, fctx.Region, fctx.Region.Provider, length, fctx.BandwidthScaleFor(src.Region.Provider), rng)
+		return &fetched{idx: idx, length: length, blob: blob, psp: psp, hedged: hedged}
+	}
+
+	// Completion updates are batched like claims: pendingDone counts
+	// delivered parts not yet pushed to the pool's done counter.
+	pendingDone := 0
+	flush := func(sp *telemetry.Span) {
+		if pendingDone == 0 || !ctx.Alive() {
+			return
+		}
+		k := int64(pendingDone)
+		pendingDone = 0
+		dsp := sp.Child("kv:done").Set("batch", k)
+		done := loc.KV.Increment("areplica-tasks", ds.taskID, "done", k)
+		dsp.End()
+		if done >= ds.parts && done-k < ds.parts {
+			// This update closed the counter: finish_replication
+			// (Algorithm 1, line 13) falls to this instance.
+			e.completeTask(sp, ds, dst, upRNG)
+		}
+	}
+
+	// upload runs a part's upload stage: the loc→dst leg, the idempotent
+	// part upload, and the (batched) completion update.
+	upload := func(f *fetched) {
+		if f == nil {
+			return
+		}
+		if ds.completed.Load() {
+			// A hedge (or the owner) already delivered every outstanding
+			// part and the MPU is complete; don't move bytes for nothing.
+			f.psp.Set("dropped", true)
+			f.psp.End()
+			return
+		}
+		legUp := "leg-up"
+		if f.hedged {
+			legUp = "hedge-leg-up"
+		}
+		e.W.MoveBytesSpan(f.psp, legUp, ctx.Region, dst.Region, ctx.Region.Provider, f.length, ctx.BandwidthScaleFor(dst.Region.Provider), upRNG)
 		if !ctx.Alive() {
 			// The instance crashed mid-part; its claim never completes, so
-			// the attempt fails and the engine's task retry takes over.
-			psp.Set("crashed", true)
-			psp.End()
-			break
+			// the attempt fails and the engine's task retry takes over
+			// (unless a hedge rescues the part first).
+			f.psp.Set("crashed", true)
+			f.psp.End()
+			return
 		}
-		usp := psp.Child("upload-part")
-		err = e.request(usp, rng, time.Time{}, func() error {
-			_, uerr := dst.Obj.UploadPart(ds.mpu, int(idx)+1, blob)
+		usp := f.psp.Child("upload-part")
+		if f.hedged {
+			usp.Set(telemetry.CatAttr, string(telemetry.CatHedge))
+		}
+		err := e.request(usp, upRNG, time.Time{}, func() error {
+			_, uerr := dst.Obj.UploadPart(ds.mpu, int(f.idx)+1, f.blob)
 			return uerr
 		})
 		usp.End()
 		if err != nil {
+			// Losing the upload race against MPU completion (the part's
+			// duplicate delivered it) is not a failure of the attempt.
+			if f.hedged || ds.completed.Load() {
+				f.psp.Set("abandoned", true)
+				f.psp.End()
+				return
+			}
 			ds.abort("upload part: " + err.Error())
-			psp.End()
-			break
+			f.psp.End()
+			return
 		}
 		stat.Chunks++
-		// Second KV access: update the part's completion.
-		dsp := psp.Child("kv:done")
-		done := loc.KV.Increment("areplica-tasks", ds.taskID, "done", 1)
-		dsp.End()
-		if done == ds.parts {
-			// finish_replication (Algorithm 1, line 13).
-			fsp := psp.Child("mpu-complete")
-			var res objstore.PutResult
-			err := e.request(fsp, rng, time.Time{}, func() error {
-				var ferr error
-				res, ferr = dst.Obj.CompleteMultipart(ds.mpu)
-				return ferr
-			})
-			fsp.End()
-			if err != nil {
-				ds.abort("complete multipart: " + err.Error())
-			} else if res.ETag != ds.etag {
-				ds.abortValidation("assembled object does not match the source version")
-			} else {
-				ds.mu.Lock()
-				ds.doneAt = clock.Now()
-				ds.mu.Unlock()
-				ds.completed.Store(true)
+		// Only the first delivery of a part counts toward the done
+		// total; a duplicate (hedge vs. owner) lands idempotently in the
+		// MPU without double-counting.
+		if ds.acquireDone(f.idx) {
+			pendingDone++
+			if pendingDone >= batch {
+				flush(f.psp)
 			}
 		}
-		psp.End()
+		f.psp.End()
 	}
+
+	// next claims and downloads the following part (nil when the pool is
+	// exhausted, the task is settled, or this instance crashed).
+	next := func(fctx *faas.Ctx, rng *rand.Rand) *fetched {
+		if ds.aborted.Load() || ds.completed.Load() || !fctx.Alive() {
+			return nil
+		}
+		idx := claim(fctx.Span)
+		if idx >= ds.parts {
+			return nil
+		}
+		return fetch(fctx, rng, idx, false)
+	}
+
+	// Steady state: with double buffering, part i+1's download stage runs
+	// on a concurrent sub-lane while part i's upload stage runs here, so
+	// each additional part costs max(down, up) instead of down+up.
+	pipelined := !e.Rule.DisableDoubleBuffer
+	cur := next(ctx, downRNG)
+	for cur != nil {
+		if ds.aborted.Load() || !ctx.Alive() {
+			cur.psp.Set("dropped", true)
+			cur.psp.End()
+			break
+		}
+		var nxt *fetched
+		if pipelined {
+			lane := ctx.Go("prefetch", func(sub *faas.Ctx) {
+				nxt = next(sub, downRNG)
+			})
+			upload(cur)
+			lane.Wait()
+		} else {
+			upload(cur)
+			nxt = next(ctx, downRNG)
+		}
+		cur = nxt
+	}
+
+	// Tail: push out any batched completion counts, then — pool drained
+	// but the task still open — speculatively duplicate stragglers'
+	// in-flight parts instead of idling, bounded by the hedge budget.
+	// Fair dispatch never hedges: its ranges are fixed by construction.
+	flush(ctx.Span)
+	if e.Rule.Scheduling != FairDispatch && e.Rule.HedgeBudget > 0 {
+		for !ds.aborted.Load() && !ds.completed.Load() && ctx.Alive() {
+			hsp := ctx.Span.Child("kv:hedge").Set(telemetry.CatAttr, string(telemetry.CatHedge))
+			item, ok := loc.KV.Get("areplica-tasks", ds.taskID)
+			hsp.End()
+			if !ok {
+				break
+			}
+			done, _ := item["done"].(int64)
+			if done >= ds.parts {
+				break
+			}
+			idx, ok := ds.hedgePick(ctx.Instance.ID, e.Rule.HedgeBudget)
+			if !ok {
+				break
+			}
+			e.partsHedged.Inc()
+			upload(fetch(ctx, downRNG, idx, true))
+			flush(ctx.Span)
+		}
+	}
+
 	stat.Busy = clock.Since(start)
 	return stat
 }
 
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
+// completeTask assembles the destination object once every part is
+// delivered and validates the result against the task's pinned version.
+func (e *Engine) completeTask(sp *telemetry.Span, ds *distState, dst *world.Services, rng *rand.Rand) {
+	clock := e.W.Clock
+	fsp := sp.Child("mpu-complete")
+	var res objstore.PutResult
+	err := e.request(fsp, rng, time.Time{}, func() error {
+		var ferr error
+		res, ferr = dst.Obj.CompleteMultipart(ds.mpu)
+		return ferr
+	})
+	fsp.End()
+	if err != nil {
+		ds.abort("complete multipart: " + err.Error())
+	} else if res.ETag != ds.etag {
+		ds.abortValidation("assembled object does not match the source version")
+	} else {
+		ds.mu.Lock()
+		ds.doneAt = clock.Now()
+		ds.mu.Unlock()
+		ds.completed.Store(true)
 	}
-	return b
 }

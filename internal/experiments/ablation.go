@@ -110,8 +110,8 @@ func RunFig12() *Fig12Result {
 	const parts = 8
 	rate1, rate2 := 4.0, 2.0
 	res := &Fig12Result{
-		EqualSeconds:   maxf(4/rate1, 4/rate2),
-		OptimalSeconds: maxf(5/rate1, 3/rate2),
+		EqualSeconds:   max(4/rate1, 4/rate2),
+		OptimalSeconds: max(5/rate1, 3/rate2),
 	}
 	// Pool simulation: each replicator claims the next part when free.
 	var t1, t2 float64
@@ -124,15 +124,8 @@ func RunFig12() *Fig12Result {
 		}
 		claimed++
 	}
-	res.PoolSeconds = maxf(t1, t2)
+	res.PoolSeconds = max(t1, t2)
 	return res
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Print writes the three execution times.

@@ -53,6 +53,10 @@ type BenchExperiment struct {
 	P50S    float64 `json:"p50_s"`
 	P99S    float64 `json:"p99_s"`
 	CostUSD float64 `json:"cost_usd"`
+	// KVOps is the coordination footprint: KV reads plus writes issued
+	// while replicating the scenario's objects (claim batching keeps it
+	// sublinear in part count).
+	KVOps int64 `json:"kv_ops"`
 
 	// Dominant is the critical-path category holding the largest share
 	// of the summed task durations; Categories is the full ranked
@@ -130,6 +134,15 @@ func benchScenarios() []benchScenario {
 			src:  AzureEast, dst: cloud.RegionID("gcp:asia-northeast1"),
 			sizes:   []int64{32 * MB},
 			objects: 8,
+		},
+		// Large-object trans-Pacific transfer exercising the pipelined
+		// distributed data plane end to end: double-buffered parts,
+		// batched pool claims, hedged tail parts, adaptive part sizing.
+		{
+			name: "pipeline-large-aws-gcpjp",
+			src:  AWSEast, dst: cloud.RegionID("gcp:asia-northeast1"),
+			sizes:   []int64{192 * MB},
+			objects: 4,
 		},
 	}
 }
@@ -227,6 +240,9 @@ func runBenchScenario(sc benchScenario, quick bool, interval time.Duration) (Ben
 	if quick {
 		objects = (objects + 1) / 2
 	}
+	kvReads := w.Metrics.Counter("kvstore.reads")
+	kvWrites := w.Metrics.Counter("kvstore.writes")
+	kvBase := kvReads.Value() + kvWrites.Value()
 	var total int64
 	cost := costDelta(w, func() {
 		for i := 0; i < objects; i++ {
@@ -254,6 +270,7 @@ func runBenchScenario(sc benchScenario, quick bool, interval time.Duration) (Ben
 		P50S:       stats.Percentile(delays, 50),
 		P99S:       stats.Percentile(delays, 99),
 		CostUSD:    cost,
+		KVOps:      kvReads.Value() + kvWrites.Value() - kvBase,
 		Dominant:   string(agg.Dominant()),
 		DegradedS:  agg.Degraded.Seconds(),
 	}
@@ -342,6 +359,12 @@ func CompareBench(baseline, got *BenchReport, tol BenchTolerance) []string {
 		if tol.exceeds(old.CostUSD, e.CostUSD, 1e-5) {
 			regs = append(regs, fmt.Sprintf("%s: cost $%.6f -> $%.6f (tol %.0f%%)", old.Name, old.CostUSD, e.CostUSD, 100*tol.rel()))
 		}
+		// Coordination footprint: a claim-batching regression shows up as
+		// KV ops growing back toward two-per-part (floor 8 = two tasks'
+		// fixed orchestration writes).
+		if old.KVOps > 0 && tol.exceeds(float64(old.KVOps), float64(e.KVOps), 8) {
+			regs = append(regs, fmt.Sprintf("%s: kv ops %d -> %d (tol %.0f%%)", old.Name, old.KVOps, e.KVOps, 100*tol.rel()))
+		}
 	}
 
 	newFault := make(map[string]BenchFault, len(got.FaultMatrix))
@@ -401,11 +424,11 @@ func CompareBench(baseline, got *BenchReport, tol BenchTolerance) []string {
 // Print renders the report as a compact human-readable summary.
 func (r *BenchReport) Print(out io.Writer) {
 	fprintf(out, "Bench suite: %s (%s)\n", r.Suite, r.Schema)
-	fprintf(out, "%-26s %4s %10s %8s %8s %10s %-10s\n",
-		"experiment", "n", "bytes", "p50_s", "p99_s", "cost_usd", "dominant")
+	fprintf(out, "%-26s %4s %10s %8s %8s %10s %7s %-10s\n",
+		"experiment", "n", "bytes", "p50_s", "p99_s", "cost_usd", "kv_ops", "dominant")
 	for _, e := range r.Experiments {
-		fprintf(out, "%-26s %4d %10d %8.2f %8.2f %10.4f %-10s\n",
-			e.Name, e.Objects, e.BytesTotal, e.P50S, e.P99S, e.CostUSD, e.Dominant)
+		fprintf(out, "%-26s %4d %10d %8.2f %8.2f %10.4f %7d %-10s\n",
+			e.Name, e.Objects, e.BytesTotal, e.P50S, e.P99S, e.CostUSD, e.KVOps, e.Dominant)
 	}
 	if len(r.FaultMatrix) > 0 {
 		fprintf(out, "%-26s %9s %8s %8s %4s %9s\n",

@@ -39,8 +39,8 @@ func TestBenchDeterministic(t *testing.T) {
 	if rep.Schema != BenchSchema || rep.Suite != "quick" {
 		t.Fatalf("report header wrong: %+v", rep)
 	}
-	if len(rep.Experiments) != 3 {
-		t.Fatalf("got %d experiments, want 3", len(rep.Experiments))
+	if len(rep.Experiments) != 4 {
+		t.Fatalf("got %d experiments, want 4", len(rep.Experiments))
 	}
 	for _, e := range rep.Experiments {
 		if e.P50S <= 0 || e.P99S < e.P50S || e.CostUSD <= 0 {

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/pricing"
+)
+
+// TestPipelineAblationAcceptance pins the data-plane optimisations'
+// headline claims: the full pipeline beats the serial baseline on both
+// p50 and p99 for the large-object variable-bandwidth scenario, and
+// claim batching cuts KV operations per object by at least 40%.
+func TestPipelineAblationAcceptance(t *testing.T) {
+	res := RunPipeline(true)
+	rows := make(map[string]PipelineRow, len(res.Rows))
+	for _, r := range res.Rows {
+		rows[r.Label] = r
+	}
+	base, full, batch := rows["baseline"], rows["full"], rows["+claimbatch4"]
+
+	if full.P50S > base.P50S || full.P99S > base.P99S {
+		t.Errorf("full pipeline does not beat baseline: p50 %.3f vs %.3f, p99 %.3f vs %.3f",
+			full.P50S, base.P50S, full.P99S, base.P99S)
+	}
+	if batch.KVOpsPerObj > 0.6*base.KVOpsPerObj {
+		t.Errorf("claim batching dropped KV ops/object only %.1f -> %.1f, want >= 40%%",
+			base.KVOpsPerObj, batch.KVOpsPerObj)
+	}
+	if base.HedgedParts != 0 || rows["+claimbatch4"].HedgedParts != 0 {
+		t.Errorf("hedging fired in a hedge-disabled config: %+v", res.Rows)
+	}
+	if full.HedgedParts == 0 {
+		t.Errorf("full pipeline never hedged a straggler part")
+	}
+	if base.PartSizeBytes != 0 || full.PartSizeBytes <= 0 {
+		t.Errorf("adaptive part sizing: baseline part %d, full part %d",
+			base.PartSizeBytes, full.PartSizeBytes)
+	}
+}
+
+// TestPipelineAblationDeterministic guards the double-buffered lanes and
+// the hedge tail against nondeterminism: two same-seed runs — hedging,
+// prefetch lanes and all — produce identical measurements.
+func TestPipelineAblationDeterministic(t *testing.T) {
+	a, b := RunPipeline(true), RunPipeline(true)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identically-seeded ablation runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestCostEstimateTracksMeteredActuals checks the planner's per-object
+// cost estimate against the pricing meter's actuals for a canonical
+// distributed plan: every priced component (egress on both hops, compute,
+// invocations, pool init/claim/done/finish KV writes, MPU create, part
+// uploads and complete) is also metered, so the two must agree within a
+// modest tolerance.
+func TestCostEstimateTracksMeteredActuals(t *testing.T) {
+	w := newWorld("cost-estimate")
+	src, dst := AWSEast, cloud.RegionID("gcp:europe-west6")
+	mustCreate(w, src, "ce-src", false)
+	mustCreate(w, dst, "ce-dst", false)
+
+	var mu sync.Mutex
+	var plans []planner.Plan
+	deployService(w, model.New(), engine.Rule{
+		Src: src, Dst: dst, SrcBucket: "ce-src", DstBucket: "ce-dst",
+		// Hedging duplicates transfers the plan-time estimate does not
+		// price; disable it so actuals reflect the plan alone.
+		HedgeBudget: -1,
+	}, core.Options{ProfileRounds: profileRounds(true), OnTaskDone: func(r engine.TaskResult) {
+		mu.Lock()
+		plans = append(plans, r.Plan)
+		mu.Unlock()
+	}})
+
+	actual := costDelta(w, func() {
+		putObject(w, src, "ce-src", "big.bin", 192*MB, 1)
+	})
+	if len(plans) != 1 {
+		t.Fatalf("resolved %d tasks, want 1", len(plans))
+	}
+	plan := plans[0]
+	if plan.N < 2 {
+		t.Fatalf("192MB fastest plan should be distributed, got n=%d", plan.N)
+	}
+	// The metered window includes the source PUT that triggered
+	// replication; the estimate prices replication only.
+	srcRegion, err := cloud.Lookup(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual -= pricing.BookFor(srcRegion.Provider).ObjPut
+
+	if plan.EstCostUSD <= 0 {
+		t.Fatalf("plan carries no cost estimate: %+v", plan)
+	}
+	if diff := math.Abs(plan.EstCostUSD-actual) / actual; diff > 0.25 {
+		t.Errorf("estimate $%.6f vs metered $%.6f: off by %.0f%%, want <= 25%%",
+			plan.EstCostUSD, actual, 100*diff)
+	}
+}

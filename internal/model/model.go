@@ -101,10 +101,20 @@ func FitChunkTime(groups [][]float64) ChunkTime {
 }
 
 // PathParams are the transfer parameters of one (src,dst,loc) path.
+//
+// CpDown and CpUp split C' into its two stages — claim + range-GET +
+// src→loc leg versus loc→dst leg + part upload + completion — so the
+// model can predict the pipelined data plane, where a replicator
+// overlaps part i+1's download with part i's upload and each
+// steady-state part costs max(down, up) instead of down+up. Zero-valued
+// stages (profiles fitted before the split existed) fall back to the
+// serial Cp prediction.
 type PathParams struct {
-	S  stats.Normal // client setup overhead before the first byte moves
-	C  ChunkTime    // per-chunk replication time, single function
-	Cp ChunkTime    // per-chunk time under pool scheduling (C' in the paper)
+	S      stats.Normal // client setup overhead before the first byte moves
+	C      ChunkTime    // per-chunk replication time, single function
+	Cp     ChunkTime    // per-chunk time under pool scheduling (C' in the paper)
+	CpDown ChunkTime    // download stage of C': claim + range-GET + src→loc leg
+	CpUp   ChunkTime    // upload stage of C': loc→dst leg + upload-part + done
 }
 
 // PathKey identifies a replication path with its execution side.
@@ -129,9 +139,11 @@ type Model struct {
 }
 
 type mcKey struct {
-	path   PathKey
-	n      int
-	chunks int64
+	path      PathKey
+	n         int
+	chunks    int64
+	chunk     int64 // part size the prediction was evaluated at (0 = model default)
+	pipelined bool
 }
 
 // New returns an empty model with the default chunk size.
@@ -199,11 +211,13 @@ func (m *Model) Notify(src cloud.RegionID) stats.Normal {
 }
 
 // Chunks returns ceil(size/chunk) for the model's part size.
-func (m *Model) Chunks(size int64) int64 {
-	if size <= 0 {
+func (m *Model) Chunks(size int64) int64 { return chunksOf(size, m.Chunk) }
+
+func chunksOf(size, chunk int64) int64 {
+	if size <= 0 || chunk <= 0 {
 		return 0
 	}
-	return (size + m.Chunk - 1) / m.Chunk
+	return (size + chunk - 1) / chunk
 }
 
 // sumDist combines two independent positive components. Its Quantile is
@@ -226,11 +240,29 @@ type Dist interface {
 	Quantile(p float64) float64
 }
 
+// Opts select the data-plane variant a prediction is evaluated for.
+type Opts struct {
+	// Chunk overrides the model's default part size (0 keeps m.Chunk).
+	// Per-chunk times are scaled linearly with the part size — transfer
+	// time dominates each chunk, so seconds/chunk ∝ bytes/chunk.
+	Chunk int64
+	// Pipelined predicts the double-buffered data plane: each
+	// steady-state chunk costs max(CpDown, CpUp) instead of CpDown+CpUp,
+	// with one non-overlapped stage paid once at the pipeline boundary.
+	// Ignored for n == 1 and on profiles without the stage split.
+	Pipelined bool
+}
+
 // ReplTime returns the predicted distribution of T_rep for replicating an
 // object of size bytes with n parallel functions executing at loc. When
 // local is true (n must be 1 and loc the source region) the orchestrator
 // replicates inline and T_func is zero.
 func (m *Model) ReplTime(src, dst, loc cloud.RegionID, size int64, n int, local bool) (Dist, error) {
+	return m.ReplTimeOpts(src, dst, loc, size, n, local, Opts{})
+}
+
+// ReplTimeOpts is ReplTime for a specific data-plane configuration.
+func (m *Model) ReplTimeOpts(src, dst, loc cloud.RegionID, size int64, n int, local bool, o Opts) (Dist, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("model: parallelism %d < 1", n)
 	}
@@ -243,13 +275,18 @@ func (m *Model) ReplTime(src, dst, loc cloud.RegionID, size int64, n int, local 
 	if !ok {
 		return nil, fmt.Errorf("model: path %v not profiled", pk)
 	}
-	chunks := m.Chunks(size)
+	chunk := o.Chunk
+	if chunk <= 0 {
+		chunk = m.Chunk
+	}
+	f := float64(chunk) / float64(m.Chunk)
+	chunks := chunksOf(size, chunk)
 	if chunks == 0 {
 		chunks = 1
 	}
 
 	if n == 1 {
-		transfer := pp.S.Plus(pp.C.OverK(float64(chunks)))
+		transfer := pp.S.Plus(pp.C.Scale(f).OverK(float64(chunks)))
 		if local {
 			return transfer, nil
 		}
@@ -258,18 +295,35 @@ func (m *Model) ReplTime(src, dst, loc cloud.RegionID, size int64, n int, local 
 
 	tfunc := stats.SumNormals(lp.I.Scale(float64(n)), lp.D, lp.P)
 	perInst := (chunks + int64(n) - 1) / int64(n)
-	ttransfer := m.maxTransfer(pk, pp, n, perInst)
+	ttransfer := m.maxTransfer(pk, pp, n, perInst, chunk, f, o.Pipelined)
 	return sumDist{a: tfunc, b: ttransfer}, nil
 }
 
-// maxTransfer returns the distribution of max over n instances of
-// S + C'·perInst, via cached Monte Carlo or the Gumbel approximation.
-func (m *Model) maxTransfer(pk PathKey, pp PathParams, n int, perInst int64) stats.Dist {
-	base := pp.S.Plus(pp.Cp.OverK(float64(perInst)))
+// perInstTransfer is one instance's transfer-time distribution for
+// perInst chunks: serial S + C'·k, or — pipelined with a profiled stage
+// split — S plus the smaller stage once plus the dominant stage over all
+// k chunks (the steady state overlaps the other stage entirely).
+func perInstTransfer(pp PathParams, perInst int64, f float64, pipelined bool) stats.Normal {
+	if pipelined && pp.CpDown.Mu > 0 && pp.CpUp.Mu > 0 {
+		down, up := pp.CpDown.Scale(f), pp.CpUp.Scale(f)
+		dominant, other := down, up
+		if up.Mu > down.Mu {
+			dominant, other = up, down
+		}
+		return stats.SumNormals(pp.S, other.OverK(1), dominant.OverK(float64(perInst)))
+	}
+	return pp.S.Plus(pp.Cp.Scale(f).OverK(float64(perInst)))
+}
+
+// maxTransfer returns the distribution of max over n instances of the
+// per-instance transfer time, via cached Monte Carlo or the Gumbel
+// approximation.
+func (m *Model) maxTransfer(pk PathKey, pp PathParams, n int, perInst, chunk int64, f float64, pipelined bool) stats.Dist {
+	base := perInstTransfer(pp, perInst, f, pipelined)
 	if n >= m.GumbelMinN {
 		return stats.MaxOfNormals(base, n)
 	}
-	key := mcKey{path: pk, n: n, chunks: perInst}
+	key := mcKey{path: pk, n: n, chunks: perInst, chunk: chunk, pipelined: pipelined}
 	m.mu.Lock()
 	if e, ok := m.mcCache[key]; ok {
 		m.mu.Unlock()
@@ -278,7 +332,7 @@ func (m *Model) maxTransfer(pk PathKey, pp PathParams, n int, perInst int64) sta
 	rounds := m.MCRounds
 	m.mu.Unlock()
 
-	rng := simrand.New("model-mc", string(pk.Src), string(pk.Dst), string(pk.Loc), fmt.Sprint(n, perInst))
+	rng := simrand.New("model-mc", string(pk.Src), string(pk.Dst), string(pk.Loc), fmt.Sprint(n, perInst, chunk, pipelined))
 	e := stats.MonteCarloMax(rng, n, rounds, func(r *rand.Rand, i int) float64 {
 		return base.Sample(r)
 	})

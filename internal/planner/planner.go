@@ -9,6 +9,7 @@ package planner
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/cloud"
@@ -16,11 +17,27 @@ import (
 	"repro/internal/pricing"
 )
 
+// DefaultClaimBatch is the number of parts a replicator claims (and
+// acknowledges) per part-pool KV increment, amortizing the pool's two KV
+// round-trips per part toward 2/B.
+const DefaultClaimBatch = 4
+
+// Adaptive part-size bounds: below ~4 MB per-request overhead dominates
+// the transfer; above ~64 MB a lost part costs too much rework and
+// instance memory.
+const (
+	minAdaptivePart = 4 << 20
+	maxAdaptivePart = 64 << 20
+)
+
 // Plan is a chosen replication strategy.
 type Plan struct {
 	N     int            // number of replicator functions
 	Loc   cloud.RegionID // execution region (source or destination)
 	Local bool           // orchestrator replicates inline (N==1 at source)
+	// PartSize is the part size the distributed data plane should use
+	// (0 = the engine's configured default; always 0 for N==1 plans).
+	PartSize int64
 
 	// EstSeconds is the predicted replication time at the requested
 	// percentile; EstMean and EstStd are the prediction's moments
@@ -59,6 +76,24 @@ type Planner struct {
 	// at the cost of a second egress charge. Relays join the sweep after
 	// the source and destination sides.
 	Relays []cloud.RegionID
+	// ExecLimitFor reports the execution time limit of the platform at a
+	// region; adaptive part sizing caps part duration against it. Nil
+	// falls back to a conservative 10 minutes (the shortest default
+	// limit across the three platforms).
+	ExecLimitFor func(cloud.RegionID) time.Duration
+}
+
+// PlanOpts carry the engine's data-plane configuration into planning so
+// predictions and cost estimates match what the engine will execute.
+type PlanOpts struct {
+	// FixedPartSize pins the part size for distributed plans instead of
+	// letting the planner adapt it per object (0 = adaptive).
+	FixedPartSize int64
+	// NoPipeline predicts the serial per-part data plane (double
+	// buffering disabled).
+	NoPipeline bool
+	// ClaimBatch is the engine's part-pool claim batch (0 = default).
+	ClaimBatch int
 }
 
 // New returns a Planner with the paper's defaults.
@@ -71,6 +106,11 @@ func New(m *model.Model) *Planner {
 // requests the fastest plan. pct is the user-chosen percentile (e.g. 0.99)
 // at which the model's prediction must fit the budget.
 func (pl *Planner) Plan(src, dst cloud.RegionID, size int64, sloRemaining time.Duration, pct float64) (Plan, error) {
+	return pl.PlanWith(src, dst, size, sloRemaining, pct, PlanOpts{})
+}
+
+// PlanWith is Plan evaluated for a specific data-plane configuration.
+func (pl *Planner) PlanWith(src, dst cloud.RegionID, size int64, sloRemaining time.Duration, pct float64, opts PlanOpts) (Plan, error) {
 	if pct <= 0 || pct >= 1 {
 		pct = 0.99
 	}
@@ -80,7 +120,18 @@ func (pl *Planner) Plan(src, dst cloud.RegionID, size int64, sloRemaining time.D
 	var firstErr error
 	evaluate := func(n int, loc cloud.RegionID) (Plan, bool) {
 		local := n == 1 && loc == src && size <= pl.LocalMaxBytes
-		d, err := pl.M.ReplTime(src, dst, loc, size, n, local)
+		// Single-function transfers stream whole chunks at the engine's
+		// configured part size; only distributed plans pick a part size.
+		var ps int64
+		var mo model.Opts
+		if n > 1 {
+			ps = opts.FixedPartSize
+			if ps <= 0 {
+				ps = pl.PartSizeFor(src, dst, loc, size, n)
+			}
+			mo = model.Opts{Chunk: ps, Pipelined: !opts.NoPipeline}
+		}
+		d, err := pl.M.ReplTimeOpts(src, dst, loc, size, n, local, mo)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -88,9 +139,9 @@ func (pl *Planner) Plan(src, dst cloud.RegionID, size int64, sloRemaining time.D
 			return Plan{}, false
 		}
 		est := d.Quantile(pct)
-		cand := Plan{N: n, Loc: loc, Local: local,
+		cand := Plan{N: n, Loc: loc, Local: local, PartSize: ps,
 			EstSeconds: est, EstMean: d.Mean(), EstStd: d.Std(),
-			EstCostUSD: pl.EstimateCostUSD(src, dst, loc, size, n, d.Mean()),
+			EstCostUSD: pl.EstimateCostUSD(src, dst, loc, size, n, d.Mean(), ps, opts.ClaimBatch),
 		}
 		if best.EstSeconds < 0 || est < best.EstSeconds {
 			best = cand
@@ -143,27 +194,89 @@ func (pl *Planner) Plan(src, dst cloud.RegionID, size int64, sloRemaining time.D
 	return best, nil
 }
 
-// EstimateCostUSD roughly prices a candidate plan: wide-area egress for
-// each cross-region hop, invocation fees, function compute for the
-// estimated duration, and the part pool's two KV operations per chunk.
+// PartSizeFor picks the part size a distributed plan should use for one
+// object: roughly four parts per replicator (so the pool load-balances
+// across slow instances) clamped to [4 MB, 64 MB], then capped so the
+// mean per-part time stays a small fraction of the execution platform's
+// time limit, and rounded down to a whole MiB. Returns 0 (caller keeps
+// its configured default) when the path has no usable profile.
+func (pl *Planner) PartSizeFor(src, dst, loc cloud.RegionID, size int64, n int) int64 {
+	pp, ok := pl.M.Path(model.PathKey{Src: src, Dst: dst, Loc: loc})
+	if !ok || pp.Cp.Mu <= 0 || n < 1 || size <= 0 {
+		return 0
+	}
+	ps := min(max(size/(int64(n)*4), int64(minAdaptivePart)), int64(maxAdaptivePart))
+
+	limit := 10 * time.Minute
+	if pl.ExecLimitFor != nil {
+		if l := pl.ExecLimitFor(loc); l > 0 {
+			limit = l
+		}
+	}
+	// Keep the mean part duration under 5% of the execution limit so a
+	// replicator survives profile drift and per-instance slowness.
+	secPerByte := pp.Cp.Mu / float64(pl.M.Chunk)
+	if capBytes := int64(0.05 * limit.Seconds() / secPerByte); capBytes > 0 {
+		ps = min(ps, capBytes)
+	}
+	ps = max(ps, int64(minAdaptivePart))
+	return ps - ps%(1<<20)
+}
+
+// EstimateCostUSD prices a candidate plan: wide-area egress for each
+// cross-region hop; the orchestrator's invocation, compute, lock writes
+// and dedupe lookup at the source; the replicators' invocations and
+// compute at loc; and the distributed data plane's per-object requests —
+// the part pool's init write plus one claim and one completion increment
+// per batch of claimBatch parts, a ranged GET per part at the source, and
+// the part PUTs with their MPU create/complete pair at the destination.
 // Algorithm 3 never needs exact costs — the sweep order already encodes
 // "cheaper first" — but relays break that ordering, and reports want a
-// number.
-func (pl *Planner) EstimateCostUSD(src, dst, loc cloud.RegionID, size int64, n int, estSeconds float64) float64 {
+// number. partSize and claimBatch at <= 0 take the model/engine defaults.
+func (pl *Planner) EstimateCostUSD(src, dst, loc cloud.RegionID, size int64, n int, estSeconds float64, partSize int64, claimBatch int) float64 {
 	srcR := cloud.MustLookup(src)
 	dstR := cloud.MustLookup(dst)
 	locR := cloud.MustLookup(loc)
 	cost := pricing.EgressCost(srcR, locR, size) + pricing.EgressCost(locR, dstR, size)
-	book := pricing.BookFor(locR.Provider)
-	memGB := 1.0
-	if locR.Provider == cloud.Azure {
-		memGB = 2.0
-	}
-	cost += float64(n) * book.FnInvocation
-	cost += float64(n) * book.FnGBSecond * memGB * estSeconds
+	srcBook := pricing.BookFor(srcR.Provider)
+	dstBook := pricing.BookFor(dstR.Provider)
+	locBook := pricing.BookFor(locR.Provider)
+	dur := time.Duration(estSeconds * float64(time.Second))
+
+	// Orchestrator at the source: one invocation held for the task
+	// duration, the replication lock's acquire/release writes, and the
+	// destination HEAD that dedupes already-replicated versions.
+	cost += srcBook.FnInvocation + pricing.FnComputeCost(srcR.Provider, memGB(srcR.Provider), dur)
+	cost += 2 * srcBook.KVWrite
+	cost += dstBook.ObjGet
+
+	// n replicator functions at loc.
+	cost += float64(n) * locBook.FnInvocation
+	cost += float64(n) * pricing.FnComputeCost(locR.Provider, memGB(locR.Provider), dur)
+
 	if n > 1 {
-		chunks := float64(pl.M.Chunks(size))
-		cost += 2 * chunks * book.KVWrite
+		if partSize <= 0 {
+			partSize = pl.M.Chunk
+		}
+		if claimBatch <= 0 {
+			claimBatch = DefaultClaimBatch
+		}
+		chunks := float64((size + partSize - 1) / partSize)
+		batches := math.Ceil(chunks / float64(claimBatch))
+		cost += (1 + 2*batches) * locBook.KVWrite         // pool init + batched claim/done increments
+		cost += chunks * srcBook.ObjGet                   // ranged GETs
+		cost += (chunks + 2) * dstBook.ObjPut             // part PUTs + MPU create/complete
+	} else {
+		cost += srcBook.ObjGet + dstBook.ObjPut
 	}
 	return cost
+}
+
+// memGB is the replicator's provisioned memory on a platform (Azure
+// Functions bills the 2 GB consumption plan band).
+func memGB(p cloud.Provider) float64 {
+	if p == cloud.Azure {
+		return 2.0
+	}
+	return 1.0
 }

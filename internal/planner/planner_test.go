@@ -236,19 +236,19 @@ func TestEstimateCostShape(t *testing.T) {
 	pl := New(fitted())
 	// Direct (loc=src): one cross-cloud hop. Relay through a third region:
 	// two hops, strictly more egress.
-	direct := pl.EstimateCostUSD(src, dst, src, 1<<30, 8, 5)
-	relay := pl.EstimateCostUSD(src, dst, "aws:us-east-2", 1<<30, 8, 5)
+	direct := pl.EstimateCostUSD(src, dst, src, 1<<30, 8, 5, 0, 0)
+	relay := pl.EstimateCostUSD(src, dst, "aws:us-east-2", 1<<30, 8, 5, 0, 0)
 	if relay <= direct {
 		t.Fatalf("two-hop relay (%v) must cost more than direct (%v)", relay, direct)
 	}
 	// More functions cost more (invocations + pool ops at same est).
-	few := pl.EstimateCostUSD(src, dst, src, 1<<30, 2, 5)
-	many := pl.EstimateCostUSD(src, dst, src, 1<<30, 256, 5)
+	few := pl.EstimateCostUSD(src, dst, src, 1<<30, 2, 5, 0, 0)
+	many := pl.EstimateCostUSD(src, dst, src, 1<<30, 256, 5, 0, 0)
 	if many <= few {
 		t.Fatalf("n=256 (%v) must cost more than n=2 (%v)", many, few)
 	}
 	// Single-function plans pay no part-pool operations.
-	single := pl.EstimateCostUSD(src, dst, src, 1<<30, 1, 20)
+	single := pl.EstimateCostUSD(src, dst, src, 1<<30, 1, 20, 0, 0)
 	if single >= many {
 		t.Fatalf("single (%v) should undercut massive parallelism (%v)", single, many)
 	}

@@ -140,7 +140,8 @@ func (p *Profiler) ProfilePath(src, dst, loc cloud.RegionID) model.PathParams {
 
 	var mu sync.Mutex
 	var sSamples []float64
-	var cGroups, cpGroups [][]float64 // one group per instance (round)
+	var cGroups, cpGroups [][]float64         // one group per instance (round)
+	var cpDownGroups, cpUpGroups [][]float64  // C' split at the leg boundary
 
 	for r := 0; r < p.Rounds; r++ {
 		r := r
@@ -177,7 +178,11 @@ func (p *Profiler) ProfilePath(src, dst, loc cloud.RegionID) model.PathParams {
 			if err != nil {
 				return
 			}
-			var cps []float64
+			// The midpoint between the two legs splits each C' sample
+			// into its download stage (claim + ranged GET + src→loc leg)
+			// and upload stage (loc→dst leg + part upload + completion),
+			// fitting the pipelined data plane's max(down, up) prediction.
+			var cps, downs, ups []float64
 			for i := 0; i < p.ChunksPerRound; i++ {
 				t1 := clock.Now()
 				idx := locSvc.KV.Increment("areplica-profile", taskKey, "next", 1) - 1
@@ -187,12 +192,15 @@ func (p *Profiler) ProfilePath(src, dst, loc cloud.RegionID) model.PathParams {
 					return
 				}
 				p.W.MoveBytes(srcSvc.Region, ctx.Region, ctx.Region.Provider, p.PartSize, downScale, rng)
+				tMid := clock.Now()
 				p.W.MoveBytes(ctx.Region, dstSvc.Region, ctx.Region.Provider, p.PartSize, upScale, rng)
 				if _, err := dstSvc.Obj.UploadPart(mpu, i+1, blob); err != nil {
 					return
 				}
 				locSvc.KV.Increment("areplica-profile", taskKey, "done", 1)
 				cps = append(cps, clock.Since(t1).Seconds())
+				downs = append(downs, tMid.Sub(t1).Seconds())
+				ups = append(ups, clock.Since(tMid).Seconds())
 			}
 			dstSvc.Obj.AbortMultipart(mpu)
 
@@ -200,6 +208,8 @@ func (p *Profiler) ProfilePath(src, dst, loc cloud.RegionID) model.PathParams {
 			sSamples = append(sSamples, s)
 			cGroups = append(cGroups, cs)
 			cpGroups = append(cpGroups, cps)
+			cpDownGroups = append(cpDownGroups, downs)
+			cpUpGroups = append(cpUpGroups, ups)
 			mu.Unlock()
 		})
 		group.Wait()
@@ -209,9 +219,11 @@ func (p *Profiler) ProfilePath(src, dst, loc cloud.RegionID) model.PathParams {
 		panic("profiler: no path samples collected")
 	}
 	return model.PathParams{
-		S:  stats.FitNormal(sSamples),
-		C:  model.FitChunkTime(cGroups),
-		Cp: model.FitChunkTime(cpGroups),
+		S:      stats.FitNormal(sSamples),
+		C:      model.FitChunkTime(cGroups),
+		Cp:     model.FitChunkTime(cpGroups),
+		CpDown: model.FitChunkTime(cpDownGroups),
+		CpUp:   model.FitChunkTime(cpUpGroups),
 	}
 }
 

@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSpanHotPath measures the per-part span traffic the engine's
+// data plane emits on every transfer: a task root, a part child with
+// attributes, nested leg/upload children, and End bookkeeping.
+func BenchmarkSpanHotPath(b *testing.B) {
+	base := time.Unix(0, 0)
+	now := base
+	tr := NewTracer(func() time.Time { return now })
+	tr.Enable()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := tr.StartTrace("t", "task")
+		part := root.Child("part-0").Set("bytes", int64(8<<20))
+		leg := part.Child("leg-down")
+		now = now.Add(time.Millisecond)
+		leg.End()
+		up := part.Child("upload-part").Set(CatAttr, string(CatObjStore))
+		now = now.Add(time.Millisecond)
+		up.End()
+		part.End()
+		root.End()
+		if i%1024 == 0 {
+			tr.Reset() // keep the finished-span buffer from dominating memory
+		}
+	}
+}
+
+// BenchmarkSpanDisabled pins the cost of the disabled-tracer fast path
+// the production configuration runs with.
+func BenchmarkSpanDisabled(b *testing.B) {
+	base := time.Unix(0, 0)
+	tr := NewTracer(func() time.Time { return base })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := tr.StartTrace("t", "task")
+		part := root.Child("part-0").Set("bytes", int64(8<<20))
+		part.End()
+		root.End()
+	}
+}

@@ -28,6 +28,7 @@ const (
 	CatKV        Category = "kv"        // KV accesses (lock, part pool, completion)
 	CatChangelog Category = "changelog" // changelog lookup/apply
 	CatBackoff   Category = "backoff"   // retry backoff waits (task- and request-level)
+	CatHedge     Category = "hedge"     // speculative tail-part duplication (hedged claims/transfers)
 	CatScrub     Category = "scrub"     // anti-entropy listing, digest exchange and diffing
 	CatIdle      Category = "idle"      // orchestration gaps and handler time outside any child span
 )
@@ -65,6 +66,8 @@ func categoryOf(s *Span) Category {
 		return CatStall
 	case name == "leg-down" || name == "leg-up":
 		return CatTransfer
+	case hasPrefix(name, "hedge-"):
+		return CatHedge
 	case name == "changelog":
 		return CatChangelog
 	case hasPrefix(name, "kv:"):
