@@ -37,6 +37,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fleetobs"
 	"repro/internal/model"
 	"repro/internal/objstore"
 	"repro/internal/simclock"
@@ -48,13 +49,14 @@ import (
 // Sim is a simulated three-cloud environment with AReplica deployable on
 // top. Create one with NewSim from the goroutine that will drive it.
 type Sim struct {
-	world *world.World
-	model *model.Model
+	world  *world.World
+	model  *model.Model
+	events *fleetobs.EventLog
 }
 
 // NewSim builds the 13-region, three-cloud world the paper evaluates on.
 func NewSim() *Sim {
-	return &Sim{world: world.New(), model: model.New()}
+	return &Sim{world: world.New(), model: model.New(), events: fleetobs.NewEventLog()}
 }
 
 // World exposes the underlying simulation for advanced use (experiments,
@@ -239,6 +241,21 @@ type Rule struct {
 	// SLO violations.
 	DivergenceSLO time.Duration
 
+	// Monitor attaches an SLO burn-rate monitor to the rule: replication
+	// lag, DLQ depth and (with Scrub) divergence are evaluated on the
+	// virtual clock, and alert transitions append to the sim's shared
+	// event log (Sim.WriteEvents). Read the rule's current row with
+	// Replication.Health.
+	Monitor bool
+	// LagTarget is the monitored per-event lag objective (default 30s).
+	LagTarget time.Duration
+	// LagObjective is the fraction of events that must replicate within
+	// LagTarget (default 0.99).
+	LagObjective float64
+	// MaxDLQ is the dead-letter depth above which the monitor pages
+	// (default 0: any parked event pages).
+	MaxDLQ int
+
 	// ProfileRounds overrides profiling effort (default 12 samples per
 	// parameter).
 	ProfileRounds int
@@ -298,9 +315,16 @@ func (s *Sim) Deploy(r Rule) (*Replication, error) {
 		EnableScrub:     r.Scrub,
 		ScrubCadence:    r.ScrubCadence,
 		DivergenceSLO:   r.DivergenceSLO,
-		Relays:          relays,
-		ProfileRounds:   r.ProfileRounds,
-		Model:           s.model, // deployments share profiling work
+		EnableMonitor:   r.Monitor,
+		MonitorSLO: fleetobs.SLO{
+			LagTarget: r.LagTarget,
+			Objective: r.LagObjective,
+			MaxDLQ:    r.MaxDLQ,
+		},
+		Events:        s.events,
+		Relays:        relays,
+		ProfileRounds: r.ProfileRounds,
+		Model:         s.model, // deployments share profiling work
 	})
 	if err != nil {
 		return nil, err
@@ -352,6 +376,74 @@ func (r *Replication) DLQSize() int { return len(r.svc.Engine.DLQ()) }
 // budget (the operator's "redrive" button), returning how many it
 // re-enqueued. Run the simulation (Wait) afterwards to let them converge.
 func (r *Replication) RedriveDLQ() int { return r.svc.Engine.RedriveDLQ() }
+
+// Health is one rule's current health row (requires Rule.Monitor).
+type Health struct {
+	Rule       string  // "src/bucket->dst/bucket"
+	Dest       string  // destination region
+	State      string  // "ok" | "warn" | "page"
+	LagP50S    float64 // replication-lag percentiles, seconds
+	LagP99S    float64
+	Backlog    int     // events awaiting replication
+	OldestAgeS float64 // age of the oldest unreplicated event, seconds
+	DLQ        int     // dead-letter depth
+	BurnShort  float64 // short-window error-budget burn rate
+	BurnLong   float64 // long-window error-budget burn rate
+	Alerts     int     // warn/page transitions so far
+}
+
+// Health returns the rule's current health row at the virtual instant.
+func (r *Replication) Health() (Health, error) {
+	if r.svc.Monitor == nil {
+		return Health{}, fmt.Errorf("areplica: monitoring is not enabled on this rule")
+	}
+	h := r.svc.Monitor.Health()
+	return Health{
+		Rule: h.Rule, Dest: h.Dest, State: h.State,
+		LagP50S: h.LagP50S, LagP99S: h.LagP99S,
+		Backlog: h.Backlog, OldestAgeS: h.OldestAgeS, DLQ: h.DLQ,
+		BurnShort: h.BurnShort, BurnLong: h.BurnLong, Alerts: h.Alerts,
+	}, nil
+}
+
+// PollMonitor re-evaluates the rule's SLOs at the current virtual
+// instant. The monitor already polls on every completed task; drivers
+// call this at loop points so quiet fault windows (nothing completing)
+// still trip the burn-rate alerts.
+func (r *Replication) PollMonitor() {
+	if r.svc.Monitor != nil {
+		r.svc.Monitor.Poll()
+	}
+}
+
+// AlertCount reports the rule's warn/page transitions so far (0 when
+// monitoring is off).
+func (r *Replication) AlertCount() int { return r.svc.Monitor.AlertCount() }
+
+// WriteEvents writes the sim's structured alert log as JSONL — one event
+// per line, deterministic for a deterministic run.
+func (s *Sim) WriteEvents(w io.Writer) error { return s.events.WriteJSONL(w) }
+
+// EventCount reports how many alert events monitors have emitted.
+func (s *Sim) EventCount() int { return s.events.Len() }
+
+// WriteMetricsProm dumps the sim's metric registry — including the
+// per-rule and per-destination labelled families — in the Prometheus
+// text exposition format.
+func (s *Sim) WriteMetricsProm(w io.Writer) error { return s.world.Metrics.WritePromText(w) }
+
+// WriteHealthTable renders the health rows of the given replications
+// (all monitored ones of this sim when none are passed explicitly is not
+// inferred — pass what you deployed) as an aligned text table.
+func (s *Sim) WriteHealthTable(w io.Writer, reps ...*Replication) error {
+	var rows []fleetobs.Health
+	for _, rep := range reps {
+		if rep != nil && rep.svc.Monitor != nil {
+			rows = append(rows, rep.svc.Monitor.Health())
+		}
+	}
+	return fleetobs.WriteHealthTable(w, rows)
+}
 
 // RegisterCopy hints that object dstKey (with the given ETag) was created
 // by copying srcKey at version srcETag; the destination can then mirror

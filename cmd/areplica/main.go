@@ -34,27 +34,31 @@ import (
 
 func main() {
 	var (
-		srcFlag    = flag.String("src", "aws:us-east-1", "source region (<provider>:<region>)")
-		dstFlag    = flag.String("dst", "azure:eastus", "destination region")
-		sizeFlag   = flag.String("size", "16MB", "object size for -count mode (e.g. 512KB, 16MB, 1GB)")
-		count      = flag.Int("count", 3, "number of objects to replicate")
-		sloFlag    = flag.Duration("slo", 0, "replication SLO (0 = fastest plan)")
-		pct        = flag.Float64("percentile", 0.99, "SLO percentile")
-		batching   = flag.Bool("batching", false, "enable SLO-bounded batching (requires -slo)")
-		replayDur  = flag.Duration("replay", 0, "replay a synthetic IBM-COS-like trace of this duration instead of -count mode")
-		traceRate  = flag.Float64("rate", 60, "trace request rate (ops/minute)")
-		traceOut   = flag.String("trace", "", "write per-task spans as Chrome trace_event JSON to this file (chrome://tracing, Perfetto)")
-		metricsOut = flag.String("metrics", "", "write the run's aggregate metrics (counters + latency histograms) to this file")
-		chaosFlag  = flag.String("chaos", "", "arm a chaos profile after deployment (name[@seed], e.g. mixed@7; 'list' shows profiles)")
-		scrubFlag  = flag.Duration("scrub", 0, "run anti-entropy scrubbing at this cadence (e.g. 30s; 0 = off)")
+		srcFlag         = flag.String("src", "aws:us-east-1", "source region (<provider>:<region>)")
+		dstFlag         = flag.String("dst", "azure:eastus", "destination region")
+		sizeFlag        = flag.String("size", "16MB", "object size for -count mode (e.g. 512KB, 16MB, 1GB)")
+		count           = flag.Int("count", 3, "number of objects to replicate")
+		sloFlag         = flag.Duration("slo", 0, "replication SLO (0 = fastest plan)")
+		pct             = flag.Float64("percentile", 0.99, "SLO percentile")
+		batching        = flag.Bool("batching", false, "enable SLO-bounded batching (requires -slo)")
+		replayDur       = flag.Duration("replay", 0, "replay a synthetic IBM-COS-like trace of this duration instead of -count mode")
+		traceRate       = flag.Float64("rate", 60, "trace request rate (ops/minute)")
+		traceOut        = flag.String("trace", "", "write per-task spans as Chrome trace_event JSON to this file (chrome://tracing, Perfetto)")
+		metricsOut      = flag.String("metrics", "", "write the run's aggregate metrics (counters + latency histograms) to this file")
+		chaosFlag       = flag.String("chaos", "", "arm a chaos profile after deployment (name[@seed], e.g. mixed@7; 'list' shows profiles)")
+		scrubFlag       = flag.Duration("scrub", 0, "run anti-entropy scrubbing at this cadence (e.g. 30s; 0 = off)")
+		statusFlag      = flag.Bool("status", false, "print the rule's health table (lag watermarks, burn rates, alerts) at the end")
+		eventsOut       = flag.String("events", "", "write the structured SLO alert log as JSONL to this file")
+		promOut         = flag.String("prom", "", "write the run's metrics in Prometheus text format to this file")
+		lagSLO          = flag.Duration("lag-slo", 0, "monitored replication-lag objective per event (0 = 30s default)")
 		noDoubleBuf     = flag.Bool("no-doublebuffer", false, "disable the pipelined data plane (serialize each part's download and upload)")
 		claimBatch      = flag.Int("claim-batch", 0, "parts claimed per part-pool KV operation (0 = default 4, 1 = per-part)")
 		hedgeBudget     = flag.Int("hedge", 0, "speculative tail-part duplications per task (0 = default 4, -1 = disable)")
 		noAdaptiveParts = flag.Bool("no-adaptive-parts", false, "pin the distributed part size to 8MB instead of adapting per object")
 		critpath        = flag.Bool("critpath", false, "print the critical-path delay attribution across replicated tasks")
-		regions    = flag.Bool("regions", false, "list available regions and exit")
-		showStats  = flag.Bool("stats", false, "print a per-region activity snapshot at the end")
-		verbose    = flag.Bool("v", false, "print per-object delays")
+		regions         = flag.Bool("regions", false, "list available regions and exit")
+		showStats       = flag.Bool("stats", false, "print a per-region activity snapshot at the end")
+		verbose         = flag.Bool("v", false, "print per-object delays")
 	)
 	flag.Parse()
 
@@ -97,6 +101,7 @@ func main() {
 		DstRegion: *dstFlag, DstBucket: dstBucket,
 		SLO: *sloFlag, Percentile: *pct, Batching: *batching,
 		Scrub: *scrubFlag > 0, ScrubCadence: *scrubFlag,
+		Monitor: true, LagTarget: *lagSLO,
 		DisableDoubleBuffer: *noDoubleBuf, ClaimBatch: *claimBatch,
 		HedgeBudget: *hedgeBudget, DisableAdaptiveParts: *noAdaptiveParts,
 	})
@@ -152,6 +157,7 @@ func main() {
 			if err := put(op.Key, op.Size); err != nil {
 				fatal(err)
 			}
+			rep.PollMonitor()
 		})
 	} else {
 		fmt.Printf("replicating %d x %s objects...\n", *count, *sizeFlag)
@@ -165,9 +171,13 @@ func main() {
 				// mid-workload instead of after it.
 				sim.Sleep(2 * time.Second)
 			}
+			// Burn rates re-evaluate between writes so fault windows where
+			// nothing completes still alert.
+			rep.PollMonitor()
 		}
 	}
 	sim.Wait()
+	rep.PollMonitor()
 
 	if chaosProf.Enabled() && rep.DLQSize() > 0 {
 		// Operator recovery: redrive the dead-letter queue once and let the
@@ -260,6 +270,16 @@ func main() {
 		}
 	}
 
+	if *statusFlag {
+		fmt.Println()
+		if err := sim.WriteHealthTable(os.Stdout, rep); err != nil {
+			fatal(err)
+		}
+		if n := sim.EventCount(); n > 0 && *eventsOut == "" {
+			fmt.Printf("%d SLO alert events (write them with -events)\n", n)
+		}
+	}
+
 	if *showStats {
 		fmt.Println()
 		sim.World().Snapshot().Print(os.Stdout)
@@ -276,6 +296,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}
+	if *promOut != "" {
+		if err := writeFile(*promOut, sim.WriteMetricsProm); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote prometheus metrics to %s\n", *promOut)
+	}
+	if *eventsOut != "" {
+		if err := writeFile(*eventsOut, sim.WriteEvents); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d alert events to %s\n", sim.EventCount(), *eventsOut)
 	}
 }
 

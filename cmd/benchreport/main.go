@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fleetobs"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 		tol      = flag.Float64("tol", 0.25, "relative regression tolerance for -compare (0.25 = 25% worse allowed)")
 		interval = flag.Duration("interval", 5*time.Second, "virtual-time series sampling interval")
 		scrub    = flag.Bool("scrub", false, "include the anti-entropy cadence sweep in the report")
+		events   = flag.String("events", "", "write the fault matrix's SLO alert log as JSONL to this file")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -40,7 +42,11 @@ func main() {
 	}
 
 	start := time.Now()
-	rep, err := experiments.RunBench(experiments.BenchConfig{Quick: *quick, SampleInterval: *interval, Scrub: *scrub})
+	var alertLog *fleetobs.EventLog
+	if *events != "" {
+		alertLog = fleetobs.NewEventLog()
+	}
+	rep, err := experiments.RunBench(experiments.BenchConfig{Quick: *quick, SampleInterval: *interval, Scrub: *scrub, Events: alertLog})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		os.Exit(1)
@@ -67,6 +73,24 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+
+	if alertLog != nil {
+		ef, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		if err := alertLog.WriteJSONL(ef); err != nil {
+			ef.Close()
+			fmt.Fprintf(os.Stderr, "benchreport: write %s: %v\n", *events, err)
+			os.Exit(1)
+		}
+		if err := ef.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: close %s: %v\n", *events, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d alert events to %s\n", alertLog.Len(), *events)
+	}
 
 	if *compare == "" {
 		return

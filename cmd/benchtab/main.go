@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/experiments"
+	"repro/internal/fleetobs"
 )
 
 func main() {
@@ -196,7 +197,7 @@ func runFig(n int, quick bool) {
 
 func runChaos(spec string, quick bool) {
 	hdr("Fault matrix")
-	cfg := experiments.FaultMatrixConfig{Quick: quick}
+	cfg := experiments.FaultMatrixConfig{Quick: quick, Events: fleetobs.NewEventLog()}
 	if spec != "matrix" {
 		cfg.Profiles = strings.Split(spec, ",")
 	}
@@ -206,6 +207,14 @@ func runChaos(spec string, quick bool) {
 		os.Exit(2)
 	}
 	emit(res)
+	// The monitors' structured alert stream, scoped per profile: what an
+	// operator's pager would have seen during each scenario.
+	if cfg.Events.Len() > 0 {
+		fmt.Printf("\nSLO alert events (%d):\n", cfg.Events.Len())
+		if err := cfg.Events.WriteJSONL(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "alert log: %v\n", err)
+		}
+	}
 }
 
 func runExtra(name string, quick bool) {

@@ -119,15 +119,17 @@ type Scrubber struct {
 
 	table string // per-rule KV digest table
 
-	rounds        *telemetry.Counter
-	divergentKeys *telemetry.Counter
-	repDispatched *telemetry.Counter
-	repRedriven   *telemetry.Counter
-	repDeduped    *telemetry.Counter
-	sloViolations *telemetry.Counter
-	digBytes      *telemetry.Counter
-	lastDivergent *telemetry.Gauge
-	ageHist       *telemetry.Histogram
+	// Instruments dual-write the historical run-wide aggregate and a
+	// {rule}-labelled family child.
+	rounds        telemetry.MirrorCounter
+	divergentKeys telemetry.MirrorCounter
+	repDispatched telemetry.MirrorCounter
+	repRedriven   telemetry.MirrorCounter
+	repDeduped    telemetry.MirrorCounter
+	sloViolations telemetry.MirrorCounter
+	digBytes      telemetry.MirrorCounter
+	lastDivergent telemetry.MirrorGauge
+	ageHist       telemetry.MirrorHistogram
 
 	mu      chanMutex
 	round   int
@@ -147,25 +149,35 @@ func (m chanMutex) unlock() { <-m }
 // dedupe and failure machinery as notification-driven tasks.
 func New(eng *engine.Engine, cfg Config) *Scrubber {
 	w := eng.W
+	m := w.Metrics
+	dims := []telemetry.Label{telemetry.L("rule", eng.RuleID())}
+	counter := func(name string) telemetry.MirrorCounter {
+		return m.CounterVec(name).Mirror(m.Counter(name), dims...)
+	}
 	return &Scrubber{
 		eng:   eng,
 		w:     w,
 		cfg:   cfg.withDefaults(),
 		table: "areplica-scrub:" + eng.RuleID(),
 
-		rounds:        w.Metrics.Counter("antientropy.rounds"),
-		divergentKeys: w.Metrics.Counter("antientropy.divergent_keys"),
-		repDispatched: w.Metrics.Counter("antientropy.repair.dispatched"),
-		repRedriven:   w.Metrics.Counter("antientropy.repair.redriven"),
-		repDeduped:    w.Metrics.Counter("antientropy.repair.deduped"),
-		sloViolations: w.Metrics.Counter("antientropy.slo_violations"),
-		digBytes:      w.Metrics.Counter("antientropy.digest.bytes"),
-		lastDivergent: w.Metrics.Gauge("antientropy.last_divergent"),
-		ageHist:       w.Metrics.Histogram("antientropy.divergence.age.seconds"),
+		rounds:        counter("antientropy.rounds"),
+		divergentKeys: counter("antientropy.divergent_keys"),
+		repDispatched: counter("antientropy.repair.dispatched"),
+		repRedriven:   counter("antientropy.repair.redriven"),
+		repDeduped:    counter("antientropy.repair.deduped"),
+		sloViolations: counter("antientropy.slo_violations"),
+		digBytes:      counter("antientropy.digest.bytes"),
+		lastDivergent: m.GaugeVec("antientropy.last_divergent").Mirror(m.Gauge("antientropy.last_divergent"), dims...),
+		ageHist:       m.HistogramVec("antientropy.divergence.age.seconds").Mirror(m.Histogram("antientropy.divergence.age.seconds"), dims...),
 
 		mu: make(chanMutex, 1),
 	}
 }
+
+// SLOViolationCount returns this rule's divergence-SLO violation count
+// (the labelled child, not the run-wide aggregate) — the burn-rate
+// monitor's divergence signal.
+func (s *Scrubber) SLOViolationCount() int64 { return s.sloViolations.Child.Value() }
 
 // Config returns the effective (defaulted) configuration.
 func (s *Scrubber) Config() Config { return s.cfg }

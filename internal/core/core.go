@@ -17,6 +17,7 @@ import (
 	"repro/internal/changelog"
 	"repro/internal/cloud"
 	"repro/internal/engine"
+	"repro/internal/fleetobs"
 	"repro/internal/logger"
 	"repro/internal/model"
 	"repro/internal/objstore"
@@ -66,6 +67,19 @@ type Options struct {
 	// OnTaskDone, when set, observes finished tasks in addition to the
 	// logger.
 	OnTaskDone func(engine.TaskResult)
+
+	// EnableMonitor attaches a fleetobs SLO monitor to the rule. The
+	// monitor polls from the engine's OnTaskDone hook (every finished task
+	// re-evaluates the rule's burn rates on the virtual clock); drivers
+	// with quiet phases should also call Service.Monitor.Poll at their
+	// loop points so fault windows where nothing completes still alert.
+	EnableMonitor bool
+	// MonitorSLO declares the rule's objectives (zero fields default; see
+	// fleetobs.SLO).
+	MonitorSLO fleetobs.SLO
+	// Events, when non-nil, receives the monitor's structured alert
+	// events; several services may share one log.
+	Events *fleetobs.EventLog
 }
 
 // Service is one deployed replication rule.
@@ -80,6 +94,7 @@ type Service struct {
 	Batcher    *batching.Batcher
 	Changelogs *changelog.Store
 	Scrubber   *antientropy.Scrubber
+	Monitor    *fleetobs.Monitor
 
 	estMu    sync.Mutex
 	estCache map[int64]time.Duration
@@ -116,16 +131,20 @@ func Deploy(w *world.World, opts Options) (*Service, error) {
 	eng := engine.New(w, pl, rule)
 	lg := logger.New(m, rule.Src, rule.Dst)
 	userHook := opts.OnTaskDone
+
+	s := &Service{
+		W: w, Rule: rule, Model: m, Planner: pl, Engine: eng, Logger: lg,
+		estCache: make(map[int64]time.Duration),
+	}
 	eng.OnTaskDone = func(r engine.TaskResult) {
 		lg.Observe(r)
 		if userHook != nil {
 			userHook(r)
 		}
-	}
-
-	s := &Service{
-		W: w, Rule: rule, Model: m, Planner: pl, Engine: eng, Logger: lg,
-		estCache: make(map[int64]time.Duration),
+		// Every completed task re-evaluates the rule's SLOs at the task's
+		// virtual completion instant (the tracker resolves before the
+		// engine reports, so this poll sees the fresh lag record).
+		s.Monitor.Poll()
 	}
 
 	if opts.EnableChangelog {
@@ -163,6 +182,22 @@ func Deploy(w *world.World, opts Options) (*Service, error) {
 			Cadence:       opts.ScrubCadence,
 			DivergenceSLO: opts.DivergenceSLO,
 		})
+	}
+	if opts.EnableMonitor {
+		mc := fleetobs.MonitorConfig{
+			Rule:     eng.RuleID(),
+			Dest:     string(rule.Dst),
+			Now:      w.Clock.Now,
+			SLO:      opts.MonitorSLO,
+			Log:      opts.Events,
+			Tracker:  eng.Tracker,
+			LagHist:  eng.LagHistogram(),
+			DLQDepth: func() int { return len(eng.DLQ()) },
+		}
+		if s.Scrubber != nil {
+			mc.Divergence = s.Scrubber.SLOViolationCount
+		}
+		s.Monitor = fleetobs.NewMonitor(mc)
 	}
 
 	handler := eng.HandleEvent

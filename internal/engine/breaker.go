@@ -27,17 +27,17 @@ type breaker struct {
 	openUntil time.Time
 	halfOpen  bool
 
-	opens     *telemetry.Counter // engine.breaker_open
-	openGauge *telemetry.Gauge   // engine.breaker.is_open
+	opens     telemetry.MirrorCounter // engine.breaker_open
+	openGauge telemetry.MirrorGauge   // engine.breaker.is_open
 }
 
-func newBreaker(clock *simclock.Clock, threshold int, cooldown time.Duration, reg *telemetry.Registry) *breaker {
+func newBreaker(clock *simclock.Clock, threshold int, cooldown time.Duration, reg *telemetry.Registry, dims ...telemetry.Label) *breaker {
 	return &breaker{
 		clock:     clock,
 		threshold: threshold,
 		cooldown:  cooldown,
-		opens:     reg.Counter("engine.breaker_open"),
-		openGauge: reg.Gauge("engine.breaker.is_open"),
+		opens:     reg.CounterVec("engine.breaker_open").Mirror(reg.Counter("engine.breaker_open"), dims...),
+		openGauge: reg.GaugeVec("engine.breaker.is_open").Mirror(reg.Gauge("engine.breaker.is_open"), dims...),
 	}
 }
 

@@ -222,18 +222,22 @@ type Engine struct {
 	taskSeq atomic.Int64
 	breaker *breaker
 
-	tasksOK         *telemetry.Counter
-	tasksFailed     *telemetry.Counter
-	tasksChangelog  *telemetry.Counter
-	tasksDLQ        *telemetry.Counter
-	tasksDeduped    *telemetry.Counter
-	eventsDeduped   *telemetry.Counter
-	retries         *telemetry.Counter
-	partsHedged     *telemetry.Counter
-	breakerDegraded *telemetry.Counter
-	dlqRedriven     *telemetry.Counter
-	dlqDepth        *telemetry.Gauge
-	taskHist        *telemetry.Histogram
+	// Instruments dual-write: the unlabelled aggregate keeps its
+	// historical name for existing readers, while the {rule,dest}-labelled
+	// family child gives the fleet-level per-rule breakdown.
+	tasksOK         telemetry.MirrorCounter
+	tasksFailed     telemetry.MirrorCounter
+	tasksChangelog  telemetry.MirrorCounter
+	tasksDLQ        telemetry.MirrorCounter
+	tasksDeduped    telemetry.MirrorCounter
+	eventsDeduped   telemetry.MirrorCounter
+	retries         telemetry.MirrorCounter
+	partsHedged     telemetry.MirrorCounter
+	breakerDegraded telemetry.MirrorCounter
+	dlqRedriven     telemetry.MirrorCounter
+	dlqDepth        telemetry.MirrorGauge
+	taskHist        telemetry.MirrorHistogram
+	lagHist         *telemetry.Histogram // per-destination lag family child
 
 	mu       sync.Mutex
 	dlq      []DLQEntry
@@ -254,6 +258,14 @@ type DLQEntry struct {
 func New(w *world.World, pl *planner.Planner, rule Rule) *Engine {
 	rule = rule.WithDefaults()
 	ruleID := fmt.Sprintf("%s/%s->%s/%s", rule.Src, rule.SrcBucket, rule.Dst, rule.DstBucket)
+	dims := []telemetry.Label{
+		telemetry.L("rule", ruleID),
+		telemetry.L("dest", string(rule.Dst)),
+	}
+	m := w.Metrics
+	counter := func(name string) telemetry.MirrorCounter {
+		return m.CounterVec(name).Mirror(m.Counter(name), dims...)
+	}
 	e := &Engine{
 		W:        w,
 		Planner:  pl,
@@ -261,26 +273,37 @@ func New(w *world.World, pl *planner.Planner, rule Rule) *Engine {
 		Tracker:  NewTracker(),
 		ruleID:   ruleID,
 		lock:     newReplLock(w.Region(rule.Src).KV, ruleID),
-		breaker:  newBreaker(w.Clock, rule.BreakerThreshold, rule.BreakerCooldown, w.Metrics),
+		breaker:  newBreaker(w.Clock, rule.BreakerThreshold, rule.BreakerCooldown, w.Metrics, dims...),
 		redrives: make(map[string]int),
 		traceSeq: make(map[string]int),
 
-		tasksOK:         w.Metrics.Counter("engine.tasks.ok"),
-		tasksFailed:     w.Metrics.Counter("engine.tasks.failed"),
-		tasksChangelog:  w.Metrics.Counter("engine.tasks.changelog"),
-		tasksDLQ:        w.Metrics.Counter("engine.tasks.dlq"),
-		tasksDeduped:    w.Metrics.Counter("engine.tasks.deduped"),
-		eventsDeduped:   w.Metrics.Counter("engine.events.deduped"),
-		retries:         w.Metrics.Counter("engine.retries"),
-		partsHedged:     w.Metrics.Counter("engine.parts.hedged"),
-		breakerDegraded: w.Metrics.Counter("engine.breaker.degraded"),
-		dlqRedriven:     w.Metrics.Counter("engine.dlq.redriven"),
-		dlqDepth:        w.Metrics.Gauge("engine.dlq.depth"),
-		taskHist:        w.Metrics.Histogram("engine.task.seconds"),
+		tasksOK:         counter("engine.tasks.ok"),
+		tasksFailed:     counter("engine.tasks.failed"),
+		tasksChangelog:  counter("engine.tasks.changelog"),
+		tasksDLQ:        counter("engine.tasks.dlq"),
+		tasksDeduped:    counter("engine.tasks.deduped"),
+		eventsDeduped:   counter("engine.events.deduped"),
+		retries:         counter("engine.retries"),
+		partsHedged:     counter("engine.parts.hedged"),
+		breakerDegraded: counter("engine.breaker.degraded"),
+		dlqRedriven:     counter("engine.dlq.redriven"),
+		dlqDepth:        m.GaugeVec("engine.dlq.depth").Mirror(m.Gauge("engine.dlq.depth"), dims...),
+		taskHist:        m.HistogramVec("engine.task.seconds").Mirror(m.Histogram("engine.task.seconds"), dims...),
+		lagHist:         m.HistogramVec("engine.lag.seconds").With(dims...),
 	}
-	e.Tracker.SetTelemetry(w.Metrics.Histogram("engine.delay.seconds"))
+	e.Tracker.SetTelemetry(m.Histogram("engine.delay.seconds"))
+	e.Tracker.SetWatermarks(
+		e.lagHist,
+		m.GaugeVec("engine.lag.backlog").Mirror(m.Gauge("engine.lag.backlog"), dims...),
+		m.GaugeVec("engine.lag.oldest_age_ms").With(dims...),
+	)
 	return e
 }
+
+// LagHistogram returns the per-destination replication-lag histogram
+// child (the engine.lag.seconds{rule,dest} family member), the streaming
+// p50/p99 surface behind the health table.
+func (e *Engine) LagHistogram() *telemetry.Histogram { return e.lagHist }
 
 // DLQ returns the events that exhausted their retries and redrives.
 func (e *Engine) DLQ() []objstore.Event {

@@ -30,8 +30,18 @@ type Tracker struct {
 	pending  map[string][]pendingEvent
 	resolved map[string]uint64 // per-key high-water mark of resolved versions
 	records  []DelayRecord
+	pendingN int // total pending events (backlog depth)
 
 	delayHist *telemetry.Histogram // optional; nil no-ops
+
+	// Lag watermark instruments (all optional): lagHist is the
+	// per-destination replication-lag histogram child, backlog mirrors the
+	// pending-event depth (aggregate + labelled child), and oldestMS holds
+	// the age of the oldest unreplicated event in milliseconds, refreshed
+	// by SampleWatermarks on the virtual clock.
+	lagHist  *telemetry.Histogram
+	backlog  telemetry.MirrorGauge
+	oldestMS *telemetry.Gauge
 }
 
 type pendingEvent struct {
@@ -56,6 +66,18 @@ func (t *Tracker) SetTelemetry(hist *telemetry.Histogram) {
 	t.mu.Unlock()
 }
 
+// SetWatermarks wires the RTC-style lag watermark instruments: lag is
+// the per-destination replication-lag histogram (each resolved event's
+// observed→durable time), backlog the pending-depth gauge pair, and
+// oldestMS the oldest-unreplicated-age gauge SampleWatermarks refreshes.
+func (t *Tracker) SetWatermarks(lag *telemetry.Histogram, backlog telemetry.MirrorGauge, oldestMS *telemetry.Gauge) {
+	t.mu.Lock()
+	t.lagHist = lag
+	t.backlog = backlog
+	t.oldestMS = oldestMS
+	t.mu.Unlock()
+}
+
 // OnSource registers a source-bucket event awaiting replication. It
 // returns false — and registers nothing — for duplicate deliveries:
 // either the same (key, version) is already pending, or the version was
@@ -75,6 +97,8 @@ func (t *Tracker) OnSource(ev objstore.Event) bool {
 		}
 	}
 	t.pending[ev.Key] = append(t.pending[ev.Key], pendingEvent{seq: ev.Seq, size: ev.Size, at: ev.Time})
+	t.pendingN++
+	t.backlog.Add(1)
 	return true
 }
 
@@ -100,6 +124,9 @@ func (t *Tracker) Resolve(key string, seq uint64, done time.Time) {
 				Delay:     d,
 			})
 			t.delayHist.Observe(simclock.ToSeconds(d))
+			t.lagHist.Observe(simclock.ToSeconds(d))
+			t.pendingN--
+			t.backlog.Add(-1)
 		} else {
 			remaining = append(remaining, ev)
 		}
@@ -145,4 +172,80 @@ func (t *Tracker) PendingCount() int {
 		n += len(evs)
 	}
 	return n
+}
+
+// OldestPending returns the age at `now` of the oldest unreplicated
+// source event, or 0 when nothing is pending — the watermark behind the
+// oldest-unreplicated-age gauge.
+func (t *Tracker) OldestPending(now time.Time) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.oldestPendingLocked(now)
+}
+
+func (t *Tracker) oldestPendingLocked(now time.Time) time.Duration {
+	var oldest time.Duration
+	for _, evs := range t.pending {
+		for _, ev := range evs {
+			if age := now.Sub(ev.at); age > oldest {
+				oldest = age
+			}
+		}
+	}
+	return oldest
+}
+
+// SampleWatermarks refreshes the oldest-unreplicated-age gauge at the
+// given virtual instant and returns the sampled age. Drivers call it at
+// their natural poll points (the virtual clock only advances while
+// actors sleep, so the tracker cannot self-schedule a sampling timer).
+func (t *Tracker) SampleWatermarks(now time.Time) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	age := t.oldestPendingLocked(now)
+	t.oldestMS.Set(age.Milliseconds())
+	return age
+}
+
+// OverdueCount reports how many pending events have waited longer than
+// target at `now` — the burn-rate evaluator's in-flight "bad" events,
+// which catches fault windows where nothing resolves at all.
+func (t *Tracker) OverdueCount(now time.Time, target time.Duration) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, evs := range t.pending {
+		for _, ev := range evs {
+			if now.Sub(ev.at) > target {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ResolvedStats counts delay records resolved at or after cut, and how
+// many of them exceeded the lag target. Records resolve in nondecreasing
+// virtual time, so the scan walks back from the tail.
+func (t *Tracker) ResolvedStats(cut time.Time, target time.Duration) (total, bad int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.records) - 1; i >= 0; i-- {
+		r := t.records[i]
+		if r.DoneTime.Before(cut) {
+			break
+		}
+		total++
+		if r.Delay > target {
+			bad++
+		}
+	}
+	return total, bad
+}
+
+// BacklogDepth returns the current pending-event depth.
+func (t *Tracker) BacklogDepth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pendingN
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fleetobs"
 	"repro/internal/model"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -32,6 +33,9 @@ type BenchConfig struct {
 	// the report, guarding the scrubber's convergence and digest-traffic
 	// characteristics against regressions.
 	Scrub bool
+	// Events, when non-nil, collects the fault matrix's SLO alert events
+	// (scoped by profile) for export alongside the report.
+	Events *fleetobs.EventLog
 }
 
 // BenchCategory is one critical-path category's aggregate share of a
@@ -69,6 +73,12 @@ type BenchExperiment struct {
 }
 
 // BenchFault is one chaos fault-matrix row's regression-relevant subset.
+// LagP99S is the streaming watermark-histogram p99 (the labelled
+// engine.lag.seconds family the SLO monitor reads), BacklogMax the
+// pending-event high-water mark, and SLOAlerts the number of burn-rate/
+// DLQ/divergence alert transitions the fleetobs monitor emitted — all
+// deterministic per profile seed, so alerts appearing on a previously
+// quiet profile is a regression, not noise.
 type BenchFault struct {
 	Profile         string  `json:"profile"`
 	ConvergencePct  float64 `json:"convergence_pct"`
@@ -76,6 +86,9 @@ type BenchFault struct {
 	P99S            float64 `json:"p99_s"`
 	DLQ             int     `json:"dlq"`
 	CostOverheadPct float64 `json:"cost_overhead_pct"`
+	LagP99S         float64 `json:"lag_p99_s"`
+	BacklogMax      int64   `json:"backlog_max"`
+	SLOAlerts       int     `json:"slo_alerts"`
 }
 
 // BenchScrub is one anti-entropy sweep row's regression-relevant subset
@@ -167,13 +180,14 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 		rep.Experiments = append(rep.Experiments, exp)
 	}
 
-	// Chaos slice: quick mode replays the two most diagnostic profiles,
+	// Chaos slice: quick mode replays the three most diagnostic profiles
+	// (net-degraded stresses the lag watermarks without dropping events),
 	// the full suite the whole matrix.
-	profiles := []string{"storage-flaky", "mixed"}
+	profiles := []string{"storage-flaky", "mixed", "net-degraded"}
 	if !cfg.Quick {
 		profiles = nil // all built-in profiles
 	}
-	fm, err := RunFaultMatrix(FaultMatrixConfig{Profiles: profiles, Quick: cfg.Quick})
+	fm, err := RunFaultMatrix(FaultMatrixConfig{Profiles: profiles, Quick: cfg.Quick, Events: cfg.Events})
 	if err != nil {
 		return nil, fmt.Errorf("bench fault matrix: %w", err)
 	}
@@ -185,6 +199,9 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 			P99S:            s.P99S,
 			DLQ:             s.DLQ,
 			CostOverheadPct: s.CostOverheadPct,
+			LagP99S:         s.LagP99S,
+			BacklogMax:      s.BacklogMax,
+			SLOAlerts:       s.SLOAlerts,
 		})
 	}
 
@@ -234,6 +251,7 @@ func runBenchScenario(sc benchScenario, quick bool, interval time.Duration) (Ben
 	sampler.Track("net.leg.bytes", func() float64 { return float64(legBytes.Value() - base) })
 	sampler.TrackGauge("engine.dlq.depth", w.Metrics.Gauge("engine.dlq.depth"))
 	sampler.TrackGauge("engine.breaker.is_open", w.Metrics.Gauge("engine.breaker.is_open"))
+	sampler.TrackGauge("engine.lag.backlog", w.Metrics.Gauge("engine.lag.backlog"))
 	sampler.Poll()
 
 	objects := sc.objects
@@ -386,6 +404,20 @@ func CompareBench(baseline, got *BenchReport, tol BenchTolerance) []string {
 		if f.DLQ > old.DLQ {
 			regs = append(regs, fmt.Sprintf("fault %s: DLQ depth %d -> %d", old.Profile, old.DLQ, f.DLQ))
 		}
+		// Observability watermarks: the streaming lag p99 may drift by the
+		// relative slack (floor 0.05 s), the backlog high-water by the
+		// slack plus two events; new SLO alerts on a profile that used to
+		// stay quiet (or alert less) are a hard regression — the runs are
+		// deterministic, so any growth is a real behavior change.
+		if tol.exceeds(old.LagP99S, f.LagP99S, 0.05) {
+			regs = append(regs, fmt.Sprintf("fault %s: lag p99 %.3fs -> %.3fs (tol %.0f%%)", old.Profile, old.LagP99S, f.LagP99S, 100*tol.rel()))
+		}
+		if tol.exceeds(float64(old.BacklogMax), float64(f.BacklogMax), 2) {
+			regs = append(regs, fmt.Sprintf("fault %s: backlog max %d -> %d (tol %.0f%%)", old.Profile, old.BacklogMax, f.BacklogMax, 100*tol.rel()))
+		}
+		if f.SLOAlerts > old.SLOAlerts {
+			regs = append(regs, fmt.Sprintf("fault %s: SLO alerts %d -> %d", old.Profile, old.SLOAlerts, f.SLOAlerts))
+		}
 	}
 
 	// Scrub sweep: scrubbed cadences must not converge less or leave more
@@ -431,11 +463,13 @@ func (r *BenchReport) Print(out io.Writer) {
 			e.Name, e.Objects, e.BytesTotal, e.P50S, e.P99S, e.CostUSD, e.KVOps, e.Dominant)
 	}
 	if len(r.FaultMatrix) > 0 {
-		fprintf(out, "%-26s %9s %8s %8s %4s %9s\n",
-			"fault profile", "converge", "p50_s", "p99_s", "dlq", "overhead")
+		fprintf(out, "%-26s %9s %8s %8s %4s %9s %8s %7s %6s\n",
+			"fault profile", "converge", "p50_s", "p99_s", "dlq", "overhead",
+			"lag_p99", "blg_max", "alerts")
 		for _, f := range r.FaultMatrix {
-			fprintf(out, "%-26s %8.1f%% %8.2f %8.2f %4d %8.1f%%\n",
-				f.Profile, f.ConvergencePct, f.P50S, f.P99S, f.DLQ, f.CostOverheadPct)
+			fprintf(out, "%-26s %8.1f%% %8.2f %8.2f %4d %8.1f%% %8.2f %7d %6d\n",
+				f.Profile, f.ConvergencePct, f.P50S, f.P99S, f.DLQ, f.CostOverheadPct,
+				f.LagP99S, f.BacklogMax, f.SLOAlerts)
 		}
 	}
 	if len(r.Scrub) > 0 {

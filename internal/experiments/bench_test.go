@@ -56,12 +56,12 @@ func TestBenchDeterministic(t *testing.T) {
 		if frac < 0.999999 || frac > 1.000001 {
 			t.Errorf("%s: category fractions sum to %v, want 1", e.Name, frac)
 		}
-		if len(e.Series) != 4 {
-			t.Errorf("%s: got %d series digests, want 4", e.Name, len(e.Series))
+		if len(e.Series) != 5 {
+			t.Errorf("%s: got %d series digests, want 5", e.Name, len(e.Series))
 		}
 	}
-	if len(rep.FaultMatrix) != 3 { // none + storage-flaky + mixed
-		t.Fatalf("got %d fault rows, want 3", len(rep.FaultMatrix))
+	if len(rep.FaultMatrix) != 4 { // none + storage-flaky + mixed + net-degraded
+		t.Fatalf("got %d fault rows, want 4", len(rep.FaultMatrix))
 	}
 	if rep.FaultMatrix[0].Profile != "none" {
 		t.Fatalf("baseline row first, got %q", rep.FaultMatrix[0].Profile)
@@ -123,8 +123,8 @@ func TestCompareBench(t *testing.T) {
 			{Name: "b", P50S: 4.0, P99S: 8.0, CostUSD: 0.10},
 		},
 		FaultMatrix: []BenchFault{
-			{Profile: "none", ConvergencePct: 100, P99S: 1.0, DLQ: 0},
-			{Profile: "mixed", ConvergencePct: 100, P99S: 20.0, DLQ: 0},
+			{Profile: "none", ConvergencePct: 100, P99S: 1.0, DLQ: 0, LagP99S: 1.0, BacklogMax: 1},
+			{Profile: "mixed", ConvergencePct: 100, P99S: 20.0, DLQ: 0, LagP99S: 20.0, BacklogMax: 6, SLOAlerts: 2},
 		},
 	}
 	clone := func() *BenchReport {
@@ -168,6 +168,27 @@ func TestCompareBench(t *testing.T) {
 	diverged.FaultMatrix[1].DLQ = 2
 	if regs := CompareBench(base, diverged, tol); len(regs) != 2 {
 		t.Fatalf("convergence+DLQ regressions not both flagged: %v", regs)
+	}
+
+	// Observability watermarks: a previously quiet profile starting to
+	// alert is a hard regression, lag p99 obeys the relative tolerance,
+	// and the backlog floor absorbs one-or-two-event jitter.
+	alerted := clone()
+	alerted.FaultMatrix[0].SLOAlerts = 1
+	alerted.FaultMatrix[1].LagP99S = 30.0 // +50%
+	regs = CompareBench(base, alerted, tol)
+	joined := strings.Join(regs, "\n")
+	if len(regs) != 2 || !strings.Contains(joined, "lag p99") || !strings.Contains(joined, "SLO alerts") {
+		t.Fatalf("lag/alert regressions not flagged: %v", regs)
+	}
+	backlog := clone()
+	backlog.FaultMatrix[1].BacklogMax = 9 // within 25% + floor 2
+	if regs := CompareBench(base, backlog, tol); len(regs) != 0 {
+		t.Fatalf("backlog jitter within floor flagged: %v", regs)
+	}
+	backlog.FaultMatrix[1].BacklogMax = 12
+	if regs := CompareBench(base, backlog, tol); len(regs) != 1 || !strings.Contains(regs[0], "backlog max") {
+		t.Fatalf("backlog growth not flagged: %v", regs)
 	}
 
 	schema := clone()

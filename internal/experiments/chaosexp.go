@@ -11,12 +11,20 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fleetobs"
 	"repro/internal/model"
 	"repro/internal/objstore"
 	"repro/internal/simrand"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/world"
 )
+
+// faultLagTarget is the per-event replication-lag objective the fault
+// matrix monitors against. Calibrated between the clean baseline (every
+// "none" delay stays under ~1.3s, so the baseline row never alerts) and
+// the degraded-transfer profiles, whose 24-64MB objects blow past it.
+const faultLagTarget = 2 * time.Second
 
 // FaultMatrixConfig configures the chaos fault-matrix experiment.
 type FaultMatrixConfig struct {
@@ -28,26 +36,44 @@ type FaultMatrixConfig struct {
 	// quick mode 16).
 	Objects int
 	Quick   bool
+	// Events, when non-nil, collects every scenario's SLO alert events;
+	// each scenario's events are scoped by its profile spec.
+	Events *fleetobs.EventLog
+	// LagTarget overrides the monitored per-event lag objective
+	// (default faultLagTarget).
+	LagTarget time.Duration
 }
 
 // FaultScenario is one row of the fault matrix: a chaos profile's impact
 // on convergence, delay, and cost.
 type FaultScenario struct {
-	Profile         string
-	Objects         int // source objects written
-	Converged       int // destination holds the final source version
-	ConvergencePct  float64
-	P50S, P99S      float64 // replication delay percentiles (seconds)
-	DupFinalWrites  int     // duplicate destination writes of an already-current version
+	Profile        string
+	Objects        int // source objects written
+	Converged      int // destination holds the final source version
+	ConvergencePct float64
+	P50S, P99S     float64 // replication delay percentiles (seconds)
+	DupFinalWrites int     // duplicate destination writes of an already-current version
 	// ResidualDivergence counts keys still divergent after recovery: source
 	// versions missing or stale at the destination plus destination orphans
 	// — what an anti-entropy pass (experiments.RunScrub) would repair.
 	ResidualDivergence int
 	DLQ                int // events still parked in the DLQ after recovery
-	Injected        int64   // chaos decisions that injected a fault
-	Retries         int64   // engine task-level retries
-	BreakerOpens    int64   // circuit-breaker open transitions
-	Redrives        int64   // automatic + manual DLQ redrives
+	// LagP99S is the streaming per-destination replication-lag p99 from
+	// the engine.lag.seconds watermark histogram (unlike P99S it is
+	// labelled {rule,dest} and feeds the same family the SLO monitor
+	// reads), BacklogMax the high-water pending-event depth, and
+	// OldestAgeMaxS the peak oldest-unreplicated-object age the monitor
+	// sampled — nonzero whenever a fault window stalls replication.
+	LagP99S       float64
+	BacklogMax    int64
+	OldestAgeMaxS float64
+	// SLOAlerts counts burn-rate/DLQ/divergence alert transitions the
+	// fleetobs monitor emitted (recoveries excluded).
+	SLOAlerts       int
+	Injected        int64 // chaos decisions that injected a fault
+	Retries         int64 // engine task-level retries
+	BreakerOpens    int64 // circuit-breaker open transitions
+	Redrives        int64 // automatic + manual DLQ redrives
 	CostUSD         float64
 	CostOverheadPct float64 // vs the "none" baseline row
 }
@@ -82,6 +108,10 @@ func RunFaultMatrix(cfg FaultMatrixConfig) (*FaultMatrixResult, error) {
 			objects = 16
 		}
 	}
+	target := cfg.LagTarget
+	if target <= 0 {
+		target = faultLagTarget
+	}
 
 	res := &FaultMatrixResult{}
 	var baseCost float64
@@ -90,7 +120,8 @@ func RunFaultMatrix(cfg FaultMatrixConfig) (*FaultMatrixResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		sc, err := runFaultScenario(prof, spec, objects, cfg.Quick)
+		cfg.Events.SetScope(spec)
+		sc, err := runFaultScenario(prof, spec, objects, cfg.Quick, cfg.Events, target)
 		if err != nil {
 			return nil, err
 		}
@@ -106,7 +137,7 @@ func RunFaultMatrix(cfg FaultMatrixConfig) (*FaultMatrixResult, error) {
 }
 
 // runFaultScenario runs one profile's scenario on a fresh world.
-func runFaultScenario(prof chaos.Profile, spec string, objects int, quick bool) (FaultScenario, error) {
+func runFaultScenario(prof chaos.Profile, spec string, objects int, quick bool, log *fleetobs.EventLog, lagTarget time.Duration) (FaultScenario, error) {
 	w := newWorld("chaos-" + strings.ReplaceAll(spec, "@", "-"))
 	src, dst := AWSEast, AzureEast
 	srcBucket, dstBucket := "chaos-src", "chaos-dst"
@@ -115,7 +146,12 @@ func runFaultScenario(prof chaos.Profile, spec string, objects int, quick bool) 
 
 	svc := deployService(w, model.New(), engine.Rule{
 		Src: src, Dst: dst, SrcBucket: srcBucket, DstBucket: dstBucket,
-	}, core.Options{ProfileRounds: profileRounds(quick)})
+	}, core.Options{
+		ProfileRounds: profileRounds(quick),
+		EnableMonitor: true,
+		MonitorSLO:    fleetobs.SLO{LagTarget: lagTarget},
+		Events:        log,
+	})
 
 	// Count duplicate final writes at the destination: a *distinct* PUT
 	// (new sequence number) whose ETag matches the version already current
@@ -157,9 +193,17 @@ func runFaultScenario(prof chaos.Profile, spec string, objects int, quick bool) 
 		for i := 0; i < objects; i++ {
 			key := fmt.Sprintf("obj-%03d", i)
 			putObjectRetrying(w, src, srcBucket, key, sizes[i%len(sizes)], i)
-			w.Clock.Sleep(2 * time.Second)
+			// Poll at a 1s scrape cadence between writes: burn rates must
+			// re-evaluate even in fault windows where nothing completes, and
+			// the oldest-age watermark only samples at poll instants — a 2s
+			// stride would always land after the in-flight event resolved.
+			for tick := 0; tick < 2; tick++ {
+				w.Clock.Sleep(time.Second)
+				svc.Monitor.Poll()
+			}
 		}
 		w.Clock.Quiesce()
+		svc.Monitor.Poll()
 
 		// Recovery: reconciliation backfill sweeps (the periodic job that
 		// catches dropped notifications) and one operator DLQ redrive, all
@@ -198,6 +242,15 @@ func runFaultScenario(prof chaos.Profile, spec string, objects int, quick bool) 
 	dupMu.Lock()
 	dupFinal := dups
 	dupMu.Unlock()
+	// Watermarks: the backlog high-water comes from the mirrored gauge's
+	// aggregate (raised on every pending add, not just at poll points);
+	// the oldest-age peak from the monitor's labelled child gauge, which
+	// SampleWatermarks refreshes each poll.
+	dims := []telemetry.Label{
+		telemetry.L("rule", svc.Engine.RuleID()),
+		telemetry.L("dest", string(dst)),
+	}
+	oldestMS := w.Metrics.GaugeVec("engine.lag.oldest_age_ms").With(dims...)
 	return FaultScenario{
 		Profile:            spec,
 		Objects:            len(metas),
@@ -208,11 +261,15 @@ func runFaultScenario(prof chaos.Profile, spec string, objects int, quick bool) 
 		DupFinalWrites:     dupFinal,
 		ResidualDivergence: auditDivergence(w, svc),
 		DLQ:                len(svc.Engine.DLQ()),
-		Injected:       w.Metrics.Counter("chaos.injected").Value(),
-		Retries:        w.Metrics.Counter("engine.retries").Value(),
-		BreakerOpens:   w.Metrics.Counter("engine.breaker_open").Value(),
-		Redrives:       w.Metrics.Counter("engine.dlq.redriven").Value(),
-		CostUSD:        cost,
+		LagP99S:            svc.Engine.LagHistogram().Quantile(0.99),
+		BacklogMax:         w.Metrics.Gauge("engine.lag.backlog").Max(),
+		OldestAgeMaxS:      float64(oldestMS.Max()) / 1000,
+		SLOAlerts:          svc.Monitor.AlertCount(),
+		Injected:           w.Metrics.Counter("chaos.injected").Value(),
+		Retries:            w.Metrics.Counter("engine.retries").Value(),
+		BreakerOpens:       w.Metrics.Counter("engine.breaker_open").Value(),
+		Redrives:           w.Metrics.Counter("engine.dlq.redriven").Value(),
+		CostUSD:            cost,
 	}, nil
 }
 
@@ -236,14 +293,16 @@ func putObjectRetrying(w *world.World, region cloud.RegionID, bucket, key string
 // Print writes the fault matrix in the evaluation's table style.
 func (r *FaultMatrixResult) Print(out io.Writer) {
 	fprintf(out, "Fault matrix: chaos profile x convergence/delay/cost (hardened engine)\n")
-	fprintf(out, "%-16s %9s %6s %8s %8s %5s %8s %4s %9s %8s %8s %8s %10s %9s\n",
+	fprintf(out, "%-16s %9s %6s %8s %8s %5s %8s %4s %9s %8s %8s %8s %10s %9s %8s %7s %8s %6s\n",
 		"profile", "converged", "pct", "p50_s", "p99_s", "dup", "residual", "dlq",
-		"injected", "retries", "breaker", "redrive", "cost_usd", "overhead")
+		"injected", "retries", "breaker", "redrive", "cost_usd", "overhead",
+		"lag_p99", "blg_max", "oldest_s", "alerts")
 	for _, s := range r.Scenarios {
-		fprintf(out, "%-16s %5d/%-3d %5.1f%% %8.2f %8.2f %5d %8d %4d %9d %8d %8d %8d %10.4f %8.1f%%\n",
+		fprintf(out, "%-16s %5d/%-3d %5.1f%% %8.2f %8.2f %5d %8d %4d %9d %8d %8d %8d %10.4f %8.1f%% %8.2f %7d %8.2f %6d\n",
 			s.Profile, s.Converged, s.Objects, s.ConvergencePct, s.P50S, s.P99S,
 			s.DupFinalWrites, s.ResidualDivergence, s.DLQ, s.Injected, s.Retries,
-			s.BreakerOpens, s.Redrives, s.CostUSD, s.CostOverheadPct)
+			s.BreakerOpens, s.Redrives, s.CostUSD, s.CostOverheadPct,
+			s.LagP99S, s.BacklogMax, s.OldestAgeMaxS, s.SLOAlerts)
 	}
 }
 
@@ -254,7 +313,8 @@ func (r *FaultMatrixResult) CSV() []CSVTable {
 		Header: []string{"profile", "objects", "converged", "convergence_pct",
 			"p50_s", "p99_s", "dup_final_writes", "residual_divergence", "dlq",
 			"injected", "retries", "breaker_opens", "redrives", "cost_usd",
-			"cost_overhead_pct"},
+			"cost_overhead_pct", "lag_p99_s", "backlog_max", "oldest_age_max_s",
+			"slo_alerts"},
 	}
 	for _, s := range r.Scenarios {
 		t.Rows = append(t.Rows, []string{
@@ -263,6 +323,8 @@ func (r *FaultMatrixResult) CSV() []CSVTable {
 			fmt.Sprint(s.ResidualDivergence), fmt.Sprint(s.DLQ),
 			fmt.Sprint(s.Injected), fmt.Sprint(s.Retries), fmt.Sprint(s.BreakerOpens),
 			fmt.Sprint(s.Redrives), f64(s.CostUSD), f64(s.CostOverheadPct),
+			f64(s.LagP99S), fmt.Sprint(s.BacklogMax), f64(s.OldestAgeMaxS),
+			fmt.Sprint(s.SLOAlerts),
 		})
 	}
 	return []CSVTable{t}

@@ -161,17 +161,20 @@ type Platform struct {
 	crashes       telemetry.Counter
 	maxConcurrent telemetry.Gauge
 
-	// Optional run-wide registry instruments (nil no-ops until SetTelemetry).
-	regInvocations *telemetry.Counter
-	regColdStarts  *telemetry.Counter
-	regWarmStarts  *telemetry.Counter
-	regTimeouts    *telemetry.Counter
-	regCrashes     *telemetry.Counter
-	regRunning     *telemetry.Gauge
+	// Optional run-wide registry instruments (zero values no-op until
+	// SetTelemetry). Counters, the running gauge and the exec histogram
+	// dual-write a {provider,region}-labelled family child next to the
+	// historical cross-region aggregate.
+	regInvocations telemetry.MirrorCounter
+	regColdStarts  telemetry.MirrorCounter
+	regWarmStarts  telemetry.MirrorCounter
+	regTimeouts    telemetry.MirrorCounter
+	regCrashes     telemetry.MirrorCounter
+	regRunning     telemetry.MirrorGauge
 	invokeHist     *telemetry.Histogram
 	startupHist    *telemetry.Histogram
 	postponeHist   *telemetry.Histogram
-	execHist       *telemetry.Histogram
+	execHist       telemetry.MirrorHistogram
 }
 
 // New returns a Platform in region with the given configuration, billing
@@ -234,16 +237,23 @@ func (p *Platform) SetTelemetry(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
-	p.regInvocations = reg.Counter("faas.invocations")
-	p.regColdStarts = reg.Counter("faas.cold_starts")
-	p.regWarmStarts = reg.Counter("faas.warm_starts")
-	p.regTimeouts = reg.Counter("faas.timeouts")
-	p.regCrashes = reg.Counter("faas.crashes")
-	p.regRunning = reg.Gauge("faas.running")
+	dims := []telemetry.Label{
+		telemetry.L("provider", string(p.region.Provider)),
+		telemetry.L("region", string(p.region.ID())),
+	}
+	counter := func(name string) telemetry.MirrorCounter {
+		return reg.CounterVec(name).Mirror(reg.Counter(name), dims...)
+	}
+	p.regInvocations = counter("faas.invocations")
+	p.regColdStarts = counter("faas.cold_starts")
+	p.regWarmStarts = counter("faas.warm_starts")
+	p.regTimeouts = counter("faas.timeouts")
+	p.regCrashes = counter("faas.crashes")
+	p.regRunning = reg.GaugeVec("faas.running").Mirror(reg.Gauge("faas.running"), dims...)
 	p.invokeHist = reg.Histogram("faas.invoke.seconds")
 	p.startupHist = reg.Histogram("faas.startup.seconds")
 	p.postponeHist = reg.Histogram("faas.postpone.seconds")
-	p.execHist = reg.Histogram("faas.exec.seconds")
+	p.execHist = reg.HistogramVec("faas.exec.seconds").Mirror(reg.Histogram("faas.exec.seconds"), dims...)
 }
 
 // draw samples d with the platform's private rng, clamped at lo.

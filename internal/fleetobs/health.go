@@ -1,0 +1,41 @@
+package fleetobs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteHealthTable renders per-rule health rows as an aligned text
+// table, sorted by (rule, dest) for deterministic output.
+func WriteHealthTable(w io.Writer, rows []Health) error {
+	sorted := append([]Health(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Rule != sorted[j].Rule {
+			return sorted[i].Rule < sorted[j].Rule
+		}
+		return sorted[i].Dest < sorted[j].Dest
+	})
+	ruleW, destW := len("RULE"), len("DEST")
+	for _, h := range sorted {
+		if len(h.Rule) > ruleW {
+			ruleW = len(h.Rule)
+		}
+		if len(h.Dest) > destW {
+			destW = len(h.Dest)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  %-*s  %-5s  %9s  %9s  %7s  %9s  %4s  %11s  %6s\n",
+		ruleW, "RULE", destW, "DEST", "STATE", "LAG P50", "LAG P99",
+		"BACKLOG", "OLDEST", "DLQ", "BURN S/L", "ALERTS"); err != nil {
+		return err
+	}
+	for _, h := range sorted {
+		if _, err := fmt.Fprintf(w, "%-*s  %-*s  %-5s  %8.3fs  %8.3fs  %7d  %8.3fs  %4d  %5.1f/%5.1f  %6d\n",
+			ruleW, h.Rule, destW, h.Dest, h.State, h.LagP50S, h.LagP99S,
+			h.Backlog, h.OldestAgeS, h.DLQ, h.BurnShort, h.BurnLong, h.Alerts); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package telemetry
+
+import "testing"
+
+// TestGaugeTable pins down the Gauge level/high-water contract,
+// including the negative-Set semantics watermark readers depend on:
+// levels may go negative, Max only rises and is floored at zero.
+func TestGaugeTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		ops     func(g *Gauge)
+		wantVal int64
+		wantMax int64
+	}{
+		{"zero value", func(g *Gauge) {}, 0, 0},
+		{"set positive", func(g *Gauge) { g.Set(7) }, 7, 7},
+		{"set then lower", func(g *Gauge) { g.Set(7); g.Set(3) }, 3, 7},
+		{"set negative stores as-is", func(g *Gauge) { g.Set(-5) }, -5, 0},
+		{"negative then positive", func(g *Gauge) { g.Set(-5); g.Set(2) }, 2, 2},
+		{"add below zero", func(g *Gauge) { g.Add(3); g.Add(-10) }, -7, 3},
+		{"add tracks peak not sum", func(g *Gauge) { g.Add(2); g.Add(2); g.Add(-3); g.Add(1) }, 2, 4},
+		{"setmax raises", func(g *Gauge) { g.Set(2); g.SetMax(9) }, 9, 9},
+		{"setmax ignores lower", func(g *Gauge) { g.Set(5); g.SetMax(1) }, 5, 5},
+		{"setmax negative on zero", func(g *Gauge) { g.SetMax(-1) }, 0, 0},
+		{"max survives round trip", func(g *Gauge) { g.Set(10); g.Set(0) }, 0, 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var g Gauge
+			tc.ops(&g)
+			if got := g.Value(); got != tc.wantVal {
+				t.Errorf("Value() = %d, want %d", got, tc.wantVal)
+			}
+			if got := g.Max(); got != tc.wantMax {
+				t.Errorf("Max() = %d, want %d", got, tc.wantMax)
+			}
+		})
+	}
+	t.Run("nil gauge no-ops", func(t *testing.T) {
+		var g *Gauge
+		g.Set(1)
+		g.Add(1)
+		g.SetMax(1)
+		if g.Value() != 0 || g.Max() != 0 {
+			t.Fatal("nil gauge should read zero")
+		}
+	})
+}

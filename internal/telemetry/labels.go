@@ -1,0 +1,276 @@
+package telemetry
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one key=value dimension attached to a metric family. Families
+// are keyed on the canonical sorted form of their label pairs, so the
+// order labels are passed in never matters.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for Label{Key: k, Value: v}.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// escapeLabelValue escapes a label value for text exposition: backslash,
+// double quote and newline, matching the Prometheus text format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// canonicalLabels renders labels as `{k1="v1",k2="v2"}` with keys sorted,
+// the canonical child key used for both lookup and text output. Empty
+// label sets render as "".
+func canonicalLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// CounterVec is a family of counters sharing one name, distinguished by
+// labels. With returns an ordinary *Counter, so hot paths hold the child
+// once and pay the same allocation-free cost as an unlabelled counter. A
+// nil *CounterVec returns nil children, which no-op.
+type CounterVec struct {
+	name     string
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// With returns the child for the given labels, creating it on first use.
+func (v *CounterVec) With(labels ...Label) *Counter {
+	if v == nil {
+		return nil
+	}
+	key := canonicalLabels(labels)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[key]
+	if !ok {
+		c = &Counter{}
+		v.children[key] = c
+	}
+	return c
+}
+
+// GaugeVec is a family of gauges sharing one name, distinguished by
+// labels. A nil *GaugeVec returns nil children, which no-op.
+type GaugeVec struct {
+	name     string
+	mu       sync.Mutex
+	children map[string]*Gauge
+}
+
+// With returns the child for the given labels, creating it on first use.
+func (v *GaugeVec) With(labels ...Label) *Gauge {
+	if v == nil {
+		return nil
+	}
+	key := canonicalLabels(labels)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.children[key]
+	if !ok {
+		g = &Gauge{}
+		v.children[key] = g
+	}
+	return g
+}
+
+// HistogramVec is a family of histograms sharing one name and bucket
+// layout, distinguished by labels. A nil *HistogramVec returns nil
+// children, which no-op.
+type HistogramVec struct {
+	name     string
+	bounds   []float64
+	mu       sync.Mutex
+	children map[string]*Histogram
+}
+
+// With returns the child for the given labels, creating it on first use.
+func (v *HistogramVec) With(labels ...Label) *Histogram {
+	if v == nil {
+		return nil
+	}
+	key := canonicalLabels(labels)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[key]
+	if !ok {
+		h = NewHistogram(v.bounds)
+		v.children[key] = h
+	}
+	return h
+}
+
+// CounterVec returns the named counter family, creating it on first use.
+// The family shares its name with the unlabelled Counter of the same
+// name, if any: by convention the unlabelled instrument is the aggregate
+// and the family carries the per-dimension breakdown.
+func (r *Registry) CounterVec(name string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.counterVecs[name]
+	if !ok {
+		v = &CounterVec{name: name, children: make(map[string]*Counter)}
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
+// GaugeVec returns the named gauge family, creating it on first use.
+func (r *Registry) GaugeVec(name string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gaugeVecs[name]
+	if !ok {
+		v = &GaugeVec{name: name, children: make(map[string]*Gauge)}
+		r.gaugeVecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the named histogram family with the default
+// latency buckets, creating it on first use.
+func (r *Registry) HistogramVec(name string) *HistogramVec {
+	return r.HistogramVecBuckets(name, nil)
+}
+
+// HistogramVecBuckets is HistogramVec with explicit bucket bounds
+// (applied only on first creation).
+func (r *Registry) HistogramVecBuckets(name string, bounds []float64) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.histVecs[name]
+	if !ok {
+		if len(bounds) == 0 {
+			bounds = DefaultLatencyBuckets()
+		}
+		v = &HistogramVec{name: name, bounds: append([]float64(nil), bounds...), children: make(map[string]*Histogram)}
+		r.histVecs[name] = v
+	}
+	return v
+}
+
+// MirrorCounter fans every Add out to an aggregate counter and a labelled
+// child, so existing readers of the global name keep working while the
+// dimensional family fills in. The zero value no-ops.
+type MirrorCounter struct {
+	Agg   *Counter
+	Child *Counter
+}
+
+// Mirror pairs the aggregate with the family child for the given labels.
+func (v *CounterVec) Mirror(agg *Counter, labels ...Label) MirrorCounter {
+	return MirrorCounter{Agg: agg, Child: v.With(labels...)}
+}
+
+// Add increments both the aggregate and the labelled child.
+func (m MirrorCounter) Add(n int64) {
+	m.Agg.Add(n)
+	m.Child.Add(n)
+}
+
+// Inc is Add(1).
+func (m MirrorCounter) Inc() { m.Add(1) }
+
+// Value returns the aggregate count.
+func (m MirrorCounter) Value() int64 { return m.Agg.Value() }
+
+// MirrorGauge fans every update out to an aggregate gauge and a labelled
+// child. The aggregate keeps the historical last-writer-wins semantics
+// on Set; the labelled child is the authoritative per-dimension level.
+// The zero value no-ops.
+type MirrorGauge struct {
+	Agg   *Gauge
+	Child *Gauge
+}
+
+// Mirror pairs the aggregate with the family child for the given labels.
+func (v *GaugeVec) Mirror(agg *Gauge, labels ...Label) MirrorGauge {
+	return MirrorGauge{Agg: agg, Child: v.With(labels...)}
+}
+
+// Set stores n on both the aggregate and the labelled child.
+func (m MirrorGauge) Set(n int64) {
+	m.Agg.Set(n)
+	m.Child.Set(n)
+}
+
+// Add moves both gauges by delta.
+func (m MirrorGauge) Add(delta int64) {
+	m.Agg.Add(delta)
+	m.Child.Add(delta)
+}
+
+// SetMax raises both gauges to n if it exceeds their current values.
+func (m MirrorGauge) SetMax(n int64) {
+	m.Agg.SetMax(n)
+	m.Child.SetMax(n)
+}
+
+// Value returns the aggregate level.
+func (m MirrorGauge) Value() int64 { return m.Agg.Value() }
+
+// MirrorHistogram fans every observation out to an aggregate histogram
+// and a labelled child. The zero value no-ops.
+type MirrorHistogram struct {
+	Agg   *Histogram
+	Child *Histogram
+}
+
+// Mirror pairs the aggregate with the family child for the given labels.
+func (v *HistogramVec) Mirror(agg *Histogram, labels ...Label) MirrorHistogram {
+	return MirrorHistogram{Agg: agg, Child: v.With(labels...)}
+}
+
+// Observe records v on both the aggregate and the labelled child.
+func (m MirrorHistogram) Observe(v float64) {
+	m.Agg.Observe(v)
+	m.Child.Observe(v)
+}

@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// fixtureRegistry builds a deterministic registry mixing unlabelled
+// aggregates with labelled families, exercising every instrument kind.
+func fixtureRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("engine.tasks.ok").Add(40)
+	r.Gauge("engine.dlq.depth").Set(3)
+	h := r.HistogramBuckets("engine.task.seconds", []float64{0.5, 1, 2, 4})
+	for _, v := range []float64{0.2, 0.7, 0.9, 1.5, 3.0, 9.0} {
+		h.Observe(v)
+	}
+	tasks := r.CounterVec("engine.tasks.ok")
+	tasks.With(L("rule", "a->b"), L("dest", "aws:us-east-1")).Add(25)
+	tasks.With(L("rule", "a->c"), L("dest", "gcp:eu-west1")).Add(15)
+	lagv := r.HistogramVecBuckets("engine.lag.seconds", []float64{1, 10})
+	lagv.With(L("dest", "aws:us-east-1")).Observe(0.4)
+	lagv.With(L("dest", "aws:us-east-1")).Observe(12.0)
+	lagv.With(L("dest", "gcp:eu-west1")).Observe(2.5)
+	bk := r.GaugeVec("engine.lag.backlog")
+	bk.With(L("dest", "aws:us-east-1")).Set(2)
+	bk.With(L("dest", "gcp:eu-west1")).Set(-1) // negative levels are legal
+	r.CounterVec("quoted").With(L("k", `va"l\ue`+"\n")).Inc()
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestWriteTextGoldenLabelled(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := fixtureRegistry().WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := fixtureRegistry().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two same-seed runs differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	checkGolden(t, "metrics_text.golden", a.Bytes())
+}
+
+func TestWritePromTextGolden(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := fixtureRegistry().WritePromText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := fixtureRegistry().WritePromText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two same-seed runs differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	checkGolden(t, "metrics_prom.golden", a.Bytes())
+}
+
+// TestLabelOrderingConcurrent registers the same families from many
+// goroutines in scrambled label orders; output must not depend on which
+// goroutine created a child first, and label pairs must canonicalize to
+// one sorted key regardless of argument order.
+func TestLabelOrderingConcurrent(t *testing.T) {
+	render := func(shift int) string {
+		r := NewRegistry()
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 16; i++ {
+					n := (i + g + shift) % 16
+					rule := fmt.Sprintf("rule-%02d", n)
+					if n%2 == 0 {
+						r.CounterVec("x.tasks").With(L("rule", rule), L("dest", "d1")).Inc()
+					} else {
+						r.CounterVec("x.tasks").With(L("dest", "d1"), L("rule", rule)).Inc()
+					}
+					r.GaugeVec("x.backlog").With(L("rule", rule)).Set(int64(n))
+					r.HistogramVec("x.lag").With(L("rule", rule)).Observe(float64(n) + 0.5)
+				}
+			}(g)
+		}
+		wg.Wait()
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var pb bytes.Buffer
+		if err := r.WritePromText(&pb); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String() + "\n===\n" + pb.String()
+	}
+	base := render(0)
+	for shift := 1; shift < 4; shift++ {
+		if got := render(shift); got != base {
+			t.Fatalf("output depends on registration order (shift %d):\n%s\nvs\n%s", shift, got, base)
+		}
+	}
+}
+
+func TestCanonicalLabelsSorted(t *testing.T) {
+	a := canonicalLabels([]Label{{"z", "1"}, {"a", "2"}})
+	b := canonicalLabels([]Label{{"a", "2"}, {"z", "1"}})
+	want := `{a="2",z="1"}`
+	if a != want || b != want {
+		t.Fatalf("canonicalLabels not order-independent: %q vs %q (want %q)", a, b, want)
+	}
+}
+
+// TestRegistryReset is the regression test for gauge state leaking
+// between back-to-back runs that share one registry: after Reset every
+// instrument — including high-water marks and labelled children — must
+// read zero while previously handed-out pointers stay usable.
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("engine.retries")
+	g := r.Gauge("engine.dlq.depth")
+	h := r.Histogram("engine.task.seconds")
+	vc := r.CounterVec("engine.retries").With(L("rule", "a->b"))
+	vg := r.GaugeVec("faas.running").With(L("region", "aws:us-east-1"))
+	c.Add(7)
+	g.Set(5)
+	g.Set(2) // Max stays 5
+	h.Observe(1.5)
+	vc.Add(3)
+	vg.Add(4)
+	if g.Max() != 5 {
+		t.Fatalf("Gauge.Max before reset = %d, want 5", g.Max())
+	}
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || g.Max() != 0 || h.Count() != 0 ||
+		vc.Value() != 0 || vg.Value() != 0 || vg.Max() != 0 {
+		t.Fatalf("Reset left state: c=%d g=%d g.max=%d h=%d vc=%d vg=%d",
+			c.Value(), g.Value(), g.Max(), h.Count(), vc.Value(), vg.Value())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("WriteText after Reset not empty:\n%s", buf.String())
+	}
+	// Old pointers must still feed the registry's instruments.
+	c.Inc()
+	g.Set(9)
+	h.Observe(0.25)
+	if r.Counter("engine.retries").Value() != 1 {
+		t.Fatal("counter identity lost across Reset")
+	}
+	if r.Gauge("engine.dlq.depth").Value() != 9 || r.Gauge("engine.dlq.depth").Max() != 9 {
+		t.Fatal("gauge identity lost across Reset")
+	}
+	if r.Histogram("engine.task.seconds").Count() != 1 {
+		t.Fatal("histogram identity lost across Reset")
+	}
+	// Second run's dump reflects only post-Reset activity.
+	buf.Reset()
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "engine.dlq.depth 9\nengine.retries 1\nengine.task.seconds count=1 sum=0.250000 min=0.250000 max=0.250000 p50=0.250000 p95=0.250000 p99=0.250000\n"
+	if buf.String() != want {
+		t.Fatalf("post-Reset dump:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+func TestMirrorInstruments(t *testing.T) {
+	r := NewRegistry()
+	mc := r.CounterVec("m.ok").Mirror(r.Counter("m.ok"), L("rule", "r1"))
+	mc.Add(2)
+	mc.Inc()
+	if mc.Value() != 3 || r.CounterVec("m.ok").With(L("rule", "r1")).Value() != 3 {
+		t.Fatalf("mirror counter agg=%d child=%d", mc.Value(), r.CounterVec("m.ok").With(L("rule", "r1")).Value())
+	}
+	mg := r.GaugeVec("m.depth").Mirror(r.Gauge("m.depth"), L("rule", "r1"))
+	mg.Set(4)
+	mg.Add(-1)
+	if mg.Value() != 3 || r.GaugeVec("m.depth").With(L("rule", "r1")).Value() != 3 {
+		t.Fatal("mirror gauge diverged")
+	}
+	if r.GaugeVec("m.depth").With(L("rule", "r1")).Max() != 4 {
+		t.Fatal("mirror gauge child high-water missed")
+	}
+	mh := r.HistogramVec("m.lag").Mirror(r.Histogram("m.lag"), L("rule", "r1"))
+	mh.Observe(1.5)
+	if r.Histogram("m.lag").Count() != 1 || r.HistogramVec("m.lag").With(L("rule", "r1")).Count() != 1 {
+		t.Fatal("mirror histogram diverged")
+	}
+	// Zero values must no-op without panicking.
+	var zc MirrorCounter
+	var zg MirrorGauge
+	var zh MirrorHistogram
+	zc.Inc()
+	zg.Set(1)
+	zh.Observe(1)
+	// Nil vecs hand out nil children that no-op too.
+	var nv *CounterVec
+	nv.With(L("a", "b")).Inc()
+}

@@ -35,21 +35,37 @@ func (c *Counter) Value() int64 {
 
 // Gauge is a settable integer level. The zero value is ready to use; a
 // nil *Gauge no-ops.
+//
+// Set stores any int64, including negative values — a gauge is a level,
+// not a count, and levels such as clock skew or budget headroom can be
+// negative. The high-water mark (Max) only ever rises and starts at
+// zero, so a gauge that never goes positive reports Max() == 0.
 type Gauge struct {
-	v atomic.Int64
+	v  atomic.Int64
+	hw atomic.Int64 // monotonic high-water mark of v, floored at 0
 }
 
-// Set stores n.
+func (g *Gauge) raiseHW(n int64) {
+	for {
+		cur := g.hw.Load()
+		if n <= cur || g.hw.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Set stores n (negative values included; see the type comment).
 func (g *Gauge) Set(n int64) {
 	if g != nil {
 		g.v.Store(n)
+		g.raiseHW(n)
 	}
 }
 
 // Add moves the gauge by delta.
 func (g *Gauge) Add(delta int64) {
 	if g != nil {
-		g.v.Add(delta)
+		g.raiseHW(g.v.Add(delta))
 	}
 }
 
@@ -59,6 +75,7 @@ func (g *Gauge) SetMax(n int64) {
 	if g == nil {
 		return
 	}
+	g.raiseHW(n)
 	for {
 		cur := g.v.Load()
 		if n <= cur || g.v.CompareAndSwap(cur, n) {
@@ -73,6 +90,17 @@ func (g *Gauge) Value() int64 {
 		return 0
 	}
 	return g.v.Load()
+}
+
+// Max returns the monotonic high-water mark: the largest level the gauge
+// has held since creation (or the last Registry.Reset), never below 0.
+// Watermark readers use this to report peaks — e.g. maximum backlog
+// depth — without sampling every transition.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.hw.Load()
 }
 
 // atomicFloat is a float64 with atomic add/min/max via CAS on its bits.
@@ -150,6 +178,17 @@ func NewHistogram(bounds []float64) *Histogram {
 	h.min.store(math.Inf(1))
 	h.max.store(math.Inf(-1))
 	return h
+}
+
+// reset zeroes all observations in place, keeping the bucket layout.
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.store(0)
+	h.min.store(math.Inf(1))
+	h.max.store(math.Inf(-1))
 }
 
 // Observe records one value.
@@ -274,18 +313,71 @@ func (h *Histogram) Quantile(p float64) float64 {
 // Lookups get-or-create, so independent packages can share instruments by
 // name. A nil *Registry returns nil instruments, which no-op.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	hists       map[string]*Histogram
+	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
+	histVecs    map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		hists:       make(map[string]*Histogram),
+		counterVecs: make(map[string]*CounterVec),
+		gaugeVecs:   make(map[string]*GaugeVec),
+		histVecs:    make(map[string]*HistogramVec),
+	}
+}
+
+// Reset zeroes every registered instrument in place — counters, gauges
+// (level and high-water mark), histograms, and every labelled family
+// child — while keeping instrument identities, so pointers held by
+// long-lived services stay valid. Back-to-back experiment runs sharing
+// one process use this for snapshot isolation: without it, level gauges
+// such as engine.dlq.depth or faas.running leak their final value into
+// the next run's report.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+		g.hw.Store(0)
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+	for _, v := range r.counterVecs {
+		v.mu.Lock()
+		for _, c := range v.children {
+			c.v.Store(0)
+		}
+		v.mu.Unlock()
+	}
+	for _, v := range r.gaugeVecs {
+		v.mu.Lock()
+		for _, g := range v.children {
+			g.v.Store(0)
+			g.hw.Store(0)
+		}
+		v.mu.Unlock()
+	}
+	for _, v := range r.histVecs {
+		v.mu.Lock()
+		for _, h := range v.children {
+			h.reset()
+		}
+		v.mu.Unlock()
 	}
 }
 
@@ -343,35 +435,73 @@ func (r *Registry) HistogramBuckets(name string, bounds []float64) *Histogram {
 
 // WriteText dumps every non-empty instrument as sorted plain text:
 // counters and gauges as "name value", histograms with count, sum,
-// extremes and interpolated p50/p95/p99.
+// extremes and interpolated p50/p95/p99. Labelled family children are
+// emitted as `name{k1="v1",k2="v2"} ...` with keys in sorted order, and
+// lines sort on (name, canonical labels) — the output is byte-identical
+// across runs regardless of registration or goroutine interleaving.
 func (r *Registry) WriteText(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	type line struct{ name, text string }
+	type line struct{ key, text string }
 	var lines []line
-	for name, c := range r.counters {
+	addCounter := func(name, labels string, c *Counter) {
 		if v := c.Value(); v != 0 {
-			lines = append(lines, line{name, fmt.Sprintf("%s %d\n", name, v)})
+			lines = append(lines, line{name + labels, fmt.Sprintf("%s%s %d\n", name, labels, v)})
 		}
 	}
-	for name, g := range r.gauges {
+	addGauge := func(name, labels string, g *Gauge) {
 		if v := g.Value(); v != 0 {
-			lines = append(lines, line{name, fmt.Sprintf("%s %d\n", name, v)})
+			lines = append(lines, line{name + labels, fmt.Sprintf("%s%s %d\n", name, labels, v)})
 		}
 	}
-	for name, h := range r.hists {
+	addHist := func(name, labels string, h *Histogram) {
 		if h.Count() == 0 {
-			continue
+			return
 		}
-		lines = append(lines, line{name, fmt.Sprintf(
-			"%s count=%d sum=%.6f min=%.6f max=%.6f p50=%.6f p95=%.6f p99=%.6f\n",
-			name, h.Count(), h.Sum(), h.Min(), h.Max(),
+		lines = append(lines, line{name + labels, fmt.Sprintf(
+			"%s%s count=%d sum=%.6f min=%.6f max=%.6f p50=%.6f p95=%.6f p99=%.6f\n",
+			name, labels, h.Count(), h.Sum(), h.Min(), h.Max(),
 			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))})
 	}
+	r.mu.Lock()
+	for name, c := range r.counters {
+		addCounter(name, "", c)
+	}
+	for name, g := range r.gauges {
+		addGauge(name, "", g)
+	}
+	for name, h := range r.hists {
+		addHist(name, "", h)
+	}
+	for name, v := range r.counterVecs {
+		v.mu.Lock()
+		for labels, c := range v.children {
+			addCounter(name, labels, c)
+		}
+		v.mu.Unlock()
+	}
+	for name, v := range r.gaugeVecs {
+		v.mu.Lock()
+		for labels, g := range v.children {
+			addGauge(name, labels, g)
+		}
+		v.mu.Unlock()
+	}
+	for name, v := range r.histVecs {
+		v.mu.Lock()
+		for labels, h := range v.children {
+			addHist(name, labels, h)
+		}
+		v.mu.Unlock()
+	}
 	r.mu.Unlock()
-	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].key != lines[j].key {
+			return lines[i].key < lines[j].key
+		}
+		return lines[i].text < lines[j].text // name shared across kinds: break ties on content
+	})
 	for _, l := range lines {
 		if _, err := io.WriteString(w, l.text); err != nil {
 			return err
