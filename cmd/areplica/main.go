@@ -11,6 +11,7 @@
 //	areplica -size 64MB -count 3 -trace trace.json -metrics metrics.txt
 //	areplica -chaos mixed@7 -count 20 -metrics metrics.txt
 //	areplica -chaos notify-flaky@3 -scrub 30s -count 12
+//	areplica -crashpoint after-checkpoint -size 64MB -count 1 -v
 //	areplica -chaos list
 //	areplica -regions
 package main
@@ -46,6 +47,7 @@ func main() {
 		traceOut        = flag.String("trace", "", "write per-task spans as Chrome trace_event JSON to this file (chrome://tracing, Perfetto)")
 		metricsOut      = flag.String("metrics", "", "write the run's aggregate metrics (counters + latency histograms) to this file")
 		chaosFlag       = flag.String("chaos", "", "arm a chaos profile after deployment (name[@seed], e.g. mixed@7; 'list' shows profiles)")
+		crashPointFlag  = flag.String("crashpoint", "", "crash a function instance once at this data-plane step (e.g. after-checkpoint, after-part-2, before-complete-mpu)")
 		scrubFlag       = flag.Duration("scrub", 0, "run anti-entropy scrubbing at this cadence (e.g. 30s; 0 = off)")
 		statusFlag      = flag.Bool("status", false, "print the rule's health table (lag watermarks, burn rates, alerts) at the end")
 		eventsOut       = flag.String("events", "", "write the structured SLO alert log as JSONL to this file")
@@ -81,6 +83,14 @@ func main() {
 		if chaosProf, err = chaos.Parse(*chaosFlag); err != nil {
 			fatal(err)
 		}
+	}
+	if *crashPointFlag != "" {
+		// Compose with -chaos when both are given; alone it is a pure
+		// crash-point profile (the injector fires exactly once).
+		if chaosProf.Name == "" {
+			chaosProf.Name = "crash-point"
+		}
+		chaosProf.CrashPoint = *crashPointFlag
 	}
 	size, err := parseSize(*sizeFlag)
 	if err != nil {
@@ -120,7 +130,14 @@ func main() {
 	// Chaos arms after Deploy too: profiling fits a clean model, and
 	// partition windows are anchored at the workload's start.
 	if chaosProf.Enabled() {
-		fmt.Printf("arming chaos profile %s\n", *chaosFlag)
+		label := *chaosFlag
+		if label == "" {
+			label = chaosProf.Name
+		}
+		if chaosProf.CrashPoint != "" {
+			label += " (crash at " + chaosProf.CrashPoint + ")"
+		}
+		fmt.Printf("arming chaos profile %s\n", label)
 		sim.World().SetChaos(chaosProf)
 	}
 	if *scrubFlag > 0 {

@@ -9,6 +9,7 @@
 //	benchtab -table 1        # one table (1, 2, 3 or 4)
 //	benchtab -fig 23         # one figure (2-9, 12, 16-23)
 //	benchtab -chaos matrix   # fault matrix across every chaos profile
+//	benchtab -crash          # crash-point sweep: recovery audit per data-plane step
 //	benchtab -chaos mixed@7  # fault matrix for one profile spec
 package main
 
@@ -31,6 +32,7 @@ func main() {
 		fig       = flag.Int("fig", 0, "regenerate one figure (2-9, 12, 16-23)")
 		extra     = flag.String("extra", "", "extension ablations: partsize | overlay | pipeline")
 		chaosFlag = flag.String("chaos", "", "fault matrix: 'matrix' (all profiles) or comma-separated profile specs (e.g. mixed@7,storage-flaky)")
+		crash     = flag.Bool("crash", false, "crash-point sweep: deterministic crash at each data-plane step, recovery audit per point")
 		all       = flag.Bool("all", false, "regenerate every table and figure")
 		quick     = flag.Bool("quick", false, "reduced sizes and rounds")
 		csv       = flag.String("csv", "", "also export plottable CSV datasets into this directory")
@@ -53,10 +55,13 @@ func main() {
 		selected = append(selected, "-extra")
 	}
 	if *all {
-		if len(selected) > 0 || *chaosFlag != "" {
+		if len(selected) > 0 || *chaosFlag != "" || *crash {
 			conflicting := selected
 			if *chaosFlag != "" {
 				conflicting = append(conflicting, "-chaos")
+			}
+			if *crash {
+				conflicting = append(conflicting, "-crash")
 			}
 			fmt.Fprintf(os.Stderr, "benchtab: -all already runs everything; drop %s\n",
 				strings.Join(conflicting, ", "))
@@ -67,7 +72,7 @@ func main() {
 			strings.Join(selected, ", "))
 		os.Exit(2)
 	}
-	if !*all && len(selected) == 0 && *chaosFlag == "" {
+	if !*all && len(selected) == 0 && *chaosFlag == "" && !*crash {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -88,6 +93,9 @@ func main() {
 	start := time.Now()
 	if *chaosFlag != "" {
 		runChaos(*chaosFlag, *quick)
+	}
+	if *crash {
+		runCrash(*quick)
 	}
 	if *all {
 		for _, t := range []int{1, 2, 3, 4} {
@@ -215,6 +223,16 @@ func runChaos(spec string, quick bool) {
 			fmt.Fprintf(os.Stderr, "alert log: %v\n", err)
 		}
 	}
+}
+
+func runCrash(quick bool) {
+	hdr("Crash-point sweep")
+	res, err := experiments.RunCrashSweep(experiments.CrashSweepConfig{Quick: quick})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crash sweep: %v\n", err)
+		os.Exit(2)
+	}
+	emit(res)
 }
 
 func runExtra(name string, quick bool) {

@@ -41,6 +41,7 @@ const (
 	DefaultOrphanGrace    = 30 * time.Second
 	DefaultStopAfterClean = 2
 	DefaultMaxRounds      = 32
+	DefaultMPUGrace       = 15 * time.Minute
 )
 
 // Config tunes one rule's scrubber.
@@ -66,6 +67,12 @@ type Config struct {
 	StopAfterClean int
 	// MaxRounds bounds RunUntilClean (default 32).
 	MaxRounds int
+	// MPUGrace is the minimum age before an in-progress multipart upload
+	// with no live checkpoint is considered orphaned and aborted (default
+	// 15 minutes — comfortably past any live task's create-MPU →
+	// checkpoint window and the engine's retry/redrive horizon). Negative
+	// disables the MPU garbage collector.
+	MPUGrace time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +95,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxRounds <= 0 {
 		c.MaxRounds = DefaultMaxRounds
 	}
+	if c.MPUGrace == 0 {
+		c.MPUGrace = DefaultMPUGrace
+	}
 	return c
 }
 
@@ -108,7 +118,9 @@ type Report struct {
 	ListPages         int
 	LeavesCompared    int
 	LeavesMismatched  int
-	Clean             bool // trees matched and the engine had no pending work
+	MPUsAborted       int   // orphaned multipart uploads garbage-collected
+	MPUBytesReclaimed int64 // part bytes those uploads were holding
+	Clean             bool  // trees matched and the engine had no pending work
 }
 
 // Scrubber runs anti-entropy rounds for one deployed replication rule.
@@ -314,6 +326,22 @@ func (s *Scrubber) RunOnce() (Report, error) {
 		s.compareAndRepair(ctx, round, srcTree, dstTree, &rep)
 	})
 	cgroup.Wait()
+
+	// Orphaned-MPU garbage collection rides the scrub cadence as one more
+	// destination-side invocation — the serverless stand-in for a bucket
+	// lifecycle rule. Uploads a live checkpoint references are left alone;
+	// everything older than the grace is aborted and its bytes reclaimed.
+	if s.cfg.MPUGrace >= 0 {
+		ggroup := clock.NewGroup(1)
+		dst.Fn.InvokeSpan(root, 1, func(ctx *faas.Ctx) {
+			defer ggroup.Done()
+			gsp := ctx.Span.Child("scrub-gc-mpus")
+			rep.MPUsAborted, rep.MPUBytesReclaimed = s.eng.GCOrphanedMPUs(s.cfg.MPUGrace)
+			gsp.Set("aborted", rep.MPUsAborted).Set("bytes", rep.MPUBytesReclaimed)
+			gsp.End()
+		})
+		ggroup.Wait()
+	}
 
 	rep.Divergent = rep.Missing + rep.Stale + rep.Orphans
 	rep.Clean = rep.Divergent == 0 && s.eng.Tracker.PendingCount() == 0

@@ -39,6 +39,7 @@ const (
 	KindNotifyLoss   = "notify_loss"
 	KindNotifyDup    = "notify_dup"
 	KindNotifyDelay  = "notify_delay"
+	KindCrashPoint   = "crash_point"
 )
 
 var kinds = []string{
@@ -47,6 +48,7 @@ var kinds = []string{
 	KindFnCrash, KindFnColdStorm, KindFnStraggler,
 	KindNetDegrade, KindNetPartition,
 	KindNotifyLoss, KindNotifyDup, KindNotifyDelay,
+	KindCrashPoint,
 }
 
 // ObjVerdict is the fate of one object-store request: an optional extra
@@ -71,8 +73,9 @@ type Injector struct {
 	prof  Profile
 	epoch time.Time // arming time; partition windows are relative to it
 
-	mu   sync.Mutex
-	rngs map[string]*rand.Rand
+	mu    sync.Mutex
+	rngs  map[string]*rand.Rand
+	fired map[string]bool // crash points already taken this run
 
 	injected *telemetry.Counter
 	byKind   map[string]*telemetry.Counter
@@ -87,6 +90,7 @@ func NewInjector(clock *simclock.Clock, p Profile, reg *telemetry.Registry) *Inj
 		prof:     p,
 		epoch:    clock.Now(),
 		rngs:     make(map[string]*rand.Rand),
+		fired:    make(map[string]bool),
 		injected: reg.Counter("chaos.injected"),
 		byKind:   make(map[string]*telemetry.Counter, len(kinds)),
 	}
@@ -167,6 +171,29 @@ func (ij *Injector) ObjMpuVanish(region string) bool {
 		return true
 	}
 	return false
+}
+
+// CrashPoint reports whether the caller has reached the profile's armed
+// crash point and should kill its instance. Unlike the probabilistic
+// faults, a crash point is a deterministic tripwire: it fires exactly
+// once per armed injector, for the first caller that reaches the named
+// step — the crash-point sweep harness enumerates the replication state
+// machine one step per run, so one kill per run is the model.
+func (ij *Injector) CrashPoint(step string) bool {
+	if ij == nil || ij.prof.CrashPoint == "" || step != ij.prof.CrashPoint {
+		return false
+	}
+	ij.mu.Lock()
+	fired := ij.fired[step]
+	if !fired {
+		ij.fired[step] = true
+	}
+	ij.mu.Unlock()
+	if fired {
+		return false
+	}
+	ij.count(KindCrashPoint)
+	return true
 }
 
 // KVThrottle returns the extra latency of a throttled KV operation (zero

@@ -52,6 +52,13 @@ type Profile struct {
 	NotifyDupRate   float64
 	NotifyDelayRate float64
 	NotifyDelayMax  time.Duration
+
+	// CrashPoint names one step of the replication state machine (e.g.
+	// "after-create-mpu", "after-part-3"); the first instance to reach it
+	// is killed on the spot, exactly once per run. Deterministic by
+	// construction — no random stream involved — so the crash-point sweep
+	// can visit every step of the machine one run at a time.
+	CrashPoint string
 }
 
 // Partition is one scheduled inter-region connectivity outage. A and B
@@ -70,7 +77,8 @@ func (p Profile) Enabled() bool {
 		p.KVThrottleRate > 0 || p.KVContentionRate > 0 ||
 		p.FnCrashRate > 0 || p.FnColdStormRate > 0 || p.FnStragglerRate > 0 ||
 		p.NetDegradeRate > 0 || len(p.Partitions) > 0 ||
-		p.NotifyLossRate > 0 || p.NotifyDupRate > 0 || p.NotifyDelayRate > 0
+		p.NotifyLossRate > 0 || p.NotifyDupRate > 0 || p.NotifyDelayRate > 0 ||
+		p.CrashPoint != ""
 }
 
 // builtin chaos profiles, each mimicking one class of real-cloud failure

@@ -18,7 +18,6 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/faas"
-	"repro/internal/kvstore"
 	"repro/internal/model"
 	"repro/internal/objstore"
 	"repro/internal/planner"
@@ -123,6 +122,12 @@ type Rule struct {
 	// RedriveDelay is the wait before an automatic redrive (default 30s).
 	RedriveDelay time.Duration
 
+	// LockLease bounds how long a crashed orchestrator can wedge a key's
+	// replication lock (default 15 minutes); past it the KV TTL frees the
+	// lock and the next redrive proceeds. Release is fenced by holder
+	// token, so an expired holder's late release is a no-op.
+	LockLease time.Duration
+
 	// KeyPrefix, when non-empty, scopes the rule to keys with the prefix
 	// (as in S3 replication rule filters); other keys are ignored.
 	KeyPrefix string
@@ -171,6 +176,9 @@ func (r Rule) WithDefaults() Rule {
 	// second application.
 	if r.HedgeBudget == 0 {
 		r.HedgeBudget = 4
+	}
+	if r.LockLease <= 0 {
+		r.LockLease = 15 * time.Minute
 	}
 	return r
 }
@@ -221,6 +229,7 @@ type Engine struct {
 	ruleID  string
 	taskSeq atomic.Int64
 	breaker *breaker
+	ckpt    *ckptStore
 
 	// Instruments dual-write: the unlabelled aggregate keeps its
 	// historical name for existing readers, while the {rule,dest}-labelled
@@ -235,14 +244,23 @@ type Engine struct {
 	partsHedged     telemetry.MirrorCounter
 	breakerDegraded telemetry.MirrorCounter
 	dlqRedriven     telemetry.MirrorCounter
+	resumedTasks    telemetry.MirrorCounter
+	partsResumed    telemetry.MirrorCounter
+	partsReclaimed  telemetry.MirrorCounter
+	partsFenced     telemetry.MirrorCounter
+	mpusAborted     telemetry.MirrorCounter
+	locksRecovered  telemetry.MirrorCounter
+	gcMPUs          telemetry.MirrorCounter
+	gcBytes         telemetry.MirrorCounter
 	dlqDepth        telemetry.MirrorGauge
 	taskHist        telemetry.MirrorHistogram
 	lagHist         *telemetry.Histogram // per-destination lag family child
 
 	mu       sync.Mutex
 	dlq      []DLQEntry
-	redrives map[string]int // key@seq -> automatic redrives consumed
-	traceSeq map[string]int // per-version dispatch count, for trace IDs
+	redrives map[string]int     // key@seq -> automatic redrives consumed
+	traceSeq map[string]int     // per-version dispatch count, for trace IDs
+	ckpts    map[string]ckptRef // key -> live recovery records (MPU, pool)
 }
 
 // DLQEntry is one event that exhausted its retries and automatic
@@ -272,10 +290,12 @@ func New(w *world.World, pl *planner.Planner, rule Rule) *Engine {
 		Rule:     rule,
 		Tracker:  NewTracker(),
 		ruleID:   ruleID,
-		lock:     newReplLock(w.Region(rule.Src).KV, ruleID),
+		lock:     newReplLock(w.Region(rule.Src).KV, ruleID, rule.LockLease, w.Clock.Now),
 		breaker:  newBreaker(w.Clock, rule.BreakerThreshold, rule.BreakerCooldown, w.Metrics, dims...),
+		ckpt:     newCkptStore(w.Region(rule.Src).KV, ruleID),
 		redrives: make(map[string]int),
 		traceSeq: make(map[string]int),
+		ckpts:    make(map[string]ckptRef),
 
 		tasksOK:         counter("engine.tasks.ok"),
 		tasksFailed:     counter("engine.tasks.failed"),
@@ -287,6 +307,14 @@ func New(w *world.World, pl *planner.Planner, rule Rule) *Engine {
 		partsHedged:     counter("engine.parts.hedged"),
 		breakerDegraded: counter("engine.breaker.degraded"),
 		dlqRedriven:     counter("engine.dlq.redriven"),
+		resumedTasks:    counter("engine.recovery.resumed"),
+		partsResumed:    counter("engine.recovery.parts_resumed"),
+		partsReclaimed:  counter("engine.recovery.parts_reclaimed"),
+		partsFenced:     counter("engine.recovery.parts_fenced"),
+		mpusAborted:     counter("engine.recovery.mpus_aborted"),
+		locksRecovered:  counter("engine.recovery.locks_recovered"),
+		gcMPUs:          counter("engine.gc.mpus_aborted"),
+		gcBytes:         counter("engine.gc.bytes_reclaimed"),
 		dlqDepth:        m.GaugeVec("engine.dlq.depth").Mirror(m.Gauge("engine.dlq.depth"), dims...),
 		taskHist:        m.HistogramVec("engine.task.seconds").Mirror(m.Histogram("engine.task.seconds"), dims...),
 		lagHist:         m.HistogramVec("engine.lag.seconds").With(dims...),
@@ -431,6 +459,9 @@ func (e *Engine) deadLetter(ev objstore.Event) {
 	e.dlqDepth.Set(int64(len(e.dlq)))
 	e.mu.Unlock()
 	e.tasksDLQ.Inc()
+	// Final park: no retry will resume this task, so its in-progress MPU
+	// and recovery records must not linger until GC.
+	e.releaseTask(ev.Key)
 }
 
 // HandleEvent is the notification entry point: it registers the event for
@@ -539,17 +570,27 @@ func (e *Engine) startTaskTrace(ev objstore.Event) *telemetry.Span {
 // version that arrived while the lock was held.
 func (e *Engine) orchestrate(ctx *faas.Ctx, ev objstore.Event) {
 	lsp := ctx.Span.Child("kv:lock")
-	acquired := e.lock.acquire(ev.Key, ev.ETag, ev.Seq)
+	token, acquired, wait := e.lock.acquire(ev.Key, ev.ETag, ev.Seq)
 	lsp.Set("acquired", acquired)
 	lsp.End()
 	if !acquired {
-		// Another orchestrator holds the lock; it will observe our version
-		// as pending on release and re-trigger.
+		// Another orchestrator holds the lock; on release it observes our
+		// version as pending and re-triggers. But a crashed holder never
+		// releases — its lock (and the pending record with it) silently
+		// leases out — so probe just past the lease expiry and re-dispatch
+		// unless the key converged in the meantime.
+		e.W.Clock.Delay(wait+time.Second, func() { e.recoverPending(ev) })
 		return
 	}
 	replicatedSeq := e.replicateHeld(ctx, ev)
+	if !ctx.Alive() {
+		// The orchestrator crashed while holding the lock: a crashed
+		// instance cannot run cleanup, so the lock stays taken until its
+		// lease expires — which is exactly when the redrive retries the key.
+		return
+	}
 	usp := ctx.Span.Child("kv:unlock")
-	_, pendingSeq, retrigger := e.lock.release(ev.Key, replicatedSeq)
+	_, pendingSeq, retrigger := e.lock.release(ev.Key, token, replicatedSeq)
 	usp.End()
 	if !retrigger {
 		return
@@ -577,6 +618,29 @@ func (e *Engine) orchestrate(ctx *faas.Ctx, ev objstore.Event) {
 		Type: objstore.EventPut, Bucket: ev.Bucket, Key: ev.Key,
 		Size: head.Size, ETag: head.ETag, Seq: head.Seq, Time: head.Created,
 	})
+}
+
+// recoverPending fires after a contended lock's lease has expired: if the
+// holder released normally it re-triggered the pending version and the key
+// has (or is about to) converge, so the probe is a no-op; if the holder
+// crashed, the pending record died with its leased-out lock and this is
+// the only path that still knows about the version. Re-dispatching is
+// idempotent — the dedupe Head resolves an already-replicated version, and
+// a still-held lock just records pending again and arms a fresh probe.
+func (e *Engine) recoverPending(ev objstore.Event) {
+	src := e.W.Region(e.Rule.Src)
+	head, err := src.Obj.Head(e.Rule.SrcBucket, ev.Key)
+	if err != nil || head.Seq > ev.Seq {
+		// Key deleted or superseded: the newer operation's own
+		// orchestration (and its watchdog, if contended) covers the key.
+		return
+	}
+	dst := e.W.Region(e.Rule.Dst)
+	if cur, err := dst.Obj.Head(e.Rule.DstBucket, ev.Key); err == nil && cur.ETag == head.ETag {
+		return // converged while we waited
+	}
+	e.locksRecovered.Inc()
+	e.Dispatch(ev)
 }
 
 // request runs one cloud API call under the rule's per-request retry
@@ -626,6 +690,9 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 			e.deadLetter(ev)
 			return 0
 		}
+		// The key's newest version is a DELETE; any checkpointed upload of
+		// an older version is now abandoned work.
+		e.releaseTask(ev.Key)
 		e.Tracker.Resolve(ev.Key, ev.Seq, clock.Now())
 		return ev.Seq
 	}
@@ -638,6 +705,10 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 	if cur, err := dst.Obj.Head(e.Rule.DstBucket, ev.Key); err == nil && cur.ETag == ev.ETag && ev.ETag != "" {
 		ctx.Span.Set("deduped", true)
 		e.tasksDeduped.Inc()
+		// A redrive after an after-complete-mpu crash lands here: the write
+		// is durable, only the acknowledgment was lost. Scrap the recovery
+		// records the crashed attempt left behind.
+		e.releaseTask(ev.Key)
 		e.Tracker.Resolve(ev.Key, ev.Seq, clock.Now())
 		return ev.Seq
 	}
@@ -673,6 +744,7 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 			if hit {
 				att.End()
 				end := clock.Now()
+				e.releaseTask(key)
 				e.Tracker.Resolve(key, seq, end)
 				e.report(TaskResult{Key: key, ETag: etag, Size: size, Start: start, End: end,
 					OK: true, Changelog: true, Retries: attempt})
@@ -708,6 +780,15 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 		out := e.execute(ctx, att, key, etag, size, plan)
 		att.End()
 		if out.ok {
+			// The destination write is durable; what remains is local
+			// acknowledgment (tracker resolution, lock release). A crash in
+			// this window loses only the ack — the redrive finds the
+			// destination already converged and resolves via the dedupe
+			// path, never writing twice.
+			e.maybeCrash(ctx, "before-ack")
+			if !ctx.Alive() {
+				break
+			}
 			// Single-function transfers may have replicated a *newer*
 			// snapshot than the event's version (Figure 13's workflow);
 			// resolve up to what actually landed.
@@ -715,6 +796,7 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 			if out.seq > doneSeq {
 				doneSeq = out.seq
 			}
+			e.releaseTask(key)
 			e.Tracker.Resolve(key, doneSeq, out.doneAt)
 			e.report(TaskResult{Key: key, ETag: out.etag, Size: size, Plan: plan,
 				Start: start, End: out.doneAt, OK: true, Retries: attempt, Instances: out.insts})
@@ -804,7 +886,7 @@ func (e *Engine) execute(ctx *faas.Ctx, sp *telemetry.Span, key, etag string, si
 		out.doneAt = clock.Now()
 		return out
 	default:
-		out := e.distributed(sp, key, etag, size, plan)
+		out := e.distributed(ctx, sp, key, etag, size, plan)
 		if out.ok {
 			e.breaker.success()
 		} else if !out.validation {
@@ -906,6 +988,9 @@ type distState struct {
 	partSize  int64
 	taskID    string
 	mpu       string
+	// resumedDone is how many parts the resumed attempt inherited as
+	// already counted (zero for a fresh task).
+	resumedDone int64
 
 	aborted    atomic.Bool
 	completed  atomic.Bool
@@ -1005,7 +1090,12 @@ func (ds *distState) abortValidation(reason string) {
 // at plan.Loc using the part pool (or fair dispatch, for the ablation).
 // Unlike the single-function path, parts are pinned to the task's ETag and
 // any mid-flight change aborts the task (Figure 14's correctness rule).
-func (e *Engine) distributed(sp *telemetry.Span, key, etag string, size int64, plan planner.Plan) execResult {
+//
+// Part-pool tasks are checkpointed: a durable record in the source
+// region's KV store points at the task's MPU and part pool, so a retry
+// after a crash re-attaches to the existing upload and redoes only the
+// parts whose delivery was never counted, instead of starting over.
+func (e *Engine) distributed(ctx *faas.Ctx, sp *telemetry.Span, key, etag string, size int64, plan planner.Plan) execResult {
 	src := e.W.Region(e.Rule.Src)
 	dst := e.W.Region(e.Rule.Dst)
 	loc := e.W.Region(plan.Loc)
@@ -1019,32 +1109,79 @@ func (e *Engine) distributed(sp *telemetry.Span, key, etag string, size int64, p
 		key: key, etag: etag, size: size,
 		parts:    chunksOf(size, partSize),
 		partSize: partSize,
-		// Task ids embed the rule identity: several rules may share the
-		// location region's database, and their part pools must not collide.
-		taskID: fmt.Sprintf("%s#task-%d", e.ruleID, e.taskSeq.Add(1)),
 	}
 	ds.phase = make([]uint8, ds.parts)
 	ds.owner = make([]string, ds.parts)
 	ds.hedged = make(map[int64]bool)
-	// init_replication + create_part_pool (Algorithm 1, lines 2-4): the
-	// task record with its claim and completion counters.
-	isp := sp.Child("kv:init-pool").Set("parts", ds.parts).Set("part_bytes", partSize)
-	loc.KV.Put("areplica-tasks", ds.taskID, kvstore.Item{
-		"etag": etag, "total": ds.parts, "next": int64(0), "done": int64(0),
-	})
-	isp.End()
-	msp := sp.Child("mpu-create")
-	var mpu string
-	err := e.request(msp, simrand.New("engine-dist-req", ds.taskID), time.Time{}, func() error {
-		var cerr error
-		mpu, cerr = dst.Obj.CreateMultipartWithOrigin(e.Rule.DstBucket, key, e.origin())
-		return cerr
-	})
-	msp.End()
-	if err != nil {
-		return execResult{reason: "create multipart: " + err.Error(), doneAt: clock.Now()}
+	// Fair dispatch keeps the strawman's semantics — a failed attempt
+	// starts over — so only part-pool tasks checkpoint and resume.
+	useCkpt := e.Rule.Scheduling == PartPool
+	// The request stream keys on task identity (rule, key, version) rather
+	// than task sequence, so a resumed attempt draws deterministically
+	// regardless of how many task ids preceded it.
+	reqRNG := simrand.New("engine-dist-req", e.ruleID, key, etag)
+
+	var p *pool
+	if useCkpt {
+		if ck, ok := e.ckpt.read(key); ok {
+			p = e.resumeTask(ctx, sp, ds, ck, dst, loc, plan, reqRNG)
+			if ds.completed.Load() || ds.aborted.Load() {
+				// Resume settled the task without replicators: either every
+				// part was already delivered (only assembly remained, or the
+				// crash lost just the acknowledgment) or re-assembly failed.
+				return e.distEpilogue(ctx, sp, ds, dst, plan.Loc, useCkpt, nil)
+			}
+			if p != nil && ds.resumedDone >= ds.parts {
+				e.completeTask(ctx, sp, ds, dst, reqRNG)
+				return e.distEpilogue(ctx, sp, ds, dst, plan.Loc, useCkpt, nil)
+			}
+		}
 	}
-	ds.mpu = mpu
+	if p == nil {
+		// Task ids embed the rule identity: several rules may share the
+		// location region's database, and their part pools must not collide.
+		ds.taskID = fmt.Sprintf("%s#task-%d", e.ruleID, e.taskSeq.Add(1))
+		p = newPool(loc.KV, ds.taskID, ds.parts)
+		// init_replication + create_part_pool (Algorithm 1, lines 2-4): the
+		// task record with its claim cursor, completion bitmap and epoch.
+		isp := sp.Child("kv:init-pool").Set("parts", ds.parts).Set("part_bytes", partSize)
+		p.create(etag)
+		isp.End()
+		msp := sp.Child("mpu-create")
+		var mpu string
+		err := e.request(msp, reqRNG, time.Time{}, func() error {
+			var cerr error
+			mpu, cerr = dst.Obj.CreateMultipartWithOrigin(e.Rule.DstBucket, key, e.origin())
+			return cerr
+		})
+		msp.End()
+		if err != nil {
+			p.destroy()
+			return execResult{reason: "create multipart: " + err.Error(), doneAt: clock.Now()}
+		}
+		ds.mpu = mpu
+		// The MPU exists but nothing durable points at it yet: a crash here
+		// leaks it, and only the orphan GC can reclaim it.
+		e.maybeCrash(ctx, "after-create-mpu")
+		if !ctx.Alive() {
+			return execResult{reason: "orchestrator crashed after mpu-create", doneAt: clock.Now()}
+		}
+		if useCkpt {
+			csp := sp.Child("kv:checkpoint")
+			e.ckpt.write(key, taskCkpt{
+				ETag: etag, MPU: mpu, Task: ds.taskID, Loc: plan.Loc,
+				PartSize: partSize, Parts: ds.parts,
+			})
+			csp.End()
+			e.cacheCkpt(key, ckptRef{mpu: mpu, task: ds.taskID, loc: plan.Loc})
+			// From here on a retry finds the checkpoint and resumes; the
+			// MPU can no longer leak past the recovery records' TTL.
+			e.maybeCrash(ctx, "after-checkpoint")
+			if !ctx.Alive() {
+				return execResult{reason: "orchestrator crashed after checkpoint", doneAt: clock.Now()}
+			}
+		}
+	}
 
 	var instMu sync.Mutex
 	var insts []InstanceStat
@@ -1053,29 +1190,128 @@ func (e *Engine) distributed(sp *telemetry.Span, key, etag string, size int64, p
 	loc.Fn.InvokeSpan(sp, plan.N, func(rctx *faas.Ctx) {
 		defer group.Done()
 		idx := int(fairNext.Add(1) - 1)
-		stat := e.replicator(rctx, ds, src, dst, loc, idx, plan.N)
+		stat := e.replicator(rctx, ds, p, src, dst, loc, idx, plan.N)
 		instMu.Lock()
 		insts = append(insts, stat)
 		instMu.Unlock()
 	})
 	group.Wait()
+	return e.distEpilogue(ctx, sp, ds, dst, plan.Loc, useCkpt, insts)
+}
 
-	if !ds.completed.Load() {
-		asp := sp.Child("mpu-abort")
-		dst.Obj.AbortMultipart(mpu)
-		asp.End()
-		ds.mu.Lock()
-		reason := ds.reason
-		ds.mu.Unlock()
-		if reason == "" {
-			reason = "no replicator completed the task"
+// resumeTask re-attaches a retried task to the MPU and part pool its
+// checkpoint records, priming ds with the completed-part bitmap. It
+// returns nil when the checkpointed state is unusable (stale version,
+// vanished records) — the caller then starts fresh — and may settle ds
+// directly when the previous attempt had already made the object durable.
+func (e *Engine) resumeTask(ctx *faas.Ctx, sp *telemetry.Span, ds *distState, ck taskCkpt, dst, loc *world.Services, plan planner.Plan, reqRNG *rand.Rand) *pool {
+	if ck.ETag != ds.etag || ck.Parts != ds.parts || ck.PartSize != ds.partSize || ck.Loc != plan.Loc {
+		// Checkpoint for a different version or plan shape: its partial
+		// upload can never assemble into what this attempt replicates.
+		_ = dst.Obj.AbortMultipart(ck.MPU)
+		e.mpusAborted.Inc()
+		e.dropCkptRecords(ds.key, ck.Task, ck.Loc)
+		return nil
+	}
+	hsp := sp.Child("mpu-head")
+	err := e.request(hsp, reqRNG, time.Time{}, func() error {
+		_, herr := dst.Obj.HeadMultipart(ck.MPU)
+		return herr
+	})
+	hsp.End()
+	if errors.Is(err, objstore.ErrNoSuchUpload) {
+		// The upload is gone: completed (the crash lost only the
+		// acknowledgment) or aborted by GC. The destination object decides.
+		if cur, herr := dst.Obj.Head(e.Rule.DstBucket, ds.key); herr == nil && cur.ETag == ds.etag {
+			sp.Set("resumed_converged", true)
+			e.resumedTasks.Inc()
+			e.dropCkptRecords(ds.key, ck.Task, ck.Loc)
+			ds.mu.Lock()
+			ds.doneAt = e.W.Clock.Now()
+			ds.mu.Unlock()
+			ds.completed.Store(true)
+			return nil
 		}
-		return execResult{reason: reason, validation: ds.validation.Load(), doneAt: clock.Now(), insts: insts}
+		e.dropCkptRecords(ds.key, ck.Task, ck.Loc)
+		return nil
+	}
+	if err != nil {
+		ds.abort("head multipart: " + err.Error())
+		return nil
+	}
+	ds.taskID, ds.mpu = ck.Task, ck.MPU
+	p := newPool(loc.KV, ck.Task, ds.parts)
+	bitmap, done, reclaimed, ok := p.attach()
+	if !ok || int64(len(bitmap)) != ds.parts {
+		// The pool record expired or predates the bitmap schema; without a
+		// trustworthy completion record the upload cannot be resumed.
+		_ = dst.Obj.AbortMultipart(ck.MPU)
+		e.mpusAborted.Inc()
+		e.dropCkptRecords(ds.key, ck.Task, ck.Loc)
+		ds.taskID, ds.mpu = "", ""
+		return nil
+	}
+	for idx := int64(0); idx < ds.parts; idx++ {
+		if bitmap[idx] == '1' {
+			ds.phase[idx] = partCounted
+		}
+	}
+	ds.resumedDone = done
+	sp.Set("resumed", true).Set("parts_resumed", done).Set("parts_reclaimed", reclaimed)
+	e.resumedTasks.Inc()
+	e.partsResumed.Add(done)
+	e.partsReclaimed.Add(reclaimed)
+	e.cacheCkpt(ds.key, ckptRef{mpu: ck.MPU, task: ck.Task, loc: ck.Loc})
+	return p
+}
+
+// distEpilogue settles one distributed attempt: scrap or keep the task's
+// MPU and recovery records depending on how it ended, and shape the
+// execResult. A crashed orchestrator keeps everything — crashed code
+// cannot run cleanup, which is precisely what the checkpoint is for.
+func (e *Engine) distEpilogue(ctx *faas.Ctx, sp *telemetry.Span, ds *distState, dst *world.Services, locID cloud.RegionID, useCkpt bool, insts []InstanceStat) execResult {
+	clock := e.W.Clock
+	reason := func() string {
+		ds.mu.Lock()
+		defer ds.mu.Unlock()
+		if ds.reason == "" {
+			return "no replicator completed the task"
+		}
+		return ds.reason
+	}
+	if !ctx.Alive() {
+		return execResult{reason: reason(), validation: ds.validation.Load(), doneAt: clock.Now(), insts: insts}
+	}
+	if !ds.completed.Load() {
+		if !useCkpt || ds.validation.Load() {
+			// Validation aborts can never resume (the pinned version is
+			// gone), and fair dispatch never checkpoints: abort the upload
+			// and scrap the records.
+			asp := sp.Child("mpu-abort")
+			_ = dst.Obj.AbortMultipart(ds.mpu)
+			asp.End()
+			e.mpusAborted.Inc()
+			if useCkpt {
+				e.dropCkptRecords(ds.key, ds.taskID, locID)
+			} else {
+				e.W.Region(locID).KV.Delete(poolTable, ds.taskID)
+			}
+		}
+		// Otherwise keep the MPU, pool and checkpoint: the next attempt
+		// (in-process retry or platform redrive) resumes from them.
+		return execResult{reason: reason(), validation: ds.validation.Load(), doneAt: clock.Now(), insts: insts}
+	}
+	if ds.taskID != "" {
+		if useCkpt {
+			e.dropCkptRecords(ds.key, ds.taskID, locID)
+		} else {
+			e.W.Region(locID).KV.Delete(poolTable, ds.taskID)
+		}
 	}
 	ds.mu.Lock()
 	doneAt := ds.doneAt
 	ds.mu.Unlock()
-	return execResult{ok: true, etag: etag, doneAt: doneAt, insts: insts}
+	return execResult{ok: true, etag: ds.etag, doneAt: doneAt, insts: insts}
 }
 
 // fetched is one part that finished its download stage and awaits its
@@ -1096,7 +1332,7 @@ type fetched struct {
 // pool drains an idle instance hedges stragglers' in-flight parts —
 // idempotent part uploads make the duplicates safe. The instance whose
 // completion update closes the counter concludes the task.
-func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.Services, fairIdx, n int) InstanceStat {
+func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, p *pool, src, dst, loc *world.Services, fairIdx, n int) InstanceStat {
 	clock := e.W.Clock
 	// The concurrent download lane must not share a rand.Rand with the
 	// upload stage: two independent streams keep each stage's draws
@@ -1117,10 +1353,10 @@ func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.S
 	fairNext := fairLo
 
 	batch := max(e.Rule.ClaimBatch, 1)
-	var claimed []int64 // parts claimed by the last pool increment, not yet fetched
-	var hiSeen int64    // highest pool position this instance has observed
+	var claimed []int64          // parts claimed by the last pool update, not yet fetched
+	poolRem := ds.parts          // parts remaining in the pool at the last claim
 
-	claim := func(sp *telemetry.Span) int64 {
+	claim := func(fctx *faas.Ctx) int64 {
 		if e.Rule.Scheduling == FairDispatch {
 			if fairNext >= fairHi {
 				return ds.parts // range exhausted
@@ -1131,21 +1367,31 @@ func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.S
 			return idx
 		}
 		if len(claimed) == 0 {
-			// get_part_from_pool, amortized: one KV increment claims up
-			// to batch parts. The batch tapers with the pool (guided
+			// get_part_from_pool, amortized: one KV update claims up to
+			// batch parts (reclaimed parts first) and stamps each with this
+			// instance's lease. The batch tapers with the pool (guided
 			// self-scheduling): full-sized while at least two rounds per
 			// instance remain, down to single parts near exhaustion, so
 			// slow instances are not stuck with a large final batch the
 			// fast ones could have drained part by part.
 			b := int64(batch)
-			if rem := ds.parts - hiSeen; rem < 2*int64(n)*b {
-				b = max(rem/(2*int64(n)), 1)
+			if poolRem < 2*int64(n)*b {
+				b = max(poolRem/(2*int64(n)), 1)
 			}
-			csp := sp.Child("kv:claim").Set("batch", b)
-			hi := loc.KV.Increment("areplica-tasks", ds.taskID, "next", b)
+			csp := fctx.Span.Child("kv:claim").Set("batch", b)
+			idxs, rem, fenced := p.claim(b, ctx.Instance.ID, clock.Now())
 			csp.End()
-			hiSeen = max(hiSeen, hi)
-			for idx := hi - b; idx < min(hi, ds.parts); idx++ {
+			// The claim is leased but no part is delivered yet: a crash
+			// here strands the claims until attach (or the janitor)
+			// returns them to the pool.
+			e.maybeCrash(fctx, "after-claim")
+			if fenced {
+				// A newer attempt reclaimed this task: this instance is a
+				// zombie and must stop producing work.
+				return ds.parts
+			}
+			poolRem = rem
+			for _, idx := range idxs {
 				ds.markClaimed(idx, ctx.Instance.ID)
 				claimed = append(claimed, idx)
 			}
@@ -1206,22 +1452,31 @@ func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.S
 		return &fetched{idx: idx, length: length, blob: blob, psp: psp, hedged: hedged}
 	}
 
-	// Completion updates are batched like claims: pendingDone counts
-	// delivered parts not yet pushed to the pool's done counter.
-	pendingDone := 0
+	// Completion updates are batched like claims: pendingIdxs holds
+	// delivered parts whose bitmap bits are not yet set in the pool.
+	var pendingIdxs []int64
 	flush := func(sp *telemetry.Span) {
-		if pendingDone == 0 || !ctx.Alive() {
+		if len(pendingIdxs) == 0 || !ctx.Alive() {
 			return
 		}
-		k := int64(pendingDone)
-		pendingDone = 0
-		dsp := sp.Child("kv:done").Set("batch", k)
-		done := loc.KV.Increment("areplica-tasks", ds.taskID, "done", k)
+		idxs := pendingIdxs
+		pendingIdxs = nil
+		dsp := sp.Child("kv:done").Set("batch", int64(len(idxs)))
+		_, closed, fenced := p.flush(idxs)
 		dsp.End()
-		if done >= ds.parts && done-k < ds.parts {
-			// This update closed the counter: finish_replication
+		if fenced {
+			// A newer attempt reclaimed these parts and will deliver them
+			// itself; counting them here would double-complete the pool.
+			e.partsFenced.Add(int64(len(idxs)))
+			return
+		}
+		// The parts are durably counted but this instance hasn't acted on
+		// it yet; a crash here redoes nothing — the bits are set.
+		e.maybeCrash(ctx, "after-flush")
+		if closed {
+			// This update closed the bitmap: finish_replication
 			// (Algorithm 1, line 13) falls to this instance.
-			e.completeTask(sp, ds, dst, upRNG)
+			e.completeTask(ctx, sp, ds, dst, upRNG)
 		}
 	}
 
@@ -1272,13 +1527,22 @@ func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.S
 			f.psp.End()
 			return
 		}
+		// The part upload is durable in the MPU, but its bitmap bit is not
+		// set: a crash in this window redoes exactly this part (the resumed
+		// attempt reclaims the claim and re-uploads idempotently).
+		e.maybeCrash(ctx, fmt.Sprintf("after-part-%d", f.idx))
+		if !ctx.Alive() {
+			f.psp.Set("crashed", true)
+			f.psp.End()
+			return
+		}
 		stat.Chunks++
 		// Only the first delivery of a part counts toward the done
 		// total; a duplicate (hedge vs. owner) lands idempotently in the
 		// MPU without double-counting.
 		if ds.acquireDone(f.idx) {
-			pendingDone++
-			if pendingDone >= batch {
+			pendingIdxs = append(pendingIdxs, f.idx)
+			if len(pendingIdxs) >= batch {
 				flush(f.psp)
 			}
 		}
@@ -1291,8 +1555,8 @@ func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.S
 		if ds.aborted.Load() || ds.completed.Load() || !fctx.Alive() {
 			return nil
 		}
-		idx := claim(fctx.Span)
-		if idx >= ds.parts {
+		idx := claim(fctx)
+		if idx >= ds.parts || !fctx.Alive() {
 			return nil
 		}
 		return fetch(fctx, rng, idx, false)
@@ -1331,7 +1595,7 @@ func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.S
 	if e.Rule.Scheduling != FairDispatch && e.Rule.HedgeBudget > 0 {
 		for !ds.aborted.Load() && !ds.completed.Load() && ctx.Alive() {
 			hsp := ctx.Span.Child("kv:hedge").Set(telemetry.CatAttr, string(telemetry.CatHedge))
-			item, ok := loc.KV.Get("areplica-tasks", ds.taskID)
+			item, ok := loc.KV.Get(poolTable, ds.taskID)
 			hsp.End()
 			if !ok {
 				break
@@ -1356,8 +1620,14 @@ func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, src, dst, loc *world.S
 
 // completeTask assembles the destination object once every part is
 // delivered and validates the result against the task's pinned version.
-func (e *Engine) completeTask(sp *telemetry.Span, ds *distState, dst *world.Services, rng *rand.Rand) {
+func (e *Engine) completeTask(ctx *faas.Ctx, sp *telemetry.Span, ds *distState, dst *world.Services, rng *rand.Rand) {
 	clock := e.W.Clock
+	// A crash before the complete call leaves every part durable and the
+	// MPU open: the resumed attempt re-attaches and only re-assembles.
+	e.maybeCrash(ctx, "before-complete-mpu")
+	if !ctx.Alive() {
+		return
+	}
 	fsp := sp.Child("mpu-complete")
 	var res objstore.PutResult
 	err := e.request(fsp, rng, time.Time{}, func() error {
@@ -1366,14 +1636,23 @@ func (e *Engine) completeTask(sp *telemetry.Span, ds *distState, dst *world.Serv
 		return ferr
 	})
 	fsp.End()
+	// A crash after the complete call loses only the acknowledgment: the
+	// destination object is durable, and the retry's dedupe (or the resume
+	// path's vanished-MPU probe) resolves without a second final write.
+	e.maybeCrash(ctx, "after-complete-mpu")
 	if err != nil {
 		ds.abort("complete multipart: " + err.Error())
-	} else if res.ETag != ds.etag {
-		ds.abortValidation("assembled object does not match the source version")
-	} else {
-		ds.mu.Lock()
-		ds.doneAt = clock.Now()
-		ds.mu.Unlock()
-		ds.completed.Store(true)
+		return
 	}
+	if res.ETag != ds.etag {
+		ds.abortValidation("assembled object does not match the source version")
+		return
+	}
+	if !ctx.Alive() {
+		return
+	}
+	ds.mu.Lock()
+	ds.doneAt = clock.Now()
+	ds.mu.Unlock()
+	ds.completed.Store(true)
 }

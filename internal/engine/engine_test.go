@@ -359,25 +359,27 @@ func TestTrackerResolveOrdering(t *testing.T) {
 
 func TestLockPendingRecorded(t *testing.T) {
 	w := world.New()
-	l := newReplLock(w.Region(srcID).KV, "test-rule")
-	if !l.acquire("k", "e1", 1) {
+	l := newReplLock(w.Region(srcID).KV, "test-rule", 0, w.Clock.Now)
+	tok1, ok, _ := l.acquire("k", "e1", 1)
+	if !ok {
 		t.Fatal("first acquire failed")
 	}
-	if l.acquire("k", "e2", 2) {
+	if _, ok, _ := l.acquire("k", "e2", 2); ok {
 		t.Fatal("second acquire should fail")
 	}
-	if l.acquire("k", "e3", 3) {
+	if _, ok, _ := l.acquire("k", "e3", 3); ok {
 		t.Fatal("third acquire should fail")
 	}
-	etag, seq, retrigger := l.release("k", 1)
+	etag, seq, retrigger := l.release("k", tok1, 1)
 	if !retrigger || etag != "e3" || seq != 3 {
 		t.Fatalf("release = (%s, %d, %v), want (e3, 3, true)", etag, seq, retrigger)
 	}
 	// Lock is free again.
-	if !l.acquire("k", "e3", 3) {
+	tok2, ok, _ := l.acquire("k", "e3", 3)
+	if !ok {
 		t.Fatal("re-acquire after release failed")
 	}
-	if _, _, retrigger := l.release("k", 3); retrigger {
+	if _, _, retrigger := l.release("k", tok2, 3); retrigger {
 		t.Fatal("no newer version pending; retrigger must be false")
 	}
 }
@@ -511,18 +513,54 @@ func TestLockLeaseExpiresAfterCrash(t *testing.T) {
 	// the key forever: the lock's KV lease expires and a later version
 	// acquires cleanly.
 	w := world.New()
-	l := newReplLock(w.Region(srcID).KV, "lease-rule")
-	if !l.acquire("k", "e1", 1) {
+	l := newReplLock(w.Region(srcID).KV, "lease-rule", 0, w.Clock.Now)
+	tok1, ok, _ := l.acquire("k", "e1", 1)
+	if !ok {
 		t.Fatal("first acquire failed")
 	}
 	// Crash: no release. Before the lease expires, acquires still fail.
 	w.Clock.Sleep(time.Minute)
-	if l.acquire("k", "e2", 2) {
+	if _, ok, _ := l.acquire("k", "e2", 2); ok {
 		t.Fatal("lease should still be held")
 	}
 	w.Clock.Sleep(20 * time.Minute) // past the 15-minute lease
-	if !l.acquire("k", "e3", 3) {
+	tok2, ok, _ := l.acquire("k", "e3", 3)
+	if !ok {
 		t.Fatal("expired lease should be acquirable")
+	}
+	// The crashed holder's late release is fenced by its token: it must
+	// not drop the second acquirer's lock or observe its pending state.
+	if _, ok, _ := l.acquire("k", "e4", 4); ok {
+		t.Fatal("lock should be held by the second acquirer")
+	}
+	if _, _, retrigger := l.release("k", tok1, 1); retrigger {
+		t.Fatal("zombie release must be a no-op")
+	}
+	if _, ok, _ := l.acquire("k", "e5", 5); ok {
+		t.Fatal("zombie release must not free the new holder's lock")
+	}
+	// The live holder's own release still works and surfaces the pending
+	// versions recorded while it held the lock.
+	etag, seq, retrigger := l.release("k", tok2, 3)
+	if !retrigger || etag != "e5" || seq != 5 {
+		t.Fatalf("release = (%s, %d, %v), want (e5, 5, true)", etag, seq, retrigger)
+	}
+}
+
+func TestLockLeaseConfigurable(t *testing.T) {
+	// A short LockLease frees a crashed holder's key on that cadence.
+	w := world.New()
+	l := newReplLock(w.Region(srcID).KV, "short-lease", 20*time.Second, w.Clock.Now)
+	if _, ok, _ := l.acquire("k", "e1", 1); !ok {
+		t.Fatal("first acquire failed")
+	}
+	w.Clock.Sleep(10 * time.Second)
+	if _, ok, _ := l.acquire("k", "e2", 2); ok {
+		t.Fatal("lease should still be held at 10s")
+	}
+	w.Clock.Sleep(15 * time.Second) // 25s > 20s lease
+	if _, ok, _ := l.acquire("k", "e3", 3); !ok {
+		t.Fatal("20s lease should have expired")
 	}
 }
 

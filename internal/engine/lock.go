@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/kvstore"
@@ -19,46 +20,81 @@ type replLock struct {
 	// acquire/pending write refreshes it, and an expired lock reads as
 	// free (the KV store's TTL, §6's fault-tolerance posture).
 	lease time.Duration
+	now   func() time.Time
+	// tokens mints per-acquisition holder identities so a release is
+	// fenced to its own acquisition: a crashed holder's late release
+	// cannot drop a lock the TTL already handed to a second acquirer.
+	tokens atomic.Int64
 }
 
 // newReplLock scopes the lock table by rule identity: replication of the
 // same source object toward *different* destinations is independent (a
 // fan-out deployment must not serialize across rules), while tasks within
 // one rule serialize per key.
-func newReplLock(kv *kvstore.Store, ruleID string) *replLock {
-	return &replLock{kv: kv, table: "areplica-locks:" + ruleID, lease: 15 * time.Minute}
+func newReplLock(kv *kvstore.Store, ruleID string, lease time.Duration, now func() time.Time) *replLock {
+	if lease <= 0 {
+		lease = 15 * time.Minute
+	}
+	return &replLock{kv: kv, table: "areplica-locks:" + ruleID, lease: lease, now: now}
 }
 
 // acquire attempts to take the lock for key on behalf of a replication of
-// (etag, seq). On failure the version is recorded as pending if it is
-// newer than what the holder already knows about. The whole operation is
-// one conditional KV write.
-func (l *replLock) acquire(key, etag string, seq uint64) bool {
-	acquired := false
-	l.kv.UpdateWithTTL(l.table, key, l.lease, func(cur kvstore.Item, exists bool) (kvstore.Item, bool) {
+// (etag, seq), returning a fencing token identifying this acquisition. On
+// failure the version is recorded as pending if it is newer than what the
+// holder already knows about, and wait reports how long until the current
+// holder's lease expires — the earliest moment a crashed holder's lock can
+// be gone, which the caller uses to schedule a recovery probe. The whole
+// operation is one conditional KV write.
+func (l *replLock) acquire(key, etag string, seq uint64) (token int64, acquired bool, wait time.Duration) {
+	token = l.tokens.Add(1)
+	wait = l.lease
+	l.kv.UpdateTTL(l.table, key, func(cur kvstore.Item, exists bool) (kvstore.Item, bool, time.Duration) {
 		if !exists {
 			acquired = true
-			return kvstore.Item{"held": true, "pending_etag": "", "pending_seq": int64(0)}, true
+			return kvstore.Item{
+				"holder": token, "pending_etag": "", "pending_seq": int64(0),
+				"expires": l.now().Add(l.lease).UnixNano(),
+			}, true, l.lease
+		}
+		if exp := cur.Int("expires"); exp > 0 {
+			if rem := time.Unix(0, exp).Sub(l.now()); rem > 0 && rem < wait {
+				wait = rem
+			}
 		}
 		if cur.Int("pending_seq") < int64(seq) {
 			cur["pending_seq"] = int64(seq)
 			cur["pending_etag"] = etag
 		}
-		return cur, true
+		// Recording a pending version must not refresh the holder's lease:
+		// contenders arriving on a crashed holder's key would otherwise
+		// keep its lock alive forever.
+		return cur, true, 0
 	})
-	return acquired
+	return token, acquired, wait
 }
 
 // release drops the lock and returns the pending version recorded while it
 // was held, if that version is newer than the one just replicated
-// (replicatedSeq). The caller must re-trigger replication for it.
-func (l *replLock) release(key string, replicatedSeq uint64) (pendingETag string, pendingSeq uint64, retrigger bool) {
+// (replicatedSeq); the caller must re-trigger replication for it. The
+// delete is fenced on the holder token: if the lease expired and another
+// orchestrator took the lock, this release is a zombie write and must not
+// free (or observe pending state of) the new holder's lock.
+func (l *replLock) release(key string, token int64, replicatedSeq uint64) (pendingETag string, pendingSeq uint64, retrigger bool) {
+	held := false
 	l.kv.Update(l.table, key, func(cur kvstore.Item, exists bool) (kvstore.Item, bool) {
-		if exists {
-			pendingETag = cur.Str("pending_etag")
-			pendingSeq = uint64(cur.Int("pending_seq"))
+		if !exists {
+			return nil, false // lease already expired with no new holder
 		}
+		if cur.Int("holder") != token {
+			return cur, true // fenced: someone else holds it now
+		}
+		held = true
+		pendingETag = cur.Str("pending_etag")
+		pendingSeq = uint64(cur.Int("pending_seq"))
 		return nil, false // delete: lock released
 	})
+	if !held {
+		return "", 0, false
+	}
 	return pendingETag, pendingSeq, pendingSeq > replicatedSeq
 }

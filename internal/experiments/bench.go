@@ -91,6 +91,24 @@ type BenchFault struct {
 	SLOAlerts       int     `json:"slo_alerts"`
 }
 
+// BenchCrash is one crash-point sweep row's regression-relevant subset.
+// Converged, DupFinalWrites and MPUsLeft are hard bars (recovery must stay
+// total, duplicate-free, and leak-free); RedoneBytes and ExtraKVOps pin the
+// cost of recovery — checkpointed resume redoing only the in-flight part,
+// not the whole object.
+type BenchCrash struct {
+	Point          string  `json:"point"`
+	Converged      bool    `json:"converged"`
+	DupFinalWrites int     `json:"dup_final_writes"`
+	Resumed        int64   `json:"resumed"`
+	PartsResumed   int64   `json:"parts_resumed"`
+	RedoneBytes    int64   `json:"redone_bytes"`
+	RedoneParts    float64 `json:"redone_parts"`
+	ExtraKVOps     int64   `json:"extra_kv_ops"`
+	GCAborted      int     `json:"gc_aborted"`
+	MPUsLeft       int     `json:"mpus_left"`
+}
+
 // BenchScrub is one anti-entropy sweep row's regression-relevant subset
 // (BenchConfig.Scrub). The "off" row pins the baseline divergence the
 // lossy workload produces; cadence rows pin full convergence and the
@@ -113,6 +131,7 @@ type BenchReport struct {
 	Suite       string            `json:"suite"` // "quick" or "full"
 	Experiments []BenchExperiment `json:"experiments"`
 	FaultMatrix []BenchFault      `json:"fault_matrix"`
+	CrashSweep  []BenchCrash      `json:"crash_sweep,omitempty"`
 	Scrub       []BenchScrub      `json:"scrub,omitempty"`
 }
 
@@ -202,6 +221,27 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 			LagP99S:         s.LagP99S,
 			BacklogMax:      s.BacklogMax,
 			SLOAlerts:       s.SLOAlerts,
+		})
+	}
+
+	// Crash-point sweep: cheap (one object per point) and always on, so
+	// the recovery guarantees are gated on every report.
+	cs, err := RunCrashSweep(CrashSweepConfig{Quick: cfg.Quick})
+	if err != nil {
+		return nil, fmt.Errorf("bench crash sweep: %w", err)
+	}
+	for _, p := range cs.Points {
+		rep.CrashSweep = append(rep.CrashSweep, BenchCrash{
+			Point:          p.Point,
+			Converged:      p.Converged,
+			DupFinalWrites: p.DupFinalWrites,
+			Resumed:        p.Resumed,
+			PartsResumed:   p.PartsResumed,
+			RedoneBytes:    p.RedoneBytes,
+			RedoneParts:    p.RedoneParts,
+			ExtraKVOps:     p.ExtraKVOps,
+			GCAborted:      p.GCAborted,
+			MPUsLeft:       p.MPUsLeft,
 		})
 	}
 
@@ -420,6 +460,39 @@ func CompareBench(baseline, got *BenchReport, tol BenchTolerance) []string {
 		}
 	}
 
+	// Crash sweep: recovery is gated hard — a crash point that converged in
+	// the baseline must still converge, duplicate final writes and leaked
+	// MPUs must not grow above the baseline's (zero) counts, and the cost
+	// of recovery (redone bytes, extra KV ops) may drift only by the
+	// relative slack plus small floors (half a part of wide-area rework,
+	// four KV operations).
+	newCrash := make(map[string]BenchCrash, len(got.CrashSweep))
+	for _, c := range got.CrashSweep {
+		newCrash[c.Point] = c
+	}
+	for _, old := range baseline.CrashSweep {
+		c, ok := newCrash[old.Point]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("crash %s: point missing from new report", old.Point))
+			continue
+		}
+		if old.Converged && !c.Converged {
+			regs = append(regs, fmt.Sprintf("crash %s: no longer converges after the crash", old.Point))
+		}
+		if c.DupFinalWrites > old.DupFinalWrites {
+			regs = append(regs, fmt.Sprintf("crash %s: duplicate final writes %d -> %d", old.Point, old.DupFinalWrites, c.DupFinalWrites))
+		}
+		if c.MPUsLeft > old.MPUsLeft {
+			regs = append(regs, fmt.Sprintf("crash %s: leaked in-progress MPUs %d -> %d", old.Point, old.MPUsLeft, c.MPUsLeft))
+		}
+		if tol.exceeds(float64(old.RedoneBytes), float64(c.RedoneBytes), float64(4*1024*1024)) {
+			regs = append(regs, fmt.Sprintf("crash %s: redone bytes %d -> %d (tol %.0f%%)", old.Point, old.RedoneBytes, c.RedoneBytes, 100*tol.rel()))
+		}
+		if tol.exceeds(float64(old.ExtraKVOps), float64(c.ExtraKVOps), 4) {
+			regs = append(regs, fmt.Sprintf("crash %s: extra kv ops %d -> %d (tol %.0f%%)", old.Point, old.ExtraKVOps, c.ExtraKVOps, 100*tol.rel()))
+		}
+	}
+
 	// Scrub sweep: scrubbed cadences must not converge less or leave more
 	// divergence behind than the baseline run did; duplicate final writes
 	// are a hard zero-tolerance bar; digest traffic may drift by the
@@ -470,6 +543,16 @@ func (r *BenchReport) Print(out io.Writer) {
 			fprintf(out, "%-26s %8.1f%% %8.2f %8.2f %4d %8.1f%% %8.2f %7d %6d\n",
 				f.Profile, f.ConvergencePct, f.P50S, f.P99S, f.DLQ, f.CostOverheadPct,
 				f.LagP99S, f.BacklogMax, f.SLOAlerts)
+		}
+	}
+	if len(r.CrashSweep) > 0 {
+		fprintf(out, "%-26s %9s %4s %8s %8s %12s %7s %7s %5s\n",
+			"crash point", "converged", "dup", "resumed", "parts_in",
+			"redone_bytes", "kv_ovh", "gc", "left")
+		for _, c := range r.CrashSweep {
+			fprintf(out, "%-26s %9v %4d %8d %8d %12d %7d %7d %5d\n",
+				c.Point, c.Converged, c.DupFinalWrites, c.Resumed, c.PartsResumed,
+				c.RedoneBytes, c.ExtraKVOps, c.GCAborted, c.MPUsLeft)
 		}
 	}
 	if len(r.Scrub) > 0 {

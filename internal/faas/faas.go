@@ -127,6 +127,19 @@ func (c *Ctx) Alive() bool {
 	return !c.hasCrash || c.Clock.Now().Before(c.crashAt)
 }
 
+// Kill crashes the instance at the current virtual instant: Alive turns
+// false immediately, billing stops here, and the instance never returns to
+// the warm pool. Crash-point injection uses it to stop an instance at an
+// exact step of a handler's state machine, where the probabilistic FnCrash
+// draw could only land nearby.
+func (c *Ctx) Kill() {
+	if c.hasCrash && c.crashAt.Before(c.Clock.Now()) {
+		return // already dead at an earlier instant
+	}
+	c.hasCrash = true
+	c.crashAt = c.Clock.Now()
+}
+
 // BandwidthScale returns the instance's end-to-end bandwidth factor:
 // per-instance multiplier times the configuration scale.
 func (c *Ctx) BandwidthScale() float64 {

@@ -276,12 +276,24 @@ func (s *Store) Update(table, key string, fn func(cur Item, exists bool) (Item, 
 // when ttl > 0 (ttl == 0 preserves any existing expiry). Lock tables use
 // it so a crashed holder's lock expires instead of wedging the key.
 func (s *Store) UpdateWithTTL(table, key string, ttl time.Duration, fn func(cur Item, exists bool) (Item, bool)) Item {
+	return s.UpdateTTL(table, key, func(cur Item, exists bool) (Item, bool, time.Duration) {
+		next, keep := fn(cur, exists)
+		return next, keep, ttl
+	})
+}
+
+// UpdateTTL is Update where fn also decides the lease of the stored item:
+// a returned ttl > 0 (re)installs the expiry, 0 preserves whatever expiry
+// exists. Lock acquisition needs this — only the call that actually takes
+// the lock may refresh its lease; a contender recording itself as pending
+// must not keep a crashed holder's lock alive.
+func (s *Store) UpdateTTL(table, key string, fn func(cur Item, exists bool) (Item, bool, time.Duration)) Item {
 	s.simulateOp(true)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.reapLocked(table, key)
 	cur, exists := s.table(table)[key]
-	next, keep := fn(cur.clone(), exists)
+	next, keep, ttl := fn(cur.clone(), exists)
 	if !keep {
 		delete(s.table(table), key)
 		s.setTTLLocked(table, key, 0)

@@ -38,10 +38,12 @@ const (
 	OpMpuCreate   = "mpu_create"
 	OpMpuUpload   = "mpu_upload"
 	OpMpuComplete = "mpu_complete"
+	OpMpuAbort    = "mpu_abort"
+	OpMpuList     = "mpu_list"
 )
 
 // Ops lists every injectable operation class.
-var Ops = []string{OpPut, OpGet, OpGetRange, OpDelete, OpCopy, OpList, OpMpuCreate, OpMpuUpload, OpMpuComplete}
+var Ops = []string{OpPut, OpGet, OpGetRange, OpDelete, OpCopy, OpList, OpMpuCreate, OpMpuUpload, OpMpuComplete, OpMpuAbort, OpMpuList}
 
 // Errors returned by store operations.
 var (
@@ -146,10 +148,11 @@ type Store struct {
 }
 
 type multipart struct {
-	bucket string
-	key    string
-	origin string
-	parts  map[int]Blob
+	bucket  string
+	key     string
+	origin  string
+	created time.Time
+	parts   map[int]Blob
 }
 
 // New returns a Store for region, metering request fees to meter.
@@ -575,7 +578,8 @@ func (s *Store) CreateMultipartWithOrigin(bucketName, key, origin string) (strin
 	}
 	s.seq++
 	id := fmt.Sprintf("mpu-%d", s.seq)
-	s.uploads[id] = &multipart{bucket: bucketName, key: key, origin: origin, parts: make(map[int]Blob)}
+	s.uploads[id] = &multipart{bucket: bucketName, key: key, origin: origin,
+		created: s.clock.Now(), parts: make(map[int]Blob)}
 	return id, nil
 }
 
@@ -631,12 +635,85 @@ func (s *Store) CompleteMultipart(uploadID string) (PutResult, error) {
 	return s.storeOriginLocked(b, up.key, ConcatBlobs(parts...), up.origin), nil
 }
 
-// AbortMultipart discards an in-progress upload.
-func (s *Store) AbortMultipart(uploadID string) {
+// AbortMultipart discards an in-progress upload: a metered request
+// (S3 aborts are free; Azure and GCS bill it write-class) that can fail
+// transiently like any other. Aborting an unknown upload succeeds
+// silently, as in S3 — recovery paths abort defensively.
+func (s *Store) AbortMultipart(uploadID string) error {
 	s.sleep(s.putLatency, s.putHist)
+	s.meter.Add("obj:abort", s.book.ObjAbort)
+	if err := s.maybeFail(OpMpuAbort); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.uploads, uploadID)
+	return nil
+}
+
+// MultipartInfo describes one in-progress multipart upload, as the
+// ListMultipartUploads APIs report it (part count and byte footprint are
+// what lifecycle/GC policies bill and reclaim).
+type MultipartInfo struct {
+	ID      string
+	Bucket  string
+	Key     string
+	Origin  string
+	Created time.Time
+	Parts   int
+	Bytes   int64
+}
+
+// HeadMultipart reports an in-progress upload's state (a ListParts-class
+// request at GET latency). It returns ErrNoSuchUpload after completion or
+// abort, which is how a resuming task learns whether its checkpointed MPU
+// still exists.
+func (s *Store) HeadMultipart(uploadID string) (MultipartInfo, error) {
+	s.sleep(s.getLatency, s.getHist)
+	s.meter.Add("obj:get", s.book.ObjGet)
+	if err := s.maybeFail(OpMpuList); err != nil {
+		return MultipartInfo{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	up, ok := s.uploads[uploadID]
+	if !ok {
+		return MultipartInfo{}, ErrNoSuchUpload
+	}
+	return s.mpuInfoLocked(uploadID, up), nil
+}
+
+// ListMultiparts enumerates the bucket's in-progress multipart uploads,
+// sorted by id — one metered LIST request, as S3's ListMultipartUploads.
+func (s *Store) ListMultiparts(bucketName string) ([]MultipartInfo, error) {
+	s.sleep(s.getLatency, s.getHist)
+	if err := s.maybeFail(OpMpuList); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.buckets[bucketName]; !ok {
+		return nil, ErrNoSuchBucket
+	}
+	s.meter.Add("obj:list", s.book.ObjList)
+	var out []MultipartInfo
+	for id, up := range s.uploads {
+		if up.bucket == bucketName {
+			out = append(out, s.mpuInfoLocked(id, up))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// mpuInfoLocked snapshots one upload's info. Caller holds s.mu.
+func (s *Store) mpuInfoLocked(id string, up *multipart) MultipartInfo {
+	info := MultipartInfo{ID: id, Bucket: up.bucket, Key: up.key,
+		Origin: up.origin, Created: up.created, Parts: len(up.parts)}
+	for _, b := range up.parts {
+		info.Bytes += b.Size
+	}
+	return info
 }
 
 // Usage reports a bucket's current and non-current storage footprint.

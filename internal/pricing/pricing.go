@@ -34,9 +34,10 @@ type Book struct {
 	KVRead  float64 // per read
 
 	// Object storage requests.
-	ObjPut  float64 // per PUT/COPY/POST
-	ObjGet  float64 // per GET
-	ObjList float64 // per LIST page request (up to 1000 keys)
+	ObjPut   float64 // per PUT/COPY/POST
+	ObjGet   float64 // per GET
+	ObjList  float64 // per LIST page request (up to 1000 keys)
+	ObjAbort float64 // per AbortMultipartUpload (free on S3, write-class elsewhere)
 
 	// VMs (Skyplane baseline).
 	VMHourly      float64
@@ -65,6 +66,7 @@ var books = map[cloud.Provider]Book{
 		ObjPut:               5.0e-6, // S3
 		ObjGet:               0.4e-6,
 		ObjList:              5.0e-6, // S3 LIST bills at the PUT tier
+		ObjAbort:             0,      // S3 AbortMultipartUpload is free
 		VMHourly:             1.30,
 		VMMinBillable:        60 * time.Second,
 		WorkflowTransition:   25e-6, // Step Functions standard
@@ -83,6 +85,7 @@ var books = map[cloud.Provider]Book{
 		ObjPut:               6.5e-6, // Blob Storage
 		ObjGet:               0.5e-6,
 		ObjList:              6.5e-6, // List Blobs is a write-class operation
+		ObjAbort:             6.5e-6, // block-list cleanup bills write-class
 		VMHourly:             1.20,
 		VMMinBillable:        60 * time.Second,
 		WorkflowTransition:   15e-6, // Durable Functions orchestration
@@ -100,6 +103,7 @@ var books = map[cloud.Provider]Book{
 		ObjPut:               5.0e-6, // GCS class A
 		ObjGet:               0.4e-6,
 		ObjList:              5.0e-6, // GCS list is class A
+		ObjAbort:             5.0e-6, // GCS abort is class A
 		VMHourly:             1.40,
 		VMMinBillable:        60 * time.Second,
 		WorkflowTransition:   10e-6, // Google Workflows internal steps
