@@ -58,6 +58,8 @@ func main() {
 		hedgeBudget     = flag.Int("hedge", 0, "speculative tail-part duplications per task (0 = default 4, -1 = disable)")
 		noAdaptiveParts = flag.Bool("no-adaptive-parts", false, "pin the distributed part size to 8MB instead of adapting per object")
 		critpath        = flag.Bool("critpath", false, "print the critical-path delay attribution across replicated tasks")
+		retainFlag      = flag.String("retain", "all", "trace retention policy: all (keep every trace), auto (anomalies + 1-in-16 head sample), or 1/N (anomalies + 1-in-N)")
+		retainSeed      = flag.Uint64("retain-seed", 0, "seed phasing the head-sample counter of -retain auto|1/N")
 		regions         = flag.Bool("regions", false, "list available regions and exit")
 		showStats       = flag.Bool("stats", false, "print a per-region activity snapshot at the end")
 		verbose         = flag.Bool("v", false, "print per-object delays")
@@ -124,7 +126,12 @@ func main() {
 	// Tracing starts after Deploy so exports cover the workload's
 	// replication tasks, not the one-time profiling phase (-critpath
 	// needs the spans too).
+	retention, err := parseRetain(*retainFlag, *retainSeed)
+	if err != nil {
+		fatal(err)
+	}
 	if *traceOut != "" || *critpath {
+		sim.World().Tracer.SetPolicy(retention)
 		sim.World().Tracer.Enable()
 	}
 	// Chaos arms after Deploy too: profiling fits a clean model, and
@@ -302,6 +309,13 @@ func main() {
 		sim.World().Snapshot().Print(os.Stdout)
 	}
 
+	if *traceOut != "" || *critpath {
+		fmt.Println("\ntrace retention:")
+		if err := sim.World().Tracer.WriteRetentionSummary(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *traceOut != "" {
 		if err := writeFile(*traceOut, sim.World().Tracer.WriteChromeTrace); err != nil {
 			fatal(err)
@@ -339,6 +353,26 @@ func writeFile(path string, write func(io.Writer) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// parseRetain maps the -retain flag onto a telemetry.RetentionPolicy:
+// "all" keeps every trace (nil policy, the legacy default), "auto" keeps
+// anomalies plus a 1-in-16 head sample, and "1/N" sets the head-sample
+// rate explicitly.
+func parseRetain(mode string, seed uint64) (*telemetry.RetentionPolicy, error) {
+	switch mode {
+	case "", "all":
+		return nil, nil
+	case "auto":
+		return telemetry.NewSampledPolicy(seed, 16), nil
+	}
+	if rest, ok := strings.CutPrefix(mode, "1/"); ok {
+		n, err := strconv.Atoi(rest)
+		if err == nil && n >= 1 {
+			return telemetry.NewSampledPolicy(seed, n), nil
+		}
+	}
+	return nil, fmt.Errorf("invalid -retain %q (want all, auto, or 1/N)", mode)
 }
 
 // parseSize parses "512KB", "16MB", "1GB", or plain bytes.

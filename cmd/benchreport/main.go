@@ -34,6 +34,7 @@ func main() {
 		interval = flag.Duration("interval", 5*time.Second, "virtual-time series sampling interval")
 		scrub    = flag.Bool("scrub", false, "include the anti-entropy cadence sweep in the report")
 		events   = flag.String("events", "", "write the fault matrix's SLO alert log as JSONL to this file")
+		simrate  = flag.Bool("simrate", true, "measure sim_rate (simulated-seconds per wall-second); disable for byte-identical determinism runs")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -46,7 +47,10 @@ func main() {
 	if *events != "" {
 		alertLog = fleetobs.NewEventLog()
 	}
-	rep, err := experiments.RunBench(experiments.BenchConfig{Quick: *quick, SampleInterval: *interval, Scrub: *scrub, Events: alertLog})
+	rep, err := experiments.RunBench(experiments.BenchConfig{
+		Quick: *quick, SampleInterval: *interval, Scrub: *scrub, Events: alertLog,
+		MeasureSimRate: *simrate,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		os.Exit(1)

@@ -112,6 +112,13 @@ func main() {
 		}
 	}
 
+	if *critpath || *traceOut != "" {
+		fmt.Println("\ntrace retention:")
+		if err := w.Tracer.WriteRetentionSummary(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *traceOut != "" {
 		if err := writeFile(*traceOut, w.Tracer.WriteChromeTrace); err != nil {
 			fatal(err)

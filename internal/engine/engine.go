@@ -255,6 +255,7 @@ type Engine struct {
 	dlqDepth        telemetry.MirrorGauge
 	taskHist        telemetry.MirrorHistogram
 	lagHist         *telemetry.Histogram // per-destination lag family child
+	dims            []telemetry.Label    // {rule,dest}, reused on exemplars
 
 	mu       sync.Mutex
 	dlq      []DLQEntry
@@ -318,6 +319,7 @@ func New(w *world.World, pl *planner.Planner, rule Rule) *Engine {
 		dlqDepth:        m.GaugeVec("engine.dlq.depth").Mirror(m.Gauge("engine.dlq.depth"), dims...),
 		taskHist:        m.HistogramVec("engine.task.seconds").Mirror(m.Histogram("engine.task.seconds"), dims...),
 		lagHist:         m.HistogramVec("engine.lag.seconds").With(dims...),
+		dims:            dims,
 	}
 	e.Tracker.SetTelemetry(m.Histogram("engine.delay.seconds"))
 	e.Tracker.SetWatermarks(
@@ -365,7 +367,7 @@ func (e *Engine) RedriveDLQ() int {
 	e.mu.Unlock()
 	for _, d := range parked {
 		e.dlqRedriven.Inc()
-		e.Dispatch(d.Event)
+		e.dispatch(d.Event, "redrive")
 	}
 	return len(parked)
 }
@@ -412,7 +414,7 @@ func (e *Engine) Repair(ev objstore.Event) RepairOutcome {
 		// the destination diverged anyway (replica loss or overwrite after
 		// a successful replication): force re-replication past the dedupe.
 	}
-	e.Dispatch(ev)
+	e.dispatch(ev, "repair")
 	return RepairDispatched
 }
 
@@ -434,7 +436,7 @@ func (e *Engine) redriveKey(key string) int {
 	e.mu.Unlock()
 	for _, d := range parked {
 		e.dlqRedriven.Inc()
-		e.Dispatch(d.Event)
+		e.dispatch(d.Event, "redrive")
 	}
 	return len(parked)
 }
@@ -443,7 +445,10 @@ func (e *Engine) redriveKey(key string) int {
 // re-enqueued after RedriveDelay while the automatic redrive budget
 // lasts (the platform retry of an async invocation), then parked in the
 // DLQ. Capped re-enqueue keeps poison events from looping forever.
-func (e *Engine) deadLetter(ev objstore.Event) {
+// sp is the task span of the attempt that exhausted its retries; it is
+// stamped with a dlq attr so the trace retention policy keeps the tree.
+func (e *Engine) deadLetter(sp *telemetry.Span, ev objstore.Event) {
+	sp.Set("dlq", true)
 	id := eventID(ev)
 	e.mu.Lock()
 	n := e.redrives[id]
@@ -451,7 +456,7 @@ func (e *Engine) deadLetter(ev objstore.Event) {
 		e.redrives[id] = n + 1
 		e.mu.Unlock()
 		e.dlqRedriven.Inc()
-		e.W.Clock.Delay(e.Rule.RedriveDelay, func() { e.Dispatch(ev) })
+		e.W.Clock.Delay(e.Rule.RedriveDelay, func() { e.dispatch(ev, "redrive") })
 		return
 	}
 	delete(e.redrives, id)
@@ -532,8 +537,20 @@ func (e *Engine) Backfill() (int, error) {
 // for delay measurement (the batcher registers events itself and delays
 // dispatch).
 func (e *Engine) Dispatch(ev objstore.Event) {
+	e.dispatch(ev, "")
+}
+
+// dispatch is Dispatch with a cause tag for re-dispatched work: "redrive"
+// (DLQ), "repair" (anti-entropy) or "lock-recovery" (orphaned-lock
+// probe). The cause lands on the task's root span, where the trace
+// retention policy reads it as an anomaly signal — a redriven or repaired
+// task is always worth keeping.
+func (e *Engine) dispatch(ev objstore.Event, cause string) {
 	src := e.W.Region(e.Rule.Src)
 	root := e.startTaskTrace(ev)
+	if cause != "" {
+		root.Set("cause", cause)
+	}
 	// The notification span covers source-operation completion → dispatch
 	// (the platform's delivery delay T_n plus any batching hold).
 	root.ChildAt("notify", ev.Time).EndAt(e.W.Clock.Now())
@@ -640,7 +657,7 @@ func (e *Engine) recoverPending(ev objstore.Event) {
 		return // converged while we waited
 	}
 	e.locksRecovered.Inc()
-	e.Dispatch(ev)
+	e.dispatch(ev, "lock-recovery")
 }
 
 // request runs one cloud API call under the rule's per-request retry
@@ -687,13 +704,13 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 		})
 		dsp.End()
 		if err != nil {
-			e.deadLetter(ev)
+			e.deadLetter(ctx.Span, ev)
 			return 0
 		}
 		// The key's newest version is a DELETE; any checkpointed upload of
 		// an older version is now abandoned work.
 		e.releaseTask(ev.Key)
-		e.Tracker.Resolve(ev.Key, ev.Seq, clock.Now())
+		e.Tracker.ResolveSpan(ev.Key, ev.Seq, clock.Now(), ctx.Span)
 		return ev.Seq
 	}
 
@@ -709,7 +726,7 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 		// is durable, only the acknowledgment was lost. Scrap the recovery
 		// records the crashed attempt left behind.
 		e.releaseTask(ev.Key)
-		e.Tracker.Resolve(ev.Key, ev.Seq, clock.Now())
+		e.Tracker.ResolveSpan(ev.Key, ev.Seq, clock.Now(), ctx.Span)
 		return ev.Seq
 	}
 
@@ -745,8 +762,8 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 				att.End()
 				end := clock.Now()
 				e.releaseTask(key)
-				e.Tracker.Resolve(key, seq, end)
-				e.report(TaskResult{Key: key, ETag: etag, Size: size, Start: start, End: end,
+				e.Tracker.ResolveSpan(key, seq, end, ctx.Span)
+				e.report(ctx.Span, TaskResult{Key: key, ETag: etag, Size: size, Start: start, End: end,
 					OK: true, Changelog: true, Retries: attempt})
 				return seq
 			}
@@ -797,12 +814,12 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 				doneSeq = out.seq
 			}
 			e.releaseTask(key)
-			e.Tracker.Resolve(key, doneSeq, out.doneAt)
-			e.report(TaskResult{Key: key, ETag: out.etag, Size: size, Plan: plan,
+			e.Tracker.ResolveSpan(key, doneSeq, out.doneAt, ctx.Span)
+			e.report(ctx.Span, TaskResult{Key: key, ETag: out.etag, Size: size, Plan: plan,
 				Start: start, End: out.doneAt, OK: true, Retries: attempt, Instances: out.insts})
 			return doneSeq
 		}
-		e.report(TaskResult{Key: key, ETag: etag, Size: size, Plan: plan,
+		e.report(ctx.Span, TaskResult{Key: key, ETag: etag, Size: size, Plan: plan,
 			Start: start, End: out.doneAt, OK: false, Reason: out.reason, Retries: attempt, Instances: out.insts})
 
 		// Optimistic validation failed (the source version changed
@@ -822,17 +839,23 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 		}
 		etag, seq, size, evTime = head.ETag, head.Seq, head.Size, head.Created
 	}
-	e.deadLetter(ev)
+	e.deadLetter(ctx.Span, ev)
 	return 0
 }
 
-func (e *Engine) report(t TaskResult) {
+// report accounts one finished attempt. sp is the task span: successful
+// durations are nominated as exemplars for the task-latency histograms,
+// attached only if the trace survives retention.
+func (e *Engine) report(sp *telemetry.Span, t TaskResult) {
 	if t.OK {
 		e.tasksOK.Inc()
 		if t.Changelog {
 			e.tasksChangelog.Inc()
 		}
-		e.taskHist.Observe(simclock.ToSeconds(t.End.Sub(t.Start)))
+		secs := simclock.ToSeconds(t.End.Sub(t.Start))
+		e.taskHist.Observe(secs)
+		sp.Exemplar(e.taskHist.Agg, secs, e.dims...)
+		sp.Exemplar(e.taskHist.Child, secs)
 	} else {
 		e.tasksFailed.Inc()
 	}

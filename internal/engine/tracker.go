@@ -105,6 +105,14 @@ func (t *Tracker) OnSource(ev objstore.Event) bool {
 // Resolve marks every pending event of key with version <= seq as
 // replicated at time done, recording their delays.
 func (t *Tracker) Resolve(key string, seq uint64, done time.Time) {
+	t.ResolveSpan(key, seq, done, nil)
+}
+
+// ResolveSpan is Resolve with the task span of the completion: each
+// resolved delay is nominated as an exemplar for the delay and lag
+// histograms, linking the bucket to the completing task's trace if that
+// trace survives retention. A nil span resolves without exemplars.
+func (t *Tracker) ResolveSpan(key string, seq uint64, done time.Time, sp *telemetry.Span) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if seq > t.resolved[key] {
@@ -123,8 +131,11 @@ func (t *Tracker) Resolve(key string, seq uint64, done time.Time) {
 				DoneTime:  done,
 				Delay:     d,
 			})
-			t.delayHist.Observe(simclock.ToSeconds(d))
-			t.lagHist.Observe(simclock.ToSeconds(d))
+			secs := simclock.ToSeconds(d)
+			t.delayHist.Observe(secs)
+			t.lagHist.Observe(secs)
+			sp.Exemplar(t.delayHist, secs)
+			sp.Exemplar(t.lagHist, secs)
 			t.pendingN--
 			t.backlog.Add(-1)
 		} else {

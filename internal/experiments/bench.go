@@ -12,6 +12,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fleetobs"
 	"repro/internal/model"
+	"repro/internal/simclock"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
@@ -36,6 +37,11 @@ type BenchConfig struct {
 	// Events, when non-nil, collects the fault matrix's SLO alert events
 	// (scoped by profile) for export alongside the report.
 	Events *fleetobs.EventLog
+	// MeasureSimRate records each scenario's simulated-seconds per
+	// wall-second throughput (sim_rate). Off by default: the value is
+	// wall-clock dependent, so determinism checks that cmp two reports
+	// byte-for-byte must leave it disabled.
+	MeasureSimRate bool
 }
 
 // BenchCategory is one critical-path category's aggregate share of a
@@ -70,6 +76,15 @@ type BenchExperiment struct {
 	Categories []BenchCategory    `json:"categories"`
 	DegradedS  float64            `json:"degraded_s"`
 	Series     []telemetry.Digest `json:"series"`
+
+	// SpansRetained is the telemetry layer's self-overhead gate: how many
+	// spans the tracer held after the scenario's workload (deterministic —
+	// instrumentation growing chattier shows up here before it shows up as
+	// memory). SimRate is simulated-seconds advanced per wall-clock second
+	// (ROADMAP item 2's replay-throughput metric); wall-clock dependent,
+	// only populated under BenchConfig.MeasureSimRate.
+	SpansRetained int64   `json:"spans_retained"`
+	SimRate       float64 `json:"sim_rate,omitempty"`
 }
 
 // BenchFault is one chaos fault-matrix row's regression-relevant subset.
@@ -192,7 +207,7 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 	rep := &BenchReport{Schema: BenchSchema, Suite: suite}
 
 	for _, sc := range benchScenarios() {
-		exp, err := runBenchScenario(sc, cfg.Quick, interval)
+		exp, err := runBenchScenario(sc, cfg.Quick, interval, cfg.MeasureSimRate)
 		if err != nil {
 			return nil, fmt.Errorf("bench %s: %w", sc.name, err)
 		}
@@ -267,7 +282,7 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 
 // runBenchScenario replays one scenario on a fresh world with tracing and
 // virtual-time sampling enabled.
-func runBenchScenario(sc benchScenario, quick bool, interval time.Duration) (BenchExperiment, error) {
+func runBenchScenario(sc benchScenario, quick bool, interval time.Duration, simRate bool) (BenchExperiment, error) {
 	w := newWorld("bench-" + sc.name)
 	srcBucket, dstBucket := "bench-src", "bench-dst"
 	mustCreate(w, sc.src, srcBucket, true)
@@ -302,6 +317,8 @@ func runBenchScenario(sc benchScenario, quick bool, interval time.Duration) (Ben
 	kvWrites := w.Metrics.Counter("kvstore.writes")
 	kvBase := kvReads.Value() + kvWrites.Value()
 	var total int64
+	virtStart := w.Clock.Now()
+	wallStart := time.Now()
 	cost := costDelta(w, func() {
 		for i := 0; i < objects; i++ {
 			size := sc.sizes[i%len(sc.sizes)]
@@ -311,6 +328,8 @@ func runBenchScenario(sc benchScenario, quick bool, interval time.Duration) (Ben
 			sampler.Poll()
 		}
 	})
+	wallSecs := time.Since(wallStart).Seconds()
+	virtSecs := simclock.ToSeconds(w.Clock.Now().Sub(virtStart))
 	sampler.Poll()
 
 	delays := svc.Engine.Tracker.DelaysSeconds()
@@ -331,6 +350,11 @@ func runBenchScenario(sc benchScenario, quick bool, interval time.Duration) (Ben
 		KVOps:      kvReads.Value() + kvWrites.Value() - kvBase,
 		Dominant:   string(agg.Dominant()),
 		DegradedS:  agg.Degraded.Seconds(),
+
+		SpansRetained: w.Tracer.Stats().SpansRetained,
+	}
+	if simRate && wallSecs > 0 {
+		exp.SimRate = virtSecs / wallSecs
 	}
 	for _, s := range agg.Shares {
 		exp.Categories = append(exp.Categories, BenchCategory{
@@ -422,6 +446,24 @@ func CompareBench(baseline, got *BenchReport, tol BenchTolerance) []string {
 		// fixed orchestration writes).
 		if old.KVOps > 0 && tol.exceeds(float64(old.KVOps), float64(e.KVOps), 8) {
 			regs = append(regs, fmt.Sprintf("%s: kv ops %d -> %d (tol %.0f%%)", old.Name, old.KVOps, e.KVOps, 100*tol.rel()))
+		}
+		// Telemetry self-overhead: span volume is deterministic, so growth
+		// past the slack (floor 16 = a few extra spans per task) means the
+		// instrumentation got chattier; a drop to zero means tracing died.
+		if old.SpansRetained > 0 {
+			if e.SpansRetained == 0 {
+				regs = append(regs, fmt.Sprintf("%s: spans retained %d -> 0 (tracing broken?)", old.Name, old.SpansRetained))
+			} else if tol.exceeds(float64(old.SpansRetained), float64(e.SpansRetained), 16) {
+				regs = append(regs, fmt.Sprintf("%s: spans retained %d -> %d (tol %.0f%%)", old.Name, old.SpansRetained, e.SpansRetained, 100*tol.rel()))
+			}
+		}
+		// Replay throughput (simulated-seconds per wall-second): compared
+		// only when both reports measured it. Wall clocks vary across
+		// machines, so the gate is a factor-8 collapse, not the usual
+		// relative slack — it catches "the simulator got an order of
+		// magnitude slower", not scheduler jitter.
+		if old.SimRate > 0 && e.SimRate > 0 && e.SimRate < old.SimRate/8 {
+			regs = append(regs, fmt.Sprintf("%s: sim rate %.0fx -> %.0fx (floor %.0fx)", old.Name, old.SimRate, e.SimRate, old.SimRate/8))
 		}
 	}
 
@@ -529,11 +571,16 @@ func CompareBench(baseline, got *BenchReport, tol BenchTolerance) []string {
 // Print renders the report as a compact human-readable summary.
 func (r *BenchReport) Print(out io.Writer) {
 	fprintf(out, "Bench suite: %s (%s)\n", r.Suite, r.Schema)
-	fprintf(out, "%-26s %4s %10s %8s %8s %10s %7s %-10s\n",
-		"experiment", "n", "bytes", "p50_s", "p99_s", "cost_usd", "kv_ops", "dominant")
+	fprintf(out, "%-26s %4s %10s %8s %8s %10s %7s %-10s %7s %9s\n",
+		"experiment", "n", "bytes", "p50_s", "p99_s", "cost_usd", "kv_ops", "dominant", "spans", "sim_rate")
 	for _, e := range r.Experiments {
-		fprintf(out, "%-26s %4d %10d %8.2f %8.2f %10.4f %7d %-10s\n",
-			e.Name, e.Objects, e.BytesTotal, e.P50S, e.P99S, e.CostUSD, e.KVOps, e.Dominant)
+		rate := "-"
+		if e.SimRate > 0 {
+			rate = fmt.Sprintf("%.0fx", e.SimRate)
+		}
+		fprintf(out, "%-26s %4d %10d %8.2f %8.2f %10.4f %7d %-10s %7d %9s\n",
+			e.Name, e.Objects, e.BytesTotal, e.P50S, e.P99S, e.CostUSD, e.KVOps, e.Dominant,
+			e.SpansRetained, rate)
 	}
 	if len(r.FaultMatrix) > 0 {
 		fprintf(out, "%-26s %9s %8s %8s %4s %9s %8s %7s %6s\n",

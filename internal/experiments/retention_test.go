@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/telemetry"
+)
+
+// retentionRun captures everything a retention-policy chaos run exports:
+// the retained spans grouped by trace, the byte exports CI diffs, and the
+// exemplar lines surfaced in the Prometheus text.
+type retentionRun struct {
+	byTrace  map[string][]*telemetry.Span
+	verdicts map[string]telemetry.Verdict // root RetentionAttr per retained trace
+	chrome   string
+	prom     string
+	stats    telemetry.TracerStats
+}
+
+// runRetentionScenario replays the canonical chaos workload (the fault
+// matrix's mixed profile) with pol installed on the world's tracer.
+func runRetentionScenario(t *testing.T, pol *telemetry.RetentionPolicy) retentionRun {
+	t.Helper()
+	w := newWorld("retention")
+	src, dst := AWSEast, AzureEast
+	mustCreate(w, src, "ret-src", true)
+	mustCreate(w, dst, "ret-dst", true)
+	svc := deployService(w, model.New(), engine.Rule{
+		Src: src, Dst: dst, SrcBucket: "ret-src", DstBucket: "ret-dst",
+	}, core.Options{ProfileRounds: profileRounds(true)})
+
+	// Arm tracing after deployment (profiling traffic is not the subject)
+	// and chaos after that, mirroring runFaultScenario.
+	w.Tracer.SetPolicy(pol)
+	w.Tracer.Enable()
+	prof, err := chaos.Parse("mixed@7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetChaos(prof)
+
+	sizes := []int64{512 * 1024, 4 * MB, 24 * MB, 64 * MB}
+	for i := 0; i < 24; i++ {
+		putObjectRetrying(w, src, "ret-src", fmt.Sprintf("obj-%03d", i), sizes[i%len(sizes)], i)
+		w.Clock.Sleep(2 * time.Second)
+	}
+	w.Clock.Quiesce()
+	for pass := 0; pass < 3; pass++ {
+		n, err := svc.Engine.Backfill()
+		w.Clock.Quiesce()
+		if err == nil && n == 0 {
+			break
+		}
+	}
+	if svc.Engine.RedriveDLQ() > 0 {
+		w.Clock.Quiesce()
+	}
+	w.SetChaos(chaos.Profile{})
+	w.Clock.Quiesce()
+
+	run := retentionRun{
+		byTrace:  map[string][]*telemetry.Span{},
+		verdicts: map[string]telemetry.Verdict{},
+		stats:    w.Tracer.Stats(),
+	}
+	for _, s := range w.Tracer.Spans() {
+		run.byTrace[s.TraceID] = append(run.byTrace[s.TraceID], s)
+		if s.Parent == "" {
+			for _, a := range s.Attrs() {
+				if a.Key == telemetry.RetentionAttr {
+					if v, ok := a.Value.(string); ok {
+						run.verdicts[s.TraceID] = telemetry.Verdict(v)
+					}
+				}
+			}
+		}
+	}
+	var cb, pb bytes.Buffer
+	if err := w.Tracer.WriteChromeTrace(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Metrics.WritePromText(&pb); err != nil {
+		t.Fatal(err)
+	}
+	run.chrome, run.prom = cb.String(), pb.String()
+	return run
+}
+
+// promExemplarLines extracts the exemplar-bearing lines of a Prometheus
+// text export, i.e. the exemplar *set* independent of bucket counts.
+func promExemplarLines(prom string) []string {
+	var out []string
+	for _, line := range strings.Split(prom, "\n") {
+		if strings.Contains(line, "# {trace_id=") {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// TestRetentionChaosAcceptance is the tentpole acceptance check on the
+// chaos scenario: every anomalous task is retained in full, clean traces
+// are head-sampled at no more than 1-in-N, same-seed runs are
+// byte-identical (spans, Chrome export, prom text with exemplars), and
+// different retention seeds differ only in head-sampled traces.
+func TestRetentionChaosAcceptance(t *testing.T) {
+	const headN = 4
+
+	// Ground truth: a keep-all run classifies every trace the workload
+	// produces. The simulation is tracer-independent, so the sampled runs
+	// below replay the identical trace population.
+	ground := runRetentionScenario(t, nil)
+	groundVerdict := map[string]telemetry.Verdict{}
+	anomalous, clean := 0, 0
+	for id, ss := range ground.byTrace {
+		v := telemetry.ClassifySpans(ss)
+		groundVerdict[id] = v
+		if v != "" {
+			anomalous++
+		} else {
+			clean++
+		}
+	}
+	if anomalous == 0 {
+		t.Fatalf("chaos run produced no anomalous traces out of %d; the scenario no longer exercises retention", len(ground.byTrace))
+	}
+	if clean <= headN {
+		t.Fatalf("only %d clean traces; too few to observe head sampling at 1-in-%d", clean, headN)
+	}
+
+	a := runRetentionScenario(t, telemetry.NewSampledPolicy(7, headN))
+
+	// 100% of anomalous tasks fully retained: same span count as keep-all.
+	for id, v := range groundVerdict {
+		if v == "" {
+			continue
+		}
+		got := len(a.byTrace[id])
+		if got != len(ground.byTrace[id]) {
+			t.Errorf("anomalous trace %s (%s): retained %d of %d spans", id, v, got, len(ground.byTrace[id]))
+		}
+	}
+	// Clean traces at most 1-in-N (slow-verdict traces are not clean —
+	// they are anomalies the quantile tracker surfaced).
+	cleanKept := 0
+	for id := range a.byTrace {
+		if groundVerdict[id] == "" && a.verdicts[id] == telemetry.VerdictSample {
+			cleanKept++
+		}
+	}
+	if budget := (clean + headN - 1) / headN; cleanKept > budget {
+		t.Errorf("head sampling kept %d of %d clean traces, budget ceil(%d/%d)=%d", cleanKept, clean, clean, headN, budget)
+	}
+	if a.stats.TreesDropped == 0 {
+		t.Errorf("sampled run dropped no trees (stats %+v); retention is not engaging", a.stats)
+	}
+
+	// Same seed: byte-identical exports and identical exemplar sets.
+	b := runRetentionScenario(t, telemetry.NewSampledPolicy(7, headN))
+	if a.chrome != b.chrome {
+		t.Errorf("same-seed Chrome exports differ (%d vs %d bytes)", len(a.chrome), len(b.chrome))
+	}
+	if a.prom != b.prom {
+		t.Errorf("same-seed prom exports differ")
+	}
+	if got, want := promExemplarLines(a.prom), promExemplarLines(b.prom); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("same-seed exemplar sets differ:\n%v\nvs\n%v", got, want)
+	}
+	if a.stats != b.stats {
+		t.Errorf("same-seed retained-span counts differ: %+v vs %+v", a.stats, b.stats)
+	}
+
+	// Every surfaced exemplar references a retained trace.
+	for _, line := range promExemplarLines(a.prom) {
+		rest := line[strings.Index(line, `trace_id="`)+len(`trace_id="`):]
+		id := rest[:strings.IndexByte(rest, '"')]
+		if _, ok := a.byTrace[id]; !ok {
+			t.Errorf("exemplar references unretained trace %q: %s", id, line)
+		}
+	}
+
+	// Different retention seed: the non-sampled (anomalous + slow) kept
+	// set is identical; only the head-sampled subset may move.
+	c := runRetentionScenario(t, telemetry.NewSampledPolicy(11, headN))
+	nonSample := func(r retentionRun) map[string]int {
+		out := map[string]int{}
+		for id, ss := range r.byTrace {
+			if r.verdicts[id] != telemetry.VerdictSample {
+				out[id] = len(ss)
+			}
+		}
+		return out
+	}
+	na, nc := nonSample(a), nonSample(c)
+	if len(na) != len(nc) {
+		t.Errorf("non-sample retained sets differ across retention seeds: %d vs %d traces", len(na), len(nc))
+	}
+	for id, n := range na {
+		if nc[id] != n {
+			t.Errorf("non-sample trace %s differs across retention seeds: %d vs %d spans", id, n, nc[id])
+		}
+	}
+	// The head-sample counter keeps exactly every Nth clean trace, so the
+	// two seeds' sample counts can differ only by the phase remainder.
+	sampleCount := func(r retentionRun) int {
+		n := 0
+		for _, v := range r.verdicts {
+			if v == telemetry.VerdictSample {
+				n++
+			}
+		}
+		return n
+	}
+	sa, sc := sampleCount(a), sampleCount(c)
+	if d := sa - sc; d < -1 || d > 1 {
+		t.Errorf("sample-kept counts %d vs %d differ by more than the seed phase allows", sa, sc)
+	}
+}

@@ -33,6 +33,10 @@ type Event struct {
 	BurnShort float64 `json:"burn_short,omitempty"`
 	BurnLong  float64 `json:"burn_long,omitempty"`
 	Detail    string  `json:"detail,omitempty"`
+	// Trace links the alert to a retained trace: the exemplar from the
+	// highest occupied lag-histogram bucket at transition time, so a
+	// paging burn alert resolves directly to a kept span tree.
+	Trace string `json:"trace,omitempty"`
 }
 
 // EventLog is an append-only alert sink shared by one or more monitors.

@@ -182,8 +182,14 @@ func (m *Monitor) Poll() {
 
 	if st := burnState(short, long, slo); st != m.lagState {
 		m.lagState = st
+		var trace string
 		if st != StateOK {
 			m.alerts++
+			// Attach the worst retained lag exemplar so the alert links to
+			// a concrete kept trace of the badness being paged on.
+			if ex := m.cfg.LagHist.WorstExemplar(); ex != nil {
+				trace = ex.TraceID
+			}
 		}
 		m.cfg.Log.Append(Event{
 			AtSeconds: at,
@@ -196,6 +202,7 @@ func (m *Monitor) Poll() {
 			BurnLong:  long,
 			Detail: fmt.Sprintf("lag target %s objective %.4g",
 				slo.LagTarget, slo.Objective),
+			Trace: trace,
 		})
 	}
 

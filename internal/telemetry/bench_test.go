@@ -32,6 +32,55 @@ func BenchmarkSpanHotPath(b *testing.B) {
 	}
 }
 
+// benchRetention runs the span hot path under a retention policy,
+// planting an anomaly on every anomalyEvery-th trace (0 = never).
+func benchRetention(b *testing.B, pol *RetentionPolicy, anomalyEvery int) {
+	base := time.Unix(0, 0)
+	now := base
+	tr := NewTracer(func() time.Time { return now })
+	tr.SetPolicy(pol)
+	tr.Enable()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := tr.StartTrace("t", "task")
+		if anomalyEvery > 0 && i%anomalyEvery == 0 {
+			root.Set("error", "boom")
+		}
+		part := root.Child("part-0").Set("bytes", int64(8<<20))
+		leg := part.Child("leg-down")
+		now = now.Add(time.Millisecond)
+		leg.End()
+		up := part.Child("upload-part").Set(CatAttr, string(CatObjStore))
+		now = now.Add(time.Millisecond)
+		up.End()
+		part.End()
+		root.End()
+		if i%1024 == 0 {
+			tr.Reset()
+		}
+	}
+}
+
+// BenchmarkRetentionKeepAll is the legacy always-keep configuration
+// (nil policy) — the baseline every retention mode is judged against.
+func BenchmarkRetentionKeepAll(b *testing.B) {
+	benchRetention(b, nil, 0)
+}
+
+// BenchmarkRetentionSampledDrop measures the intended million-object
+// steady state: clean traces dropped (1-in-16 head sample) and their
+// spans recycled through the free list.
+func BenchmarkRetentionSampledDrop(b *testing.B) {
+	benchRetention(b, NewSampledPolicy(1, 16), 0)
+}
+
+// BenchmarkRetentionAnomalousKeep mixes in an anomalous trace every 8th
+// iteration, exercising the classify-and-keep path alongside recycling.
+func BenchmarkRetentionAnomalousKeep(b *testing.B) {
+	benchRetention(b, NewSampledPolicy(1, 16), 8)
+}
+
 // BenchmarkSpanDisabled pins the cost of the disabled-tracer fast path
 // the production configuration runs with.
 func BenchmarkSpanDisabled(b *testing.B) {

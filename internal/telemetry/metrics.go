@@ -163,6 +163,29 @@ type Histogram struct {
 	sum    atomicFloat
 	min    atomicFloat
 	max    atomicFloat
+	// exemplars holds one retained-trace exemplar per bucket (incl. the
+	// overflow bucket), set by the tracer's retention pipeline — never by
+	// Observe — so every exposed exemplar references a kept trace.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram bucket to a concrete retained trace: the
+// observed value, the trace ID it came from, and optional extra labels
+// (rule, destination). Rendered in WritePromText's OpenMetrics-style
+// exemplar syntax.
+type Exemplar struct {
+	Value   float64
+	TraceID string
+	Labels  []Label
+}
+
+// exemplarCandidate is a deferred exemplar: instrumentation nominates it
+// via Span.Exemplar, and the tracer flushes it into the histogram only if
+// the span's trace survives retention.
+type exemplarCandidate struct {
+	hist   *Histogram
+	value  float64
+	labels []Label
 }
 
 // NewHistogram returns a histogram over the given ascending upper bounds
@@ -172,8 +195,9 @@ func NewHistogram(bounds []float64) *Histogram {
 		bounds = DefaultLatencyBuckets()
 	}
 	h := &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Int64, len(bounds)+1),
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 	h.min.store(math.Inf(1))
 	h.max.store(math.Inf(-1))
@@ -189,6 +213,48 @@ func (h *Histogram) reset() {
 	h.sum.store(0)
 	h.min.store(math.Inf(1))
 	h.max.store(math.Inf(-1))
+	for i := range h.exemplars {
+		h.exemplars[i].Store(nil)
+	}
+}
+
+// setExemplar records a retained-trace exemplar in v's bucket, replacing
+// any previous one (last retained wins, which keeps output deterministic
+// given the tracer's deterministic flush order).
+func (h *Histogram) setExemplar(v float64, traceID string, labels []Label) {
+	if h == nil || len(h.exemplars) == 0 {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[idx].Store(&Exemplar{Value: v, TraceID: traceID, Labels: labels})
+}
+
+// Exemplars returns the per-bucket exemplars (nil entries for buckets
+// without one), aligned with BucketCounts: one per bound plus overflow.
+func (h *Histogram) Exemplars() []*Exemplar {
+	if h == nil {
+		return nil
+	}
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
+}
+
+// WorstExemplar returns the exemplar from the highest occupied bucket
+// (nil when none): the retained trace behind the worst observed latency,
+// which alert events link to.
+func (h *Histogram) WorstExemplar() *Exemplar {
+	if h == nil {
+		return nil
+	}
+	for i := len(h.exemplars) - 1; i >= 0; i-- {
+		if e := h.exemplars[i].Load(); e != nil {
+			return e
+		}
+	}
+	return nil
 }
 
 // Observe records one value.

@@ -46,6 +46,30 @@ func mergeLabels(canonical, extra string) string {
 	return canonical[:len(canonical)-1] + "," + extra + "}"
 }
 
+// promExemplar renders an OpenMetrics exemplar suffix for one bucket
+// line — ` # {trace_id="...",k="v"} value` — or "" when the bucket has
+// none. The trace ID links the bucket to a trace the retention pipeline
+// kept, so it is always resolvable in the matching trace export.
+func promExemplar(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(` # {trace_id="`)
+	b.WriteString(escapeLabelValue(e.TraceID))
+	b.WriteByte('"')
+	for _, l := range e.Labels {
+		b.WriteByte(',')
+		b.WriteString(promName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteString("} ")
+	b.WriteString(promFloat(e.Value))
+	return b.String()
+}
+
 type promFam struct {
 	name string // sanitized family name
 	kind string // counter | gauge | histogram
@@ -97,15 +121,16 @@ func (r *Registry) WritePromText(w io.Writer) error {
 		f := fam(name, "histogram")
 		var b strings.Builder
 		bounds, counts := h.BucketCounts()
+		exemplars := h.Exemplars()
 		var cum int64
 		for i, bound := range bounds {
 			cum += counts[i]
 			le := mergeLabels(labels, `le="`+promFloat(bound)+`"`)
-			fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, le, cum)
+			fmt.Fprintf(&b, "%s_bucket%s %d%s\n", f.name, le, cum, promExemplar(exemplars[i]))
 		}
 		cum += counts[len(counts)-1]
 		inf := mergeLabels(labels, `le="+Inf"`)
-		fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, inf, cum)
+		fmt.Fprintf(&b, "%s_bucket%s %d%s\n", f.name, inf, cum, promExemplar(exemplars[len(exemplars)-1]))
 		fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, labels, promFloat(h.Sum()))
 		fmt.Fprintf(&b, "%s_count%s %d\n", f.name, labels, h.Count())
 		f.rows = append(f.rows, promRow{labels, b.String()})

@@ -9,14 +9,24 @@
 // through the call paths. Traces export in Chrome trace_event format
 // (chrome://tracing, Perfetto); metrics export as a flat text dump.
 //
+// Span collection is tail-based: spans accumulate on their trace's tree,
+// and only when the root task span ends does the tracer's RetentionPolicy
+// decide keep-vs-drop over the whole tree (see retention.go). Kept trees
+// land in per-shard buffers — the single collection mutex of the original
+// design is gone — and Spans() merges the shards back into the global end
+// order, so exports stay byte-deterministic. Dropped trees recycle their
+// spans through a free list.
+//
 // Everything is nil-safe: a nil *Tracer, *Span, *Registry, *Counter,
 // *Gauge or *Histogram accepts every call as a no-op, so instrumentation
 // points never need to guard against disabled telemetry.
 package telemetry
 
 import (
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,15 +37,70 @@ type Attr struct {
 	Value any
 }
 
+// spanShards fixes the shard count for kept-span buffers and live-tree
+// tracking; traces hash onto shards by trace ID.
+const spanShards = 16
+
+// spanFreeListMax caps the recycled-span free list so a burst of dropped
+// trees cannot pin unbounded memory.
+const spanFreeListMax = 4096
+
+// spanShard is one slice of the tracer's collection state: the kept spans
+// of retained trees plus the set of trees still in flight.
+type spanShard struct {
+	mu   sync.Mutex
+	kept []*Span
+	live map[*traceTree]struct{}
+}
+
+// traceTree accumulates one trace's ended spans until the tree quiesces —
+// the root span has ended and no span of the trace is still open — and
+// the retention decision flushes it whole: kept into the shard's buffer
+// or dropped into the free list, never half-recorded. Waiting for the
+// last span (not just the root) matters because the faas layer ends an
+// instance's "fn:" span, and stamps its crash attrs, after the handler
+// body (which ends the root via defer) returns.
+type traceTree struct {
+	t     *Tracer
+	gen   uint64 // tracer generation at StartTrace; mismatch at flush = drop
+	shard *spanShard
+	root  *Span
+
+	mu        sync.Mutex
+	spans     []*Span // ended spans of this trace, in end order
+	exemplars []exemplarCandidate
+	open      int // spans started but not yet ended
+	rootEnded bool
+	flushed   bool
+	kept      bool // retention verdict, once flushed
+}
+
 // Tracer collects finished spans. Create one with NewTracer; it starts
 // disabled, and while disabled StartTrace returns nil spans whose entire
 // method set no-ops, so instrumentation costs nothing.
 type Tracer struct {
 	now func() time.Time
 
-	mu      sync.Mutex
-	enabled bool
-	spans   []*Span // ended spans, in End order
+	enabled atomic.Bool
+	// gen is bumped on SetEnabled(false) and Reset. A tree flushing under
+	// a generation other than the one it started in drops cleanly: this is
+	// what keeps a mid-flight disable from half-recording a trace.
+	gen atomic.Uint64
+	// endSeq stamps every span End with a global sequence number, the
+	// total order Spans() restores after merging the shards.
+	endSeq atomic.Int64
+
+	policy atomic.Pointer[RetentionPolicy]
+
+	shards [spanShards]spanShard
+
+	freeMu sync.Mutex
+	free   []*Span
+
+	stats tracerCounters
+
+	vmu      sync.Mutex
+	verdicts map[Verdict]int64
 }
 
 // NewTracer returns a disabled Tracer reading time from now (typically
@@ -44,18 +109,24 @@ func NewTracer(now func() time.Time) *Tracer {
 	if now == nil {
 		now = time.Now
 	}
-	return &Tracer{now: now}
+	return &Tracer{now: now, verdicts: make(map[Verdict]int64)}
 }
 
 // SetEnabled turns span collection on or off. Traces started while
-// disabled are not recorded.
+// disabled are not recorded, and traces in flight when collection turns
+// off are dropped whole when their root ends — disable mid-task never
+// leaves a partial tree behind.
 func (t *Tracer) SetEnabled(on bool) {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
-	t.enabled = on
-	t.mu.Unlock()
+	if on {
+		t.enabled.Store(true)
+		return
+	}
+	if t.enabled.Swap(false) {
+		t.gen.Add(1)
+	}
 }
 
 // Enable is SetEnabled(true).
@@ -63,22 +134,86 @@ func (t *Tracer) Enable() { t.SetEnabled(true) }
 
 // Enabled reports whether spans are being collected.
 func (t *Tracer) Enabled() bool {
-	if t == nil {
-		return false
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.enabled
+	return t != nil && t.enabled.Load()
 }
 
-// Reset discards every collected span.
+// SetPolicy installs the tail-based retention policy consulted when each
+// root span ends. A nil policy keeps every trace (the legacy behavior).
+func (t *Tracer) SetPolicy(p *RetentionPolicy) {
+	if t == nil {
+		return
+	}
+	t.policy.Store(p)
+}
+
+// Reset discards every collected span and zeroes the retention stats.
+// Traces in flight drop whole when their root ends.
 func (t *Tracer) Reset() {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
-	t.spans = nil
-	t.mu.Unlock()
+	t.gen.Add(1)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		sh.kept = nil
+		sh.live = nil
+		sh.mu.Unlock()
+	}
+	t.stats.reset()
+	t.vmu.Lock()
+	t.verdicts = make(map[Verdict]int64)
+	t.vmu.Unlock()
+}
+
+// shard maps a trace ID onto its collection shard (FNV-1a).
+func (t *Tracer) shard(traceID string) *spanShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(traceID); i++ {
+		h ^= uint32(traceID[i])
+		h *= 16777619
+	}
+	return &t.shards[h%spanShards]
+}
+
+// newSpan takes a span off the free list (or allocates one), reusing the
+// attr slice and child-counter map capacity of a dropped tree's spans.
+func (t *Tracer) newSpan() *Span {
+	t.freeMu.Lock()
+	n := len(t.free)
+	if n == 0 {
+		t.freeMu.Unlock()
+		return &Span{}
+	}
+	s := t.free[n-1]
+	t.free[n-1] = nil
+	t.free = t.free[:n-1]
+	t.freeMu.Unlock()
+	s.t, s.tree = nil, nil
+	s.TraceID, s.Parent, s.Path, s.Name, s.Lane = "", "", "", "", ""
+	s.Start, s.Finish = time.Time{}, time.Time{}
+	s.attrs = s.attrs[:0]
+	clear(s.seq)
+	s.ended = false
+	s.endSeq = 0
+	return s
+}
+
+// recycle pushes a dropped tree's spans onto the free list (up to the
+// cap) and accounts the drop.
+func (t *Tracer) recycle(spans []*Span) {
+	t.stats.spansDropped.Add(int64(len(spans)))
+	recycled := 0
+	t.freeMu.Lock()
+	for _, s := range spans {
+		if len(t.free) >= spanFreeListMax {
+			break
+		}
+		t.free = append(t.free, s)
+		recycled++
+	}
+	t.freeMu.Unlock()
+	t.stats.spansRecycled.Add(int64(recycled))
 }
 
 // StartTrace opens a root span for a new trace starting now. It returns
@@ -94,20 +229,114 @@ func (t *Tracer) StartTrace(traceID, name string) *Span {
 // it to anchor a task's root span at the source PUT completion, so the
 // notification delay is part of the waterfall.
 func (t *Tracer) StartTraceAt(traceID, name string, start time.Time) *Span {
-	if t == nil || !t.Enabled() {
+	if t == nil || !t.enabled.Load() {
 		return nil
 	}
-	return &Span{t: t, TraceID: traceID, Name: name, Path: name, Start: start}
+	sh := t.shard(traceID)
+	tree := &traceTree{t: t, gen: t.gen.Load(), shard: sh, open: 1}
+	s := t.newSpan()
+	s.t, s.tree = t, tree
+	s.TraceID, s.Name, s.Path = traceID, name, name
+	s.Start = start
+	tree.root = s
+	sh.mu.Lock()
+	if sh.live == nil {
+		sh.live = make(map[*traceTree]struct{})
+	}
+	sh.live[tree] = struct{}{}
+	sh.mu.Unlock()
+	t.stats.treesStarted.Add(1)
+	t.stats.spansStarted.Add(1)
+	return s
 }
 
-// Spans returns a snapshot of the ended spans, in the order they ended.
+// Spans returns a snapshot of the ended spans — retained trees plus the
+// ended spans of traces still in flight — in the order they ended.
 func (t *Tracer) Spans() []*Span {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return append([]*Span(nil), t.spans...)
+	gen := t.gen.Load()
+	var out []*Span
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.kept...)
+		for tree := range sh.live {
+			if tree.gen != gen {
+				continue // doomed: will drop whole at flush
+			}
+			tree.mu.Lock()
+			out = append(out, tree.spans...)
+			tree.mu.Unlock()
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].endSeq < out[j].endSeq })
+	return out
+}
+
+// flushTree runs the retention decision when a trace quiesces: the whole
+// tree is either appended to its shard's kept buffer (with the verdict
+// stamped on the root and the tree's exemplar candidates flushed into
+// their histograms) or recycled through the free list.
+func (t *Tracer) flushTree(tree *traceTree) {
+	tree.mu.Lock()
+	if tree.flushed {
+		tree.mu.Unlock()
+		return
+	}
+	tree.flushed = true
+	spans := tree.spans
+	cands := tree.exemplars
+	tree.spans, tree.exemplars = nil, nil
+	tree.mu.Unlock()
+
+	sh := tree.shard
+	sh.mu.Lock()
+	delete(sh.live, tree)
+	sh.mu.Unlock()
+
+	// A tree whose tracer was disabled or reset mid-flight drops whole —
+	// all-or-nothing, never a partial trace.
+	if !t.enabled.Load() || tree.gen != t.gen.Load() {
+		t.stats.treesDropped.Add(1)
+		t.recycle(spans)
+		return
+	}
+
+	pol := t.policy.Load()
+	verdict, keep := pol.Decide(tree.root, spans)
+	if !keep {
+		t.stats.treesDropped.Add(1)
+		t.recycle(spans)
+		return
+	}
+
+	tree.mu.Lock()
+	tree.kept = true
+	tree.mu.Unlock()
+	// Keep-all mode (no policy) leaves roots unstamped so legacy exports
+	// stay byte-identical; summaries treat the missing attr as VerdictAll.
+	if pol != nil {
+		tree.root.Set(RetentionAttr, string(verdict))
+	}
+	var bytes int64
+	for _, s := range spans {
+		bytes += spanBytes(s)
+	}
+	sh.mu.Lock()
+	sh.kept = append(sh.kept, spans...)
+	sh.mu.Unlock()
+	t.stats.treesRetained.Add(1)
+	t.stats.spansRetained.Add(int64(len(spans)))
+	t.stats.retainedBytes.Add(bytes)
+	t.vmu.Lock()
+	t.verdicts[verdict]++
+	t.vmu.Unlock()
+	for _, c := range cands {
+		c.hist.setExemplar(c.value, tree.root.TraceID, c.labels)
+	}
 }
 
 // Span is one timed operation within a trace. Spans form a tree: children
@@ -117,7 +346,8 @@ func (t *Tracer) Spans() []*Span {
 //
 // All methods are safe on a nil receiver.
 type Span struct {
-	t *Tracer
+	t    *Tracer
+	tree *traceTree
 
 	TraceID string
 	Parent  string // parent span's Path; "" for the root
@@ -126,6 +356,8 @@ type Span struct {
 	Lane    string // display lane; "" is the trace's main lane
 	Start   time.Time
 	Finish  time.Time
+
+	endSeq int64 // global end-order stamp (set once, on End)
 
 	mu    sync.Mutex
 	attrs []Attr
@@ -182,7 +414,16 @@ func (s *Span) child(name string, start time.Time, fork bool) *Span {
 	if fork {
 		lane = path
 	}
-	return &Span{t: s.t, TraceID: s.TraceID, Parent: s.Path, Path: path, Name: name, Lane: lane, Start: start}
+	c := s.t.newSpan()
+	c.t, c.tree = s.t, s.tree
+	c.TraceID, c.Parent, c.Path, c.Name, c.Lane = s.TraceID, s.Path, path, name, lane
+	c.Start = start
+	tree := s.tree
+	tree.mu.Lock()
+	tree.open++
+	tree.mu.Unlock()
+	s.t.stats.spansStarted.Add(1)
+	return c
 }
 
 // Set attaches an annotation and returns the span for chaining. Setting a
@@ -212,6 +453,26 @@ func (s *Span) Attrs() []Attr {
 	return append([]Attr(nil), s.attrs...)
 }
 
+// Exemplar nominates v as an exemplar for h's bucket, linked to this
+// span's trace. The candidate is held on the trace tree and flushed into
+// the histogram only if the tree is retained, so exposed exemplars always
+// reference traces that exist in the export.
+func (s *Span) Exemplar(h *Histogram, v float64, labels ...Label) {
+	if s == nil || h == nil {
+		return
+	}
+	tree := s.tree
+	tree.mu.Lock()
+	flushed, kept := tree.flushed, tree.kept
+	if !flushed {
+		tree.exemplars = append(tree.exemplars, exemplarCandidate{hist: h, value: v, labels: labels})
+	}
+	tree.mu.Unlock()
+	if flushed && kept {
+		h.setExemplar(v, s.TraceID, labels)
+	}
+}
+
 // End closes the span now and records it with the tracer. Ending twice is
 // a no-op; spans that are never ended are not exported.
 func (s *Span) End() {
@@ -221,7 +482,9 @@ func (s *Span) End() {
 	s.EndAt(s.t.now())
 }
 
-// EndAt is End with an explicit finish time.
+// EndAt is End with an explicit finish time. When the trace quiesces —
+// its root has ended and no other span of the tree remains open — the
+// tree's retention decision runs.
 func (s *Span) EndAt(at time.Time) {
 	if s == nil {
 		return
@@ -234,9 +497,40 @@ func (s *Span) EndAt(at time.Time) {
 	s.ended = true
 	s.Finish = at
 	s.mu.Unlock()
-	s.t.mu.Lock()
-	s.t.spans = append(s.t.spans, s)
-	s.t.mu.Unlock()
+	t := s.t
+	tree := s.tree
+	tree.mu.Lock()
+	if tree.flushed {
+		// A straggler ending after the tree's retention decision follows
+		// its tree's fate: appended to the kept buffer, or dropped —
+		// all-or-nothing either way.
+		kept := tree.kept
+		tree.mu.Unlock()
+		t.stats.spansLate.Add(1)
+		if kept {
+			s.endSeq = t.endSeq.Add(1)
+			sh := tree.shard
+			sh.mu.Lock()
+			sh.kept = append(sh.kept, s)
+			sh.mu.Unlock()
+			t.stats.spansRetained.Add(1)
+			t.stats.retainedBytes.Add(spanBytes(s))
+		} else {
+			t.stats.spansDropped.Add(1)
+		}
+		return
+	}
+	s.endSeq = t.endSeq.Add(1)
+	tree.spans = append(tree.spans, s)
+	tree.open--
+	if s == tree.root {
+		tree.rootEnded = true
+	}
+	quiesced := tree.rootEnded && tree.open == 0
+	tree.mu.Unlock()
+	if quiesced {
+		t.flushTree(tree)
+	}
 }
 
 // Duration is the span's recorded length (zero until ended).
