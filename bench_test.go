@@ -1,4 +1,4 @@
-package areplica
+package areplica_test
 
 // The benchmark suite regenerates every table and figure of the paper's
 // evaluation (quick mode) under `go test -bench`, reporting the headline

@@ -12,6 +12,7 @@
 //	areplica -chaos mixed@7 -count 20 -metrics metrics.txt
 //	areplica -chaos notify-flaky@3 -scrub 30s -count 12
 //	areplica -crashpoint after-checkpoint -size 64MB -count 1 -v
+//	areplica -fleet topology.json -replay 5m -status
 //	areplica -chaos list
 //	areplica -regions
 package main
@@ -19,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"sort"
@@ -60,6 +62,7 @@ func main() {
 		critpath        = flag.Bool("critpath", false, "print the critical-path delay attribution across replicated tasks")
 		retainFlag      = flag.String("retain", "all", "trace retention policy: all (keep every trace), auto (anomalies + 1-in-16 head sample), or 1/N (anomalies + 1-in-N)")
 		retainSeed      = flag.Uint64("retain-seed", 0, "seed phasing the head-sample counter of -retain auto|1/N")
+		fleetFlag       = flag.String("fleet", "", "deploy a multi-rule fleet from this JSON topology file (rules, fanout, chains, mesh, quotas) instead of a single rule")
 		regions         = flag.Bool("regions", false, "list available regions and exit")
 		showStats       = flag.Bool("stats", false, "print a per-region activity snapshot at the end")
 		verbose         = flag.Bool("v", false, "print per-object delays")
@@ -79,6 +82,34 @@ func main() {
 		}
 		return
 	}
+	if *fleetFlag != "" {
+		// A fleet topology file owns rule placement, quotas and scheduling;
+		// the single-rule workload and diagnostics flags would silently
+		// apply to none of its rules, so passing any of them alongside
+		// -fleet is an error, not a hint.
+		singleRuleOnly := map[string]string{
+			"src": "", "dst": "", "size": "", "count": "", "slo": "", "percentile": "",
+			"batching": "", "chaos": "", "crashpoint": "", "scrub": "", "lag-slo": "",
+			"no-doublebuffer": "", "claim-batch": "", "hedge": "", "no-adaptive-parts": "",
+			"critpath": "", "trace": "", "retain": "", "retain-seed": "",
+		}
+		var conflicting []string
+		flag.Visit(func(f *flag.Flag) {
+			if _, ok := singleRuleOnly[f.Name]; ok {
+				conflicting = append(conflicting, "-"+f.Name)
+			}
+		})
+		if len(conflicting) > 0 {
+			fatal(fmt.Errorf("-fleet is incompatible with %s (single-rule workload and diagnostics flags); configure rules, quotas and scheduling in %s instead",
+				strings.Join(conflicting, ", "), *fleetFlag))
+		}
+		runFleet(sim, *fleetFlag, *replayDur, *traceRate, fleetOutput{
+			status: *statusFlag, verbose: *verbose, stats: *showStats,
+			metricsOut: *metricsOut, promOut: *promOut, eventsOut: *eventsOut,
+		})
+		return
+	}
+
 	var chaosProf chaos.Profile
 	if *chaosFlag != "" {
 		var err error
@@ -339,6 +370,145 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d alert events to %s\n", sim.EventCount(), *eventsOut)
+	}
+}
+
+// fleetOutput bundles the output flags the fleet mode honors.
+type fleetOutput struct {
+	status, verbose, stats         bool
+	metricsOut, promOut, eventsOut string
+}
+
+// runFleet deploys a topology file's rules under the shared control
+// plane, replays a synthetic trace across every source bucket, and
+// reports convergence, per-rule fairness and shared-quota utilization.
+func runFleet(sim *areplica.Sim, path string, replayDur time.Duration, ratePerMin float64, out fleetOutput) {
+	tf, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	rules, opts, err := areplica.LoadFleetTopology(tf)
+	tf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("deploying fleet of %d rules from %s ...\n", len(rules), path)
+	fl, err := sim.DeployFleet(rules, opts)
+	if err != nil {
+		fatal(err)
+	}
+	profilingCost := sim.CostTotal()
+
+	// Entry points: every distinct source bucket, in deployment order.
+	// Keys shard to one stable entry each and carry a per-entry prefix, so
+	// every key has exactly one writing site even in active-active meshes.
+	type entry struct{ region, bucket, prefix string }
+	var entries []entry
+	seen := make(map[string]bool)
+	for i, r := range rules {
+		id := r.SrcRegion + "/" + r.SrcBucket
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		entries = append(entries, entry{r.SrcRegion, r.SrcBucket, fmt.Sprintf("e%02d/", i)})
+	}
+
+	if replayDur <= 0 {
+		replayDur = 2 * time.Minute
+	}
+	ops := trace.Generate(trace.DefaultConfig(replayDur, ratePerMin))
+	for i := range ops {
+		// The fleet scenario stresses the control plane, not bulk
+		// transfer: clamp object sizes to the inline-plan regime.
+		if ops[i].Size > 4<<20 {
+			ops[i].Size = 4 << 20
+		}
+	}
+	fmt.Printf("replaying %d trace operations over %s across %d entry buckets...\n",
+		len(ops), replayDur, len(entries))
+	trace.Replay(sim.World().Clock, ops, func(op trace.Op) {
+		h := fnv.New32a()
+		h.Write([]byte(op.Key))
+		e := entries[int(h.Sum32()%uint32(len(entries)))]
+		key := e.prefix + op.Key
+		if op.Type == trace.OpDelete {
+			_ = sim.DeleteObject(e.region, e.bucket, key)
+			return
+		}
+		if _, err := sim.PutObject(e.region, e.bucket, key, op.Size); err != nil {
+			fatal(err)
+		}
+	})
+	sim.Wait()
+	for i := 0; i < 3 && fl.DLQTotal() > 0; i++ {
+		fmt.Printf("redriving %d dead-lettered events...\n", fl.RedriveAll())
+		sim.Wait()
+	}
+	fl.PollMonitors()
+
+	diverged, audited, err := fl.Diverged()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nfleet: %d rules, %d pending, %d dead-lettered; audit %d/%d keys converged\n",
+		fl.Size(), fl.PendingTotal(), fl.DLQTotal(), audited-diverged, audited)
+
+	var admits, defers, starved, quotaWaits int64
+	for _, st := range fl.SchedStats() {
+		admits += st.Admits
+		defers += st.Defers
+		starved += st.Starved
+		quotaWaits += st.QuotaWaits
+	}
+	bs := fl.BatchStats()
+	fmt.Printf("scheduler: %d admits, %d defers, %d starvation marks, %d quota waits; %d batches (mean %.1f)\n",
+		admits, defers, starved, quotaWaits, bs.Batches, bs.MeanSize)
+	if lanes := fl.QuotaStats(); len(lanes) > 0 {
+		fmt.Printf("%-10s %-18s %5s %10s %7s %7s\n", "provider", "region", "cap", "max_infl", "forced", "util")
+		for _, l := range lanes {
+			fmt.Printf("%-10s %-18s %5d %10d %7d %6.1f%%\n",
+				l.Provider, l.Region, l.Cap, l.MaxInflight, l.Forced, l.UtilizationPct)
+		}
+	}
+	if out.verbose {
+		fmt.Printf("\n%-56s %7s %7s %7s %7s %6s\n", "rule", "admits", "defers", "starve", "qwaits", "maxq")
+		for _, st := range fl.SchedStats() {
+			fmt.Printf("%-56s %7d %7d %7d %7d %6d\n",
+				st.Rule, st.Admits, st.Defers, st.Starved, st.QuotaWaits, st.MaxQueue)
+		}
+	}
+	fmt.Printf("cost (excluding one-time profiling of $%.4f): $%.4f\n",
+		profilingCost, sim.CostTotal()-profilingCost)
+
+	if out.status {
+		fmt.Println()
+		if err := fl.WriteHealthTable(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if out.stats {
+		fmt.Println()
+		sim.World().Snapshot().Print(os.Stdout)
+	}
+	if out.metricsOut != "" {
+		if err := writeFile(out.metricsOut, sim.World().Metrics.WriteText); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", out.metricsOut)
+	}
+	if out.promOut != "" {
+		if err := writeFile(out.promOut, sim.WriteMetricsProm); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote prometheus metrics to %s\n", out.promOut)
+	}
+	if out.eventsOut != "" {
+		if err := writeFile(out.eventsOut, sim.WriteEvents); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d alert events to %s\n", sim.EventCount(), out.eventsOut)
 	}
 }
 

@@ -33,6 +33,7 @@ func main() {
 		tol      = flag.Float64("tol", 0.25, "relative regression tolerance for -compare (0.25 = 25% worse allowed)")
 		interval = flag.Duration("interval", 5*time.Second, "virtual-time series sampling interval")
 		scrub    = flag.Bool("scrub", false, "include the anti-entropy cadence sweep in the report")
+		fleet    = flag.Bool("fleet", false, "include the fleet-hundred-rules control-plane scenario in the report")
 		events   = flag.String("events", "", "write the fault matrix's SLO alert log as JSONL to this file")
 		simrate  = flag.Bool("simrate", true, "measure sim_rate (simulated-seconds per wall-second); disable for byte-identical determinism runs")
 	)
@@ -48,7 +49,8 @@ func main() {
 		alertLog = fleetobs.NewEventLog()
 	}
 	rep, err := experiments.RunBench(experiments.BenchConfig{
-		Quick: *quick, SampleInterval: *interval, Scrub: *scrub, Events: alertLog,
+		Quick: *quick, SampleInterval: *interval, Scrub: *scrub, Fleet: *fleet,
+		Events:         alertLog,
 		MeasureSimRate: *simrate,
 	})
 	if err != nil {

@@ -11,6 +11,7 @@
 //	benchtab -chaos matrix   # fault matrix across every chaos profile
 //	benchtab -crash          # crash-point sweep: recovery audit per data-plane step
 //	benchtab -chaos mixed@7  # fault matrix for one profile spec
+//	benchtab -fleet          # fleet control plane: hundred-rule fairness table
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 		extra     = flag.String("extra", "", "extension ablations: partsize | overlay | pipeline")
 		chaosFlag = flag.String("chaos", "", "fault matrix: 'matrix' (all profiles) or comma-separated profile specs (e.g. mixed@7,storage-flaky)")
 		crash     = flag.Bool("crash", false, "crash-point sweep: deterministic crash at each data-plane step, recovery audit per point")
+		fleet     = flag.Bool("fleet", false, "fleet control plane: hundred-rule topology mix under shared quotas, per-rule fairness table")
 		all       = flag.Bool("all", false, "regenerate every table and figure")
 		quick     = flag.Bool("quick", false, "reduced sizes and rounds")
 		csv       = flag.String("csv", "", "also export plottable CSV datasets into this directory")
@@ -55,13 +57,16 @@ func main() {
 		selected = append(selected, "-extra")
 	}
 	if *all {
-		if len(selected) > 0 || *chaosFlag != "" || *crash {
+		if len(selected) > 0 || *chaosFlag != "" || *crash || *fleet {
 			conflicting := selected
 			if *chaosFlag != "" {
 				conflicting = append(conflicting, "-chaos")
 			}
 			if *crash {
 				conflicting = append(conflicting, "-crash")
+			}
+			if *fleet {
+				conflicting = append(conflicting, "-fleet")
 			}
 			fmt.Fprintf(os.Stderr, "benchtab: -all already runs everything; drop %s\n",
 				strings.Join(conflicting, ", "))
@@ -72,7 +77,7 @@ func main() {
 			strings.Join(selected, ", "))
 		os.Exit(2)
 	}
-	if !*all && len(selected) == 0 && *chaosFlag == "" && !*crash {
+	if !*all && len(selected) == 0 && *chaosFlag == "" && !*crash && !*fleet {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -96,6 +101,9 @@ func main() {
 	}
 	if *crash {
 		runCrash(*quick)
+	}
+	if *fleet {
+		runFleet(*quick)
 	}
 	if *all {
 		for _, t := range []int{1, 2, 3, 4} {
@@ -230,6 +238,16 @@ func runCrash(quick bool) {
 	res, err := experiments.RunCrashSweep(experiments.CrashSweepConfig{Quick: quick})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crash sweep: %v\n", err)
+		os.Exit(2)
+	}
+	emit(res)
+}
+
+func runFleet(quick bool) {
+	hdr("Fleet control plane")
+	res, err := experiments.RunFleet(experiments.FleetConfig{Quick: quick})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
 		os.Exit(2)
 	}
 	emit(res)

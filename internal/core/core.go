@@ -8,7 +8,6 @@ package core
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 	"time"
 
@@ -80,6 +79,12 @@ type Options struct {
 	// Events, when non-nil, receives the monitor's structured alert
 	// events; several services may share one log.
 	Events *fleetobs.EventLog
+
+	// DispatchGate, when set, routes notification-driven dispatches
+	// through an external admission gate (the fleet scheduler); see
+	// engine.SetDispatchGate. Mutually exclusive with EnableBatching,
+	// whose handler dispatches past the engine's gate hook.
+	DispatchGate func(ev objstore.Event, run func(done func()))
 }
 
 // Service is one deployed replication rule.
@@ -110,6 +115,9 @@ func Deploy(w *world.World, opts Options) (*Service, error) {
 	if opts.EnableBatching && rule.SLO <= 0 {
 		return nil, fmt.Errorf("core: batching requires a positive SLO")
 	}
+	if opts.EnableBatching && opts.DispatchGate != nil {
+		return nil, fmt.Errorf("core: batching and a dispatch gate are mutually exclusive")
+	}
 
 	m := opts.Model
 	if m == nil {
@@ -129,6 +137,9 @@ func Deploy(w *world.World, opts Options) (*Service, error) {
 		return w.Region(loc).Fn.Config().ExecLimit
 	}
 	eng := engine.New(w, pl, rule)
+	if opts.DispatchGate != nil {
+		eng.SetDispatchGate(opts.DispatchGate)
+	}
 	lg := logger.New(m, rule.Src, rule.Dst)
 	userHook := opts.OnTaskDone
 
@@ -151,7 +162,7 @@ func Deploy(w *world.World, opts Options) (*Service, error) {
 		s.Changelogs = changelog.NewStore(w.Region(rule.Src).KV)
 		applier := &changelog.Applier{
 			Dst: w.Region(rule.Dst).Obj, DstBucket: rule.DstBucket,
-			Origin: engine.OriginPrefix + fmt.Sprintf("%s/%s->%s/%s", rule.Src, rule.SrcBucket, rule.Dst, rule.DstBucket),
+			Origin: engine.OriginFor(rule.Src, rule.SrcBucket, rule.Dst, rule.DstBucket),
 		}
 		eng.TryChangelog = func(sp *telemetry.Span, key, etag string) bool {
 			log, ok := s.Changelogs.Lookup(key, etag)
@@ -213,7 +224,7 @@ func Deploy(w *world.World, opts Options) (*Service, error) {
 			// Same filters as Engine.HandleEvent: key prefix, plus the
 			// origin loop-breaker so a sibling rule's replica writes in an
 			// active-active pair never feed back through the batcher.
-			if !eng.Matches(ev.Key) || strings.HasPrefix(ev.Origin, engine.OriginPrefix) {
+			if !eng.Matches(ev.Key) || !eng.AcceptsOrigin(ev.Origin) {
 				return
 			}
 			// Every source version is registered for delay accounting even

@@ -132,6 +132,15 @@ type Rule struct {
 	// (as in S3 replication rule filters); other keys are ignored.
 	KeyPrefix string
 
+	// AcceptOrigins lists replica-write origin tags (see OriginFor) whose
+	// events this rule treats as source writes. Chained topologies
+	// (A→B→C) set the B→C rule's AcceptOrigins to the A→B rule's origin,
+	// so B's applied writes feed C without a notification loop: every
+	// other engine-originated event — the rule's own writes included — is
+	// still skipped, and the destination-ETag dedupe terminates any
+	// residual cycle a mis-declared topology could create.
+	AcceptOrigins []string
+
 	// ForceN and ForceLoc, when set, bypass the planner and pin the
 	// parallelism and execution region. Ablation experiments (Figures 8,
 	// 17, 18-19) use them to hold the strategy fixed.
@@ -230,6 +239,9 @@ type Engine struct {
 	taskSeq atomic.Int64
 	breaker *breaker
 	ckpt    *ckptStore
+	// dispatchGate, when set (SetDispatchGate, before traffic), admits
+	// notification dispatches through the fleet scheduler.
+	dispatchGate func(ev objstore.Event, run func(done func()))
 
 	// Instruments dual-write: the unlabelled aggregate keeps its
 	// historical name for existing readers, while the {rule,dest}-labelled
@@ -276,7 +288,7 @@ type DLQEntry struct {
 // region's KV store.
 func New(w *world.World, pl *planner.Planner, rule Rule) *Engine {
 	rule = rule.WithDefaults()
-	ruleID := fmt.Sprintf("%s/%s->%s/%s", rule.Src, rule.SrcBucket, rule.Dst, rule.DstBucket)
+	ruleID := strings.TrimPrefix(OriginFor(rule.Src, rule.SrcBucket, rule.Dst, rule.DstBucket), OriginPrefix)
 	dims := []telemetry.Label{
 		telemetry.L("rule", ruleID),
 		telemetry.L("dest", string(rule.Dst)),
@@ -477,18 +489,61 @@ func (e *Engine) deadLetter(sp *telemetry.Span, ev objstore.Event) {
 // duplicate deliveries of an already-seen (key, version) — bucket
 // notifications are at-least-once — are ignored.
 func (e *Engine) HandleEvent(ev objstore.Event) {
-	if !e.Matches(ev.Key) || strings.HasPrefix(ev.Origin, OriginPrefix) {
+	if !e.Matches(ev.Key) || !e.AcceptsOrigin(ev.Origin) {
 		return
 	}
 	if !e.Tracker.OnSource(ev) {
 		e.eventsDeduped.Inc()
 		return
 	}
+	if gate := e.dispatchGate; gate != nil {
+		// The event is registered (queue wait counts as replication lag);
+		// the fleet scheduler decides when the orchestration launches.
+		gate(ev, func(done func()) { e.dispatchDone(ev, "", done) })
+		return
+	}
 	e.Dispatch(ev)
+}
+
+// AcceptsOrigin reports whether an event origin counts as a source write
+// for this rule: anything not engine-originated, plus the explicitly
+// whitelisted upstream origins of a chained topology. The rule's own
+// origin is never accepted.
+func (e *Engine) AcceptsOrigin(origin string) bool {
+	if !strings.HasPrefix(origin, OriginPrefix) {
+		return true
+	}
+	if origin == e.origin() {
+		return false
+	}
+	for _, ok := range e.Rule.AcceptOrigins {
+		if origin == ok {
+			return true
+		}
+	}
+	return false
+}
+
+// SetDispatchGate routes notification-driven dispatches through an
+// external admission gate (the fleet scheduler): the gate receives each
+// deduplicated event and a run closure; run launches the orchestration
+// and its done callback (may be nil) fires when the orchestrator
+// invocation returns. Retries, redrives, anti-entropy repairs and lock
+// recovery bypass the gate — they are already paced by their own policies.
+// Install before traffic subscribes; the engine reads the gate unlocked.
+func (e *Engine) SetDispatchGate(gate func(ev objstore.Event, run func(done func()))) {
+	e.dispatchGate = gate
 }
 
 // origin returns the tag this engine stamps on its destination writes.
 func (e *Engine) origin() string { return OriginPrefix + e.ruleID }
+
+// OriginFor returns the origin tag an engine replicating src/srcBucket →
+// dst/dstBucket stamps on destination writes. Chained fleet topologies
+// whitelist it via Rule.AcceptOrigins.
+func OriginFor(src cloud.RegionID, srcBucket string, dst cloud.RegionID, dstBucket string) string {
+	return OriginPrefix + fmt.Sprintf("%s/%s->%s/%s", src, srcBucket, dst, dstBucket)
+}
 
 // RuleID returns the engine's stable rule identifier
 // ("src/bucket->dst/bucket"), used for trace IDs and per-rule KV tables.
@@ -546,6 +601,14 @@ func (e *Engine) Dispatch(ev objstore.Event) {
 // retention policy reads it as an anomaly signal — a redriven or repaired
 // task is always worth keeping.
 func (e *Engine) dispatch(ev objstore.Event, cause string) {
+	e.dispatchDone(ev, cause, nil)
+}
+
+// dispatchDone is dispatch with a completion callback for gated
+// dispatches: done (may be nil) fires when the orchestrator invocation
+// returns — crashed instances included, since the handler itself returns
+// normally — so the fleet scheduler can free the lane slot.
+func (e *Engine) dispatchDone(ev objstore.Event, cause string, done func()) {
 	src := e.W.Region(e.Rule.Src)
 	root := e.startTaskTrace(ev)
 	if cause != "" {
@@ -556,6 +619,9 @@ func (e *Engine) dispatch(ev objstore.Event, cause string) {
 	root.ChildAt("notify", ev.Time).EndAt(e.W.Clock.Now())
 	src.Fn.InvokeSpan(root, 1, func(ctx *faas.Ctx) {
 		defer root.End()
+		if done != nil {
+			defer done()
+		}
 		e.orchestrate(ctx, ev)
 	})
 }

@@ -42,6 +42,10 @@ type BenchConfig struct {
 	// wall-clock dependent, so determinism checks that cmp two reports
 	// byte-for-byte must leave it disabled.
 	MeasureSimRate bool
+	// Fleet adds the fleet-hundred-rules control-plane scenario
+	// (experiments.RunFleet) to the report, gating multi-rule fairness,
+	// shared-quota utilization and exactly-once convergence.
+	Fleet bool
 }
 
 // BenchCategory is one critical-path category's aggregate share of a
@@ -138,6 +142,31 @@ type BenchScrub struct {
 	ScrubCostUSD       float64 `json:"scrub_cost_usd"`
 }
 
+// BenchFleet is the fleet control-plane scenario's regression-relevant
+// subset (BenchConfig.Fleet). Convergence, duplicate final writes, DLQ
+// depth and starvation marks are hard bars (the runs are deterministic);
+// the lag-p99 spread and max gate fairness, quota utilization guards
+// against the scheduler under-using paid-for capacity, and cost pins the
+// control plane's dollar overhead.
+type BenchFleet struct {
+	Name           string  `json:"name"`
+	Rules          int     `json:"rules"`
+	Ops            int     `json:"ops"`
+	ConvergencePct float64 `json:"convergence_pct"`
+	DupFinalWrites int     `json:"dup_final_writes"`
+	DLQ            int     `json:"dlq"`
+	Starved        int64   `json:"starved"`
+	Admits         int64   `json:"admits"`
+	Defers         int64   `json:"defers"`
+	QuotaWaits     int64   `json:"quota_waits"`
+	Batches        int64   `json:"batches"`
+	BatchMeanSize  float64 `json:"batch_mean_size"`
+	QuotaUtilPct   float64 `json:"quota_util_pct"`
+	LagP99MaxS     float64 `json:"lag_p99_max_s"`
+	LagP99SpreadS  float64 `json:"lag_p99_spread_s"`
+	CostUSD        float64 `json:"cost_usd"`
+}
+
 // BenchReport is the BENCH_*.json document: the canonical quick suite's
 // delay/cost/attribution measurements, deterministic for a given
 // configuration (two identically-configured runs are byte-identical).
@@ -148,6 +177,7 @@ type BenchReport struct {
 	FaultMatrix []BenchFault      `json:"fault_matrix"`
 	CrashSweep  []BenchCrash      `json:"crash_sweep,omitempty"`
 	Scrub       []BenchScrub      `json:"scrub,omitempty"`
+	Fleet       []BenchFleet      `json:"fleet,omitempty"`
 }
 
 // benchScenario is one canonical replication workload.
@@ -276,6 +306,31 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 				ScrubCostUSD:       p.ScrubCostUSD,
 			})
 		}
+	}
+
+	if cfg.Fleet {
+		fr, err := RunFleet(FleetConfig{Quick: cfg.Quick})
+		if err != nil {
+			return nil, fmt.Errorf("bench fleet: %w", err)
+		}
+		rep.Fleet = append(rep.Fleet, BenchFleet{
+			Name:           "fleet-hundred-rules",
+			Rules:          fr.Rules,
+			Ops:            fr.Ops,
+			ConvergencePct: fr.ConvergencePct,
+			DupFinalWrites: fr.DupFinalWrites,
+			DLQ:            fr.DLQ,
+			Starved:        fr.Starved,
+			Admits:         fr.Admits,
+			Defers:         fr.Defers,
+			QuotaWaits:     fr.QuotaWaits,
+			Batches:        fr.Batches,
+			BatchMeanSize:  fr.BatchMeanSize,
+			QuotaUtilPct:   fr.QuotaUtilPct,
+			LagP99MaxS:     fr.LagP99MaxS,
+			LagP99SpreadS:  fr.LagP99SpreadS,
+			CostUSD:        fr.CostUSD,
+		})
 	}
 	return rep, nil
 }
@@ -565,6 +620,48 @@ func CompareBench(baseline, got *BenchReport, tol BenchTolerance) []string {
 			regs = append(regs, fmt.Sprintf("scrub %s: marginal cost $%.6f -> $%.6f (tol %.0f%%)", old.Cadence, old.ScrubCostUSD, s.ScrubCostUSD, 100*tol.rel()))
 		}
 	}
+
+	// Fleet control plane: convergence, duplicate final writes, DLQ depth
+	// and starvation marks are hard bars (deterministic runs — any growth
+	// is a real behavior change); the fairness spread and lag ceiling may
+	// drift by the relative slack plus a 0.25 s floor; quota utilization
+	// collapsing by more than 20 points means the scheduler stopped using
+	// capacity the quotas pay for; cost gets the usual dollar tolerance.
+	newFleet := make(map[string]BenchFleet, len(got.Fleet))
+	for _, f := range got.Fleet {
+		newFleet[f.Name] = f
+	}
+	for _, old := range baseline.Fleet {
+		f, ok := newFleet[old.Name]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("fleet %s: scenario missing from new report", old.Name))
+			continue
+		}
+		if f.ConvergencePct < old.ConvergencePct {
+			regs = append(regs, fmt.Sprintf("fleet %s: convergence %.1f%% -> %.1f%%", old.Name, old.ConvergencePct, f.ConvergencePct))
+		}
+		if f.DupFinalWrites > old.DupFinalWrites {
+			regs = append(regs, fmt.Sprintf("fleet %s: duplicate final writes %d -> %d", old.Name, old.DupFinalWrites, f.DupFinalWrites))
+		}
+		if f.DLQ > old.DLQ {
+			regs = append(regs, fmt.Sprintf("fleet %s: DLQ depth %d -> %d", old.Name, old.DLQ, f.DLQ))
+		}
+		if f.Starved > old.Starved {
+			regs = append(regs, fmt.Sprintf("fleet %s: starvation marks %d -> %d", old.Name, old.Starved, f.Starved))
+		}
+		if tol.exceeds(old.LagP99SpreadS, f.LagP99SpreadS, 0.25) {
+			regs = append(regs, fmt.Sprintf("fleet %s: lag p99 spread %.3fs -> %.3fs (tol %.0f%%)", old.Name, old.LagP99SpreadS, f.LagP99SpreadS, 100*tol.rel()))
+		}
+		if tol.exceeds(old.LagP99MaxS, f.LagP99MaxS, 0.25) {
+			regs = append(regs, fmt.Sprintf("fleet %s: lag p99 max %.3fs -> %.3fs (tol %.0f%%)", old.Name, old.LagP99MaxS, f.LagP99MaxS, 100*tol.rel()))
+		}
+		if f.QuotaUtilPct < old.QuotaUtilPct-20 {
+			regs = append(regs, fmt.Sprintf("fleet %s: quota utilization %.1f%% -> %.1f%%", old.Name, old.QuotaUtilPct, f.QuotaUtilPct))
+		}
+		if tol.exceeds(old.CostUSD, f.CostUSD, 1e-5) {
+			regs = append(regs, fmt.Sprintf("fleet %s: cost $%.6f -> $%.6f (tol %.0f%%)", old.Name, old.CostUSD, f.CostUSD, 100*tol.rel()))
+		}
+	}
 	return regs
 }
 
@@ -609,6 +706,16 @@ func (r *BenchReport) Print(out io.Writer) {
 			fprintf(out, "%-26s %8.1f%% %9d %7d %10d %4d %10.4f\n",
 				s.Cadence, s.ConvergencePct, s.ResidualDivergence, s.Rounds,
 				s.DigestBytes, s.DupFinalWrites, s.ScrubCostUSD)
+		}
+	}
+	if len(r.Fleet) > 0 {
+		fprintf(out, "%-26s %5s %9s %4s %4s %7s %8s %8s %8s %10s\n",
+			"fleet scenario", "rules", "converge", "dup", "dlq", "starved",
+			"util", "spread_s", "max_s", "cost_usd")
+		for _, f := range r.Fleet {
+			fprintf(out, "%-26s %5d %8.1f%% %4d %4d %7d %7.1f%% %8.2f %8.2f %10.4f\n",
+				f.Name, f.Rules, f.ConvergencePct, f.DupFinalWrites, f.DLQ, f.Starved,
+				f.QuotaUtilPct, f.LagP99SpreadS, f.LagP99MaxS, f.CostUSD)
 		}
 	}
 }

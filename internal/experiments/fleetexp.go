@@ -1,0 +1,433 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	areplica "repro"
+	"repro/internal/cloud"
+	"repro/internal/objstore"
+	"repro/internal/trace"
+)
+
+// FleetConfig configures the hundred-rule control-plane scenario: one
+// fleet deployment mixing every topology shape under shared quotas,
+// driven by the bursty IBM-COS-like trace.
+type FleetConfig struct {
+	// Rules is the total rule count (default 100). The topology groups —
+	// one 10-way fan-out, two 3-hop chains, one 3-region mesh — take 20
+	// rules; the rest are direct rules over the ordered pairs of the
+	// three east regions. Values below the 20-rule floor are raised.
+	Rules int
+	// Duration and RatePerMin shape the trace (defaults 15 min at 300
+	// writes/min; Quick trims to 4 min at 150).
+	Duration   time.Duration
+	RatePerMin float64
+	Quick      bool
+
+	// FaaSConcurrency caps concurrently running function instances per
+	// (provider,region) lane across the whole fleet (default 64).
+	FaaSConcurrency int
+	// KVOpsPerSec caps each lane's shared KV throughput (default 400).
+	KVOpsPerSec float64
+	// MaxObjectBytes clamps trace object sizes (default 4 MB) so every
+	// transfer takes the inline local plan — the scenario stresses the
+	// control plane's scheduling, not the distributed data plane.
+	MaxObjectBytes int64
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.Rules <= 0 {
+		c.Rules = 100
+	}
+	if c.Duration <= 0 {
+		c.Duration = 15 * time.Minute
+		if c.Quick {
+			c.Duration = 4 * time.Minute
+		}
+	}
+	if c.RatePerMin <= 0 {
+		c.RatePerMin = 300
+		if c.Quick {
+			c.RatePerMin = 150
+		}
+	}
+	if c.FaaSConcurrency <= 0 {
+		c.FaaSConcurrency = 64
+	}
+	if c.KVOpsPerSec <= 0 {
+		c.KVOpsPerSec = 400
+	}
+	if c.MaxObjectBytes <= 0 {
+		c.MaxObjectBytes = 4 * MB
+	}
+	return c
+}
+
+// FleetRuleRow is one rule's fairness account in a FleetResult.
+type FleetRuleRow struct {
+	Rule       string
+	Admits     int64
+	Defers     int64
+	Starved    int64
+	QuotaWaits int64
+	MaxQueue   int
+	LagP99S    float64
+}
+
+// FleetResult is the hundred-rule scenario's outcome: convergence and
+// duplicate-write bars, per-rule fairness (lag p99 spread, starvation),
+// shared-quota utilization, cross-rule batching, and dollar cost.
+type FleetResult struct {
+	Rules   int
+	Entries int // distinct trace entry points (buckets accepting raw writes)
+	Ops     int
+
+	ConvergencePct float64
+	Audited        int
+	Diverged       int
+	Pending        int
+	DLQ            int
+	Redriven       int
+	DupFinalWrites int
+
+	// Fairness: the spread of per-rule lag p99 across rules that resolved
+	// work — a fair scheduler keeps the spread narrow even though rules
+	// share lanes with a 10x-hotter fan-out source.
+	LagP99MinS    float64
+	LagP99MaxS    float64
+	LagP99SpreadS float64
+	Starved       int64
+
+	Admits        int64
+	Defers        int64
+	QuotaWaits    int64
+	Batches       int64
+	BatchMeanSize float64
+
+	// QuotaUtilPct is the busiest lane's concurrency high-water mark as a
+	// percentage of its cap; Forced counts stall-guard escapes (must stay
+	// zero — the control plane never needs the deadlock valve).
+	QuotaUtilPct float64
+	Forced       int64
+	CostUSD      float64
+
+	PerRule []FleetRuleRow
+}
+
+// fleetEntry is one bucket accepting raw trace writes; mesh members
+// prefix their keys so every key has exactly one writing site (no
+// last-writer-wins races between mesh rules).
+type fleetEntry struct {
+	region, bucket, prefix string
+}
+
+// fleetTopology builds the scenario's rules and entry points: a 10-way
+// fan-out from aws:us-east-1 (weight 2 — the hot tenant), two 3-hop
+// chains, a 3-region mesh (priority 1 — the interactive class), and
+// direct rules over the ordered pairs of the three east regions until
+// the total reaches n.
+func fleetTopology(n int) ([]areplica.FleetRule, []fleetEntry, error) {
+	regions := []string{string(AWSEast), string(AzureEast), string(GCPEast)}
+	var rules []areplica.FleetRule
+	var entries []fleetEntry
+
+	// One-to-many fan-out: ten destination buckets alternating between
+	// the two non-source regions.
+	var dsts []areplica.FleetDst
+	for i := 0; i < 10; i++ {
+		dsts = append(dsts, areplica.FleetDst{
+			Region: regions[1+i%2],
+			Bucket: fmt.Sprintf("fan-dst-%02d", i),
+		})
+	}
+	fan, err := areplica.FanOut(regions[0], "fan-src", dsts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range fan {
+		fan[i].Weight = 2
+	}
+	rules = append(rules, fan...)
+	entries = append(entries, fleetEntry{region: regions[0], bucket: "fan-src"})
+
+	// Two chains in opposite directions; only the head accepts raw writes.
+	for ci, order := range [][]string{
+		{regions[0], regions[1], regions[2]},
+		{regions[1], regions[2], regions[0]},
+	} {
+		bucket := fmt.Sprintf("chain-%c", 'a'+ci)
+		hops := make([]areplica.FleetHop, len(order))
+		for i, r := range order {
+			hops[i] = areplica.FleetHop{Region: r, Bucket: bucket}
+		}
+		chain, err := areplica.Chain(hops...)
+		if err != nil {
+			return nil, nil, err
+		}
+		rules = append(rules, chain...)
+		entries = append(entries, fleetEntry{region: order[0], bucket: bucket})
+	}
+
+	// Active-active mesh over all three regions; every member writes its
+	// own keyspace.
+	mesh, err := areplica.FullMesh("mesh", regions...)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range mesh {
+		mesh[i].Priority = 1
+	}
+	rules = append(rules, mesh...)
+	for i, r := range regions {
+		entries = append(entries, fleetEntry{region: r, bucket: "mesh", prefix: fmt.Sprintf("site%d/", i)})
+	}
+
+	// Direct rules fill the fleet out to n, cycling the ordered region
+	// pairs so all six lanes carry single-rule traffic too.
+	type pair struct{ src, dst string }
+	var pairs []pair
+	for _, s := range regions {
+		for _, d := range regions {
+			if s != d {
+				pairs = append(pairs, pair{s, d})
+			}
+		}
+	}
+	for i := 0; len(rules) < n; i++ {
+		p := pairs[i%len(pairs)]
+		bucket := fmt.Sprintf("dir-%03d", i)
+		rules = append(rules, areplica.FleetRule{
+			SrcRegion: p.src, SrcBucket: bucket,
+			DstRegion: p.dst, DstBucket: bucket + "-replica",
+		})
+		entries = append(entries, fleetEntry{region: p.src, bucket: bucket})
+	}
+	return rules, entries, nil
+}
+
+// dupWatcher counts duplicate final writes on one destination bucket: a
+// later version whose ETag equals the one already durable.
+type dupWatcher struct {
+	mu       sync.Mutex
+	dups     int
+	lastSeq  map[string]uint64
+	lastETag map[string]string
+}
+
+func (w *dupWatcher) observe(ev objstore.Event) {
+	if ev.Type != objstore.EventPut {
+		return
+	}
+	w.mu.Lock()
+	if ev.Seq > w.lastSeq[ev.Key] {
+		if ev.ETag != "" && w.lastETag[ev.Key] == ev.ETag {
+			w.dups++
+		}
+		w.lastSeq[ev.Key] = ev.Seq
+		w.lastETag[ev.Key] = ev.ETag
+	}
+	w.mu.Unlock()
+}
+
+// keyShard maps a trace key to its entry point. Sharding hashes the key
+// (not the op index) so every key has one stable writing site across its
+// whole version history.
+func keyShard(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// RunFleet deploys the hundred-rule topology under shared quotas and
+// replays the bursty trace across all entry points.
+func RunFleet(cfg FleetConfig) (*FleetResult, error) {
+	cfg = cfg.withDefaults()
+	rules, entries, err := fleetTopology(cfg.Rules)
+	if err != nil {
+		return nil, err
+	}
+
+	sim := areplica.NewSim()
+	fl, err := sim.DeployFleet(rules, areplica.FleetOptions{
+		FaaSConcurrency: cfg.FaaSConcurrency,
+		KVOpsPerSec:     cfg.KVOpsPerSec,
+		ProfileRounds:   profileRounds(cfg.Quick),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Watch every destination bucket for duplicate final writes
+	// (deterministic subscription order: first rule wins per bucket).
+	var watchers []*dupWatcher
+	seen := make(map[string]bool)
+	for _, r := range rules {
+		id := r.DstRegion + "/" + r.DstBucket
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		w := &dupWatcher{lastSeq: map[string]uint64{}, lastETag: map[string]string{}}
+		rid, err := cloud.ParseRegionID(r.DstRegion)
+		if err != nil {
+			return nil, err
+		}
+		if err := sim.World().Region(rid).Obj.Subscribe(r.DstBucket, w.observe); err != nil {
+			return nil, err
+		}
+		watchers = append(watchers, w)
+	}
+
+	tcfg := trace.DefaultConfig(cfg.Duration, cfg.RatePerMin)
+	tcfg.Seed = "fleet-hundred"
+	ops := trace.Generate(tcfg)
+	for i := range ops {
+		if ops[i].Size > cfg.MaxObjectBytes {
+			ops[i].Size = cfg.MaxObjectBytes
+		}
+	}
+
+	costBefore := sim.CostTotal()
+	trace.Replay(sim.World().Clock, ops, func(op trace.Op) {
+		e := entries[keyShard(op.Key, len(entries))]
+		key := e.prefix + op.Key
+		if op.Type == trace.OpDelete {
+			// Deleting a never-written key is a no-op, as in the real service.
+			_ = sim.DeleteObject(e.region, e.bucket, key)
+			return
+		}
+		if _, err := sim.PutObject(e.region, e.bucket, key, op.Size); err != nil {
+			panic(err)
+		}
+	})
+	sim.Wait()
+	redriven := 0
+	for i := 0; i < 3 && fl.DLQTotal() > 0; i++ {
+		redriven += fl.RedriveAll()
+		sim.Wait()
+	}
+	fl.PollMonitors()
+
+	res := &FleetResult{
+		Rules:    fl.Size(),
+		Entries:  len(entries),
+		Ops:      len(ops),
+		Pending:  fl.PendingTotal(),
+		DLQ:      fl.DLQTotal(),
+		Redriven: redriven,
+		CostUSD:  sim.CostTotal() - costBefore,
+	}
+	for _, w := range watchers {
+		w.mu.Lock()
+		res.DupFinalWrites += w.dups
+		w.mu.Unlock()
+	}
+	div, audited, err := fl.Diverged()
+	if err != nil {
+		return nil, err
+	}
+	res.Audited, res.Diverged = audited, div
+	if audited > 0 {
+		res.ConvergencePct = 100 * float64(audited-div) / float64(audited)
+	}
+
+	lag := make(map[string]float64, fl.Size())
+	for _, id := range fl.RuleIDs() {
+		h, herr := fl.Rule(id).Health()
+		if herr != nil {
+			return nil, herr
+		}
+		lag[id] = h.LagP99S
+	}
+	first := true
+	for _, st := range fl.SchedStats() {
+		row := FleetRuleRow{
+			Rule: st.Rule, Admits: st.Admits, Defers: st.Defers,
+			Starved: st.Starved, QuotaWaits: st.QuotaWaits,
+			MaxQueue: st.MaxQueue, LagP99S: lag[st.Rule],
+		}
+		res.PerRule = append(res.PerRule, row)
+		res.Admits += st.Admits
+		res.Defers += st.Defers
+		res.Starved += st.Starved
+		res.QuotaWaits += st.QuotaWaits
+		// Idle rules (no resolved work, lag 0) would fake a wide spread;
+		// fairness is judged over rules that replicated something.
+		if row.LagP99S <= 0 {
+			continue
+		}
+		if first || row.LagP99S < res.LagP99MinS {
+			res.LagP99MinS = row.LagP99S
+		}
+		if first || row.LagP99S > res.LagP99MaxS {
+			res.LagP99MaxS = row.LagP99S
+		}
+		first = false
+	}
+	res.LagP99SpreadS = res.LagP99MaxS - res.LagP99MinS
+
+	for _, ls := range fl.QuotaStats() {
+		if ls.UtilizationPct > res.QuotaUtilPct {
+			res.QuotaUtilPct = ls.UtilizationPct
+		}
+		res.Forced += ls.Forced
+	}
+	bs := fl.BatchStats()
+	res.Batches, res.BatchMeanSize = bs.Batches, bs.MeanSize
+	return res, nil
+}
+
+// Print writes the scenario summary plus the ten most-contended rules;
+// the full per-rule table is exported via CSV.
+func (r *FleetResult) Print(w io.Writer) {
+	fprintf(w, "Fleet control plane: %d rules, %d entry points, %d trace ops\n", r.Rules, r.Entries, r.Ops)
+	fprintf(w, "  convergence %.1f%% (%d/%d audited keys, %d pending, %d DLQ, %d redriven), %d duplicate final writes\n",
+		r.ConvergencePct, r.Audited-r.Diverged, r.Audited, r.Pending, r.DLQ, r.Redriven, r.DupFinalWrites)
+	fprintf(w, "  fairness: lag p99 %.2fs..%.2fs (spread %.2fs), %d starvation marks\n",
+		r.LagP99MinS, r.LagP99MaxS, r.LagP99SpreadS, r.Starved)
+	fprintf(w, "  scheduler: %d admits, %d defers, %d quota waits; %d batches (mean %.1f)\n",
+		r.Admits, r.Defers, r.QuotaWaits, r.Batches, r.BatchMeanSize)
+	fprintf(w, "  quota: busiest lane %.1f%% of cap, %d forced admissions; cost $%.4f\n",
+		r.QuotaUtilPct, r.Forced, r.CostUSD)
+
+	rows := append([]FleetRuleRow(nil), r.PerRule...)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].MaxQueue != rows[j].MaxQueue {
+			return rows[i].MaxQueue > rows[j].MaxQueue
+		}
+		return rows[i].Rule < rows[j].Rule
+	})
+	if len(rows) > 10 {
+		rows = rows[:10]
+	}
+	fprintf(w, "  most contended rules:\n")
+	fprintf(w, "  %-52s %7s %7s %7s %7s %6s %8s\n", "rule", "admits", "defers", "starve", "qwaits", "maxq", "lag_p99")
+	for _, row := range rows {
+		fprintf(w, "  %-52s %7d %7d %7d %7d %6d %8.2f\n",
+			row.Rule, row.Admits, row.Defers, row.Starved, row.QuotaWaits, row.MaxQueue, row.LagP99S)
+	}
+}
+
+// CSV exports the full per-rule fairness table (the CI artifact).
+func (r *FleetResult) CSV() []CSVTable {
+	t := CSVTable{Name: "fleet_fairness", Header: []string{
+		"rule", "admits", "defers", "starved", "quota_waits", "max_queue", "lag_p99_s"}}
+	for _, row := range r.PerRule {
+		t.Rows = append(t.Rows, []string{
+			row.Rule,
+			strconv.FormatInt(row.Admits, 10),
+			strconv.FormatInt(row.Defers, 10),
+			strconv.FormatInt(row.Starved, 10),
+			strconv.FormatInt(row.QuotaWaits, 10),
+			strconv.Itoa(row.MaxQueue),
+			f64(row.LagP99S),
+		})
+	}
+	return []CSVTable{t}
+}

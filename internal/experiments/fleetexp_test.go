@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/racedetect"
+)
+
+// fleetTestConfig is a trimmed hundred-rule scenario sized for unit
+// tests: the full topology mix, fewer direct rules, a short trace.
+func fleetTestConfig() FleetConfig {
+	return FleetConfig{
+		Rules:      24,
+		Duration:   2 * time.Minute,
+		RatePerMin: 90,
+		Quick:      true,
+	}
+}
+
+// TestRunFleetConverges drives the mixed topology end to end: every
+// audited key converges, nothing is left pending or dead-lettered, no
+// duplicate final writes land, and the stall guard stays cold.
+func TestRunFleetConverges(t *testing.T) {
+	res, err := RunFleet(fleetTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rules != 24 {
+		t.Errorf("Rules = %d, want 24", res.Rules)
+	}
+	if res.ConvergencePct != 100 {
+		t.Errorf("ConvergencePct = %.2f, want 100 (%d/%d diverged, %d pending)",
+			res.ConvergencePct, res.Diverged, res.Audited, res.Pending)
+	}
+	if res.Pending != 0 || res.DLQ != 0 {
+		t.Errorf("Pending = %d, DLQ = %d, want 0, 0", res.Pending, res.DLQ)
+	}
+	if res.DupFinalWrites != 0 {
+		t.Errorf("DupFinalWrites = %d, want 0", res.DupFinalWrites)
+	}
+	if res.Forced != 0 {
+		t.Errorf("Forced quota admissions = %d, want 0", res.Forced)
+	}
+	if res.Admits == 0 {
+		t.Error("scheduler admitted nothing")
+	}
+	if len(res.PerRule) != res.Rules {
+		t.Errorf("PerRule rows = %d, want %d", len(res.PerRule), res.Rules)
+	}
+}
+
+// TestRunFleetDeterministic reruns the same configuration and requires
+// an identical result — the fleet-hundred-rules bench row is gated on
+// byte-identical reports.
+func TestRunFleetDeterministic(t *testing.T) {
+	if racedetect.Enabled {
+		t.Skip("same-seed byte-identity holds under the normal scheduler only; race instrumentation reorders same-virtual-instant wakeups")
+	}
+	a, err := RunFleet(fleetTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFleet(fleetTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same-seed fleet runs differ:\n%+v\nvs\n%+v", a, b)
+	}
+}

@@ -163,6 +163,7 @@ type Platform struct {
 	mu      sync.Mutex
 	rng     *rand.Rand
 	chaos   *chaos.Injector
+	quota   Quota
 	warm    []*Instance
 	running int
 	nextID  int
@@ -236,6 +237,31 @@ func (p *Platform) SetChaos(ij *chaos.Injector) {
 	p.mu.Unlock()
 }
 
+// Quota is an account-level admission gate shared across platforms — the
+// fleet control plane's per-(provider,region) concurrency ledger. Acquire
+// blocks (in virtual time) until the shared account grants an instance
+// slot; Release returns it. The gate sits outside the platform's own
+// MaxConcurrency bound, and the slot is released even when the instance
+// crashes mid-run.
+type Quota interface {
+	Acquire()
+	Release()
+}
+
+// SetQuota installs a shared account-concurrency gate (nil removes it).
+func (p *Platform) SetQuota(q Quota) {
+	p.mu.Lock()
+	p.quota = q
+	p.mu.Unlock()
+}
+
+// quotaGate returns the installed gate (nil-safe).
+func (p *Platform) quotaGate() Quota {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.quota
+}
+
 // injector returns the armed injector (nil-safe).
 func (p *Platform) injector() *chaos.Injector {
 	p.mu.Lock()
@@ -284,6 +310,12 @@ func (p *Platform) draw(d stats.Normal, lo float64) float64 {
 // one. It blocks (in virtual time) while the account concurrency limit is
 // saturated.
 func (p *Platform) acquire() (inst *Instance, cold bool) {
+	// Shared account gate first: the fleet-level ledger admits before the
+	// platform's own concurrency bound is consulted, so one rule's burst
+	// queues here for everyone sharing the (provider,region) lane.
+	if q := p.quotaGate(); q != nil {
+		q.Acquire()
+	}
 	for {
 		p.mu.Lock()
 		if p.running < p.cfg.MaxConcurrency {
@@ -336,6 +368,9 @@ func (p *Platform) release(inst *Instance) {
 	inst.idleSince = p.clock.Now()
 	p.warm = append(p.warm, inst)
 	p.mu.Unlock()
+	if q := p.quotaGate(); q != nil {
+		q.Release()
+	}
 }
 
 // Invoke launches n asynchronous executions of handler. The caller (an
@@ -477,6 +512,11 @@ func (p *Platform) run(inst *Instance, handler func(*Ctx), book pricing.Book, sp
 		p.running--
 		p.regRunning.Add(-1)
 		p.mu.Unlock()
+		// The shared account slot frees too — a crashed instance must not
+		// leak fleet quota, or the lane's ledger drifts toward deadlock.
+		if q := p.quotaGate(); q != nil {
+			q.Release()
+		}
 	} else {
 		p.release(inst)
 	}

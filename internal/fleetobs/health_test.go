@@ -1,0 +1,85 @@
+package fleetobs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// healthRows is a small fleet's health snapshot, deliberately listed out
+// of order: the table must sort by (rule, dest) regardless of
+// registration or deploy order.
+func healthRows() []Health {
+	return []Health{
+		{
+			Rule: "gcp:us-east1/logs->aws:us-east-1/logs-replica", Dest: "aws:us-east-1",
+			State: "warn", LagP50S: 1.204, LagP99S: 9.881, Backlog: 4, OldestAgeS: 12.5,
+			DLQ: 0, BurnShort: 2.1, BurnLong: 0.9, Alerts: 1,
+		},
+		{
+			Rule: "aws:us-east-1/photos->azure:eastus/photos-replica", Dest: "azure:eastus",
+			State: "ok", LagP50S: 0.742, LagP99S: 2.310, Backlog: 0, OldestAgeS: 0,
+			DLQ: 0, BurnShort: 0.2, BurnLong: 0.1, Alerts: 0,
+		},
+		{
+			Rule: "aws:us-east-1/photos->gcp:us-east1/photos-replica", Dest: "gcp:us-east1",
+			State: "page", LagP50S: 3.050, LagP99S: 31.007, Backlog: 17, OldestAgeS: 45.25,
+			DLQ: 2, BurnShort: 14.8, BurnLong: 6.2, Alerts: 3,
+		},
+		{
+			Rule: "azure:eastus/media->gcp:us-east1/media-replica", Dest: "gcp:us-east1",
+			State: "ok", LagP50S: 0.511, LagP99S: 1.102, Backlog: 0, OldestAgeS: 0,
+			DLQ: 0, BurnShort: 0, BurnLong: 0, Alerts: 0,
+		},
+	}
+}
+
+// TestHealthTableGolden pins the table's exact rendering — alignment,
+// headers and the deterministic (rule, dest) sort of rows fed in
+// shuffled order.
+func TestHealthTableGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHealthTable(&buf, healthRows()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "health_table.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("table differs from golden file:\n%s", buf.String())
+	}
+}
+
+// TestHealthTableOrderInvariant feeds the same rows in two different
+// orders and requires byte-identical output.
+func TestHealthTableOrderInvariant(t *testing.T) {
+	rows := healthRows()
+	var a, b bytes.Buffer
+	if err := WriteHealthTable(&a, rows); err != nil {
+		t.Fatal(err)
+	}
+	reversed := make([]Health, len(rows))
+	for i, h := range rows {
+		reversed[len(rows)-1-i] = h
+	}
+	if err := WriteHealthTable(&b, reversed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("row order leaked into output:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

@@ -64,6 +64,7 @@ type Store struct {
 	mu      sync.Mutex
 	rng     latencyRNG
 	chaos   *chaos.Injector
+	quota   Quota
 	tables  map[string]map[string]Item
 	expires map[string]map[string]time.Time // table -> key -> expiry
 
@@ -121,6 +122,22 @@ func (s *Store) SetChaos(ij *chaos.Injector) {
 	s.mu.Unlock()
 }
 
+// Quota is an account-level throughput gate shared across stores — the
+// fleet control plane's per-(provider,region) KV budget. WaitOp may sleep
+// on the virtual clock before the operation's own latency is simulated,
+// modelling account-wide provisioned-throughput limits the way injected
+// throttling models transient ones: as added latency, never an error.
+type Quota interface {
+	WaitOp(write bool)
+}
+
+// SetQuota installs a shared throughput gate (nil removes it).
+func (s *Store) SetQuota(q Quota) {
+	s.mu.Lock()
+	s.quota = q
+	s.mu.Unlock()
+}
+
 // SetTelemetry mirrors the store's activity into run-wide registry
 // instruments: aggregate read/write counters and an operation-latency
 // histogram shared across regions.
@@ -139,6 +156,12 @@ func (s *Store) SetTelemetry(reg *telemetry.Registry) {
 // retry ProvisionedThroughputExceeded internally, so callers of DynamoDB
 // and its kin mostly experience throttling as slowness.
 func (s *Store) simulateOp(write bool) {
+	s.mu.Lock()
+	q := s.quota
+	s.mu.Unlock()
+	if q != nil {
+		q.WaitOp(write)
+	}
 	s.rng.mu.Lock()
 	d := s.latency.Mu + s.latency.Sigma*s.rng.rng.NormFloat64()
 	s.rng.mu.Unlock()

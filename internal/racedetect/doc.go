@@ -1,0 +1,9 @@
+// Package racedetect exposes whether the race detector is compiled in.
+//
+// Same-seed byte-identity is a property of the normal scheduler: race
+// instrumentation perturbs which goroutine wins when several actors wake
+// at the same virtual instant, which reorders shared-RNG draws and FIFO
+// quota tickets. Determinism tests consult Enabled to keep their
+// behavioral assertions under -race while skipping cross-run
+// byte-comparison, which only the uninstrumented scheduler guarantees.
+package racedetect
