@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -27,20 +28,46 @@ import (
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "CI-sized workloads and a two-profile fault matrix")
-		out      = flag.String("o", "", "output path (default BENCH_<suite>.json)")
-		compare  = flag.String("compare", "", "baseline BENCH_*.json to diff against; regressions exit non-zero")
-		tol      = flag.Float64("tol", 0.25, "relative regression tolerance for -compare (0.25 = 25% worse allowed)")
-		interval = flag.Duration("interval", 5*time.Second, "virtual-time series sampling interval")
-		scrub    = flag.Bool("scrub", false, "include the anti-entropy cadence sweep in the report")
-		fleet    = flag.Bool("fleet", false, "include the fleet-hundred-rules control-plane scenario in the report")
-		events   = flag.String("events", "", "write the fault matrix's SLO alert log as JSONL to this file")
-		simrate  = flag.Bool("simrate", true, "measure sim_rate (simulated-seconds per wall-second); disable for byte-identical determinism runs")
+		quick      = flag.Bool("quick", false, "CI-sized workloads and a two-profile fault matrix")
+		out        = flag.String("o", "", "output path (default BENCH_<suite>.json)")
+		compare    = flag.String("compare", "", "baseline BENCH_*.json to diff against; regressions exit non-zero")
+		tol        = flag.Float64("tol", 0.25, "relative regression tolerance for -compare (0.25 = 25% worse allowed)")
+		interval   = flag.Duration("interval", 5*time.Second, "virtual-time series sampling interval")
+		scrub      = flag.Bool("scrub", false, "include the anti-entropy cadence sweep in the report")
+		fleet      = flag.Bool("fleet", false, "include the fleet-hundred-rules control-plane scenario in the report")
+		fleetday   = flag.Bool("fleetday", false, "run ONLY the full-scale fleet-day replay (1000 rules, 24 virtual hours) and gate its absolute bars")
+		events     = flag.String("events", "", "write the fault matrix's SLO alert log as JSONL to this file")
+		simrate    = flag.Bool("simrate", true, "measure sim_rate (simulated-seconds per wall-second); disable for byte-identical determinism runs")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "benchreport: unexpected arguments %v\n", flag.Args())
 		os.Exit(2)
+	}
+	stopProfile := func() {}
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		// Idempotent: explicitly invoked before the non-zero exits below
+		// (os.Exit skips defers), deferred for the normal return.
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}
+		defer stopProfile()
+	}
+	if *fleetday {
+		code := runFleetDay(*quick, *simrate)
+		stopProfile()
+		os.Exit(code)
 	}
 
 	start := time.Now()
@@ -121,5 +148,42 @@ func main() {
 	for _, r := range regs {
 		fmt.Fprintf(os.Stderr, "  %s\n", r)
 	}
+	stopProfile()
 	os.Exit(1)
+}
+
+// runFleetDay runs the fleet-day replay on its own — the CI step that
+// profiles the full-scale scenario — and enforces its absolute bars:
+// 100% convergence, zero duplicate final writes, an empty DLQ, and (when
+// wall clock is measured) the 50k rule-sim-s/wall-s interactive-replay
+// floor. Relative regressions (sim-rate collapse, allocation creep) are
+// gated by -compare against the quick baseline instead, where both sides
+// ran on the same class of machine.
+func runFleetDay(quick, simrate bool) int {
+	start := time.Now()
+	res, err := experiments.RunFleetDay(experiments.FleetDayConfig{Quick: quick, MeasureRates: simrate})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: fleet-day: %v\n", err)
+		return 1
+	}
+	res.Print(os.Stderr)
+	fmt.Fprintf(os.Stderr, "(wall time %s)\n", time.Since(start).Round(time.Millisecond))
+	code := 0
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "fleet-day gate: "+format+"\n", args...)
+		code = 1
+	}
+	if res.ConvergencePct < 100 {
+		fail("convergence %.2f%% (must be 100%%)", res.ConvergencePct)
+	}
+	if res.DupFinalWrites > 0 {
+		fail("%d duplicate final writes (must be 0)", res.DupFinalWrites)
+	}
+	if res.DLQ > 0 || res.Pending > 0 {
+		fail("%d DLQ / %d pending after drain (must be 0)", res.DLQ, res.Pending)
+	}
+	if !quick && res.RuleSimRate > 0 && res.RuleSimRate < 50_000 {
+		fail("rule-sim rate %.0f below the 50000 interactive floor", res.RuleSimRate)
+	}
+	return code
 }

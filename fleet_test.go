@@ -9,7 +9,6 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/objstore"
-	"repro/internal/racedetect"
 )
 
 // putWatcher counts destination PUT events per bucket and flags duplicate
@@ -352,12 +351,8 @@ func TestFleetQuotaUnderChaos(t *testing.T) {
 		t.Fatalf("rule 2 destination saw %d duplicate final writes", dups)
 	}
 
-	// Byte-identity across reruns is a property of the normal scheduler;
-	// race instrumentation reorders same-virtual-instant wakeups (see
-	// internal/racedetect). The behavioral assertions above still ran.
-	if racedetect.Enabled {
-		return
-	}
+	// The clock's single-runnable actor discipline makes same-seed reruns
+	// byte-identical even under race instrumentation.
 	_, _, _, again := runSharedLaneChaosFleet(t)
 	if !bytes.Equal(metrics, again) {
 		t.Fatal("same-seed reruns diverged: metrics dumps are not byte-identical")

@@ -47,8 +47,8 @@ func keyHash(key string) uint64 {
 // tree is one side's Merkle tree over a bucket listing.
 type tree struct {
 	fanout int
-	leaves []uint64   // digest per leaf
-	groups []uint64   // digest per internal node (len = len(leaves)/fanout)
+	leaves []uint64 // digest per leaf
+	groups []uint64 // digest per internal node (len = len(leaves)/fanout)
 	root   uint64
 	member [][]member // members per leaf, sorted by key
 }
@@ -60,20 +60,38 @@ func leafIndex(h uint64, leaves int) int {
 	return int(h / width)
 }
 
-// buildTree partitions a listing (already key-sorted, as ListPage returns
-// it) into leaves and computes the digest hierarchy.
-func buildTree(metas []objstore.Meta, leaves, fanout int, ageAt func(objstore.Meta) float64) *tree {
+// treeBuilder accumulates a listing into leaf partitions incrementally,
+// so a streaming consumer (one LIST page at a time) never materializes
+// the full []Meta — only the per-leaf member sets the tree needs anyway.
+type treeBuilder struct {
+	fanout int
+	member [][]member
+	ageAt  func(objstore.Meta) float64
+	count  int
+}
+
+func newTreeBuilder(leaves, fanout int, ageAt func(objstore.Meta) float64) *treeBuilder {
+	return &treeBuilder{fanout: fanout, member: make([][]member, leaves), ageAt: ageAt}
+}
+
+// add places one listed object in its leaf. Ages are evaluated at add
+// time — for a streaming listing, the page's fetch instant.
+func (b *treeBuilder) add(m objstore.Meta) {
+	i := leafIndex(keyHash(m.Key), len(b.member))
+	b.member[i] = append(b.member[i], member{
+		Key: m.Key, ETag: m.ETag, Size: m.Size, Seq: m.Seq, Age: b.ageAt(m),
+	})
+	b.count++
+}
+
+// finish computes the digest hierarchy over the accumulated members.
+func (b *treeBuilder) finish() *tree {
+	leaves := len(b.member)
 	t := &tree{
-		fanout: fanout,
+		fanout: b.fanout,
 		leaves: make([]uint64, leaves),
-		groups: make([]uint64, leaves/fanout),
-		member: make([][]member, leaves),
-	}
-	for _, m := range metas {
-		i := leafIndex(keyHash(m.Key), leaves)
-		t.member[i] = append(t.member[i], member{
-			Key: m.Key, ETag: m.ETag, Size: m.Size, Seq: m.Seq, Age: ageAt(m),
-		})
+		groups: make([]uint64, leaves/b.fanout),
+		member: b.member,
 	}
 	var buf [digestBytes]byte
 	for i, ms := range t.member {
@@ -89,7 +107,7 @@ func buildTree(metas []objstore.Meta, leaves, fanout int, ageAt func(objstore.Me
 	}
 	for g := range t.groups {
 		h := fnv.New64a()
-		for _, d := range t.leaves[g*fanout : (g+1)*fanout] {
+		for _, d := range t.leaves[g*b.fanout : (g+1)*b.fanout] {
 			binary.BigEndian.PutUint64(buf[:], d)
 			h.Write(buf[:])
 		}
@@ -102,6 +120,16 @@ func buildTree(metas []objstore.Meta, leaves, fanout int, ageAt func(objstore.Me
 	}
 	t.root = h.Sum64()
 	return t
+}
+
+// buildTree partitions a listing (already key-sorted, as ListPage returns
+// it) into leaves and computes the digest hierarchy.
+func buildTree(metas []objstore.Meta, leaves, fanout int, ageAt func(objstore.Meta) float64) *tree {
+	b := newTreeBuilder(leaves, fanout, ageAt)
+	for _, m := range metas {
+		b.add(m)
+	}
+	return b.finish()
 }
 
 // divergence is the repair set one tree comparison yields.

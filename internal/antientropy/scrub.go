@@ -352,15 +352,22 @@ func (s *Scrubber) RunOnce() (Report, error) {
 	return rep, nil
 }
 
-// buildSide lists one bucket through the paginated LIST API, builds the
-// Merkle tree, and stores its digests in the region's KV digest table.
-// Transient listing failures retry in place like any SDK client.
+// buildSide lists one bucket through the paginated LIST API, streaming
+// each page straight into the Merkle tree builder (the listing is never
+// materialized whole), and stores the digests in the region's KV digest
+// table. A transient page failure retries from the last key consumed —
+// the continuation-token resume any SDK client performs — rather than
+// re-listing the bucket from the start.
 func (s *Scrubber) buildSide(ctx *faas.Ctx, region cloud.RegionID, bucket, label string) (*tree, int, error) {
 	clock := s.w.Clock
 	lsp := ctx.Span.Child("scrub-list-" + label)
-	var metas []objstore.Meta
+	leaves := s.cfg.Fanout * s.cfg.Fanout
+	bld := newTreeBuilder(leaves, s.cfg.Fanout, func(m objstore.Meta) float64 {
+		return clock.Now().Sub(m.Created).Seconds()
+	})
 	var pages int
 	var err error
+	cursor := ""
 	for attempt := 0; attempt < 5; attempt++ {
 		if attempt > 0 {
 			clock.Sleep(500 * time.Millisecond << uint(attempt-1))
@@ -369,24 +376,23 @@ func (s *Scrubber) buildSide(ctx *faas.Ctx, region cloud.RegionID, bucket, label
 			lsp.Set("crashed", true).End()
 			return nil, pages, fmt.Errorf("scrub %s: instance crashed", label)
 		}
-		var p int
-		metas, p, err = s.w.BucketListing(region, bucket, s.eng.Rule.KeyPrefix)
-		pages += p
-		if err == nil {
+		sc := s.w.BucketScan(region, bucket, s.eng.Rule.KeyPrefix, cursor)
+		for m, ok := sc.Next(); ok; m, ok = sc.Next() {
+			bld.add(m)
+		}
+		pages += sc.Pages()
+		if err = sc.Err(); err == nil {
 			break
 		}
+		cursor = sc.LastKey()
 	}
-	lsp.Set("objects", len(metas)).Set("pages", pages)
+	lsp.Set("objects", bld.count).Set("pages", pages)
 	lsp.End()
 	if err != nil {
 		return nil, pages, fmt.Errorf("scrub %s listing: %w", label, err)
 	}
 
-	now := clock.Now()
-	leaves := s.cfg.Fanout * s.cfg.Fanout
-	t := buildTree(metas, leaves, s.cfg.Fanout, func(m objstore.Meta) float64 {
-		return now.Sub(m.Created).Seconds()
-	})
+	t := bld.finish()
 
 	// Publish the digest hierarchy to the regional digest table: the root,
 	// the internal level, and per-group leaf digests — 2+F writes, each a

@@ -343,12 +343,11 @@ func (e *Engine) maybeCrash(ctx *faas.Ctx, step string) {
 // reclaimed.
 func (e *Engine) GCOrphanedMPUs(grace time.Duration) (aborted int, bytes int64) {
 	dst := e.W.Region(e.Rule.Dst)
-	infos, err := dst.Obj.ListMultiparts(e.Rule.DstBucket)
-	if err != nil {
-		return 0, 0
-	}
 	now := e.W.Clock.Now()
-	for _, in := range infos {
+	// Stream the upload listing page by page: GC decisions are per-upload,
+	// so there is no reason to hold the whole enumeration in memory.
+	sc := dst.Obj.ScanMultiparts(e.Rule.DstBucket)
+	for in, ok := sc.Next(); ok; in, ok = sc.Next() {
 		if in.Origin != e.origin() || now.Sub(in.Created) < grace {
 			// Another rule's work, or young enough that its checkpoint may
 			// not be written yet (the create-MPU → checkpoint window).

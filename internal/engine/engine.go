@@ -784,16 +784,26 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 	// notification or a redrive racing an earlier completion finds the
 	// destination already holding this exact version. Resolving without
 	// writing is what keeps at-least-once delivery from ever producing a
-	// duplicate final write.
-	if cur, err := dst.Obj.Head(e.Rule.DstBucket, ev.Key); err == nil && cur.ETag == ev.ETag && ev.ETag != "" {
-		ctx.Span.Set("deduped", true)
-		e.tasksDeduped.Inc()
-		// A redrive after an after-complete-mpu crash lands here: the write
-		// is durable, only the acknowledgment was lost. Scrap the recovery
-		// records the crashed attempt left behind.
-		e.releaseTask(ev.Key)
-		e.Tracker.ResolveSpan(ev.Key, ev.Seq, clock.Now(), ctx.Span)
-		return ev.Seq
+	// duplicate final write. The destination's current ETag is also
+	// remembered: under the per-key lock nothing else writes this key at
+	// the destination, so any later attempt whose content matches it can
+	// skip its write (see transferWhole and the head chase below) — that
+	// closes the reordered-notification race where a stale event arrives
+	// after its successor has already landed and would otherwise re-copy
+	// the successor's content.
+	var dstETag string
+	if cur, err := dst.Obj.Head(e.Rule.DstBucket, ev.Key); err == nil {
+		dstETag = cur.ETag
+		if cur.ETag == ev.ETag && ev.ETag != "" {
+			ctx.Span.Set("deduped", true)
+			e.tasksDeduped.Inc()
+			// A redrive after an after-complete-mpu crash lands here: the write
+			// is durable, only the acknowledgment was lost. Scrap the recovery
+			// records the crashed attempt left behind.
+			e.releaseTask(ev.Key)
+			e.Tracker.ResolveSpan(ev.Key, ev.Seq, clock.Now(), ctx.Span)
+			return ev.Seq
+		}
 	}
 
 	key := ev.Key
@@ -860,7 +870,7 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 		}
 		att.Set("plan_n", int64(plan.N)).Set("plan_loc", string(plan.Loc)).Set("plan_local", plan.Local)
 
-		out := e.execute(ctx, att, key, etag, size, plan)
+		out := e.execute(ctx, att, key, etag, dstETag, size, plan)
 		att.End()
 		if out.ok {
 			// The destination write is durable; what remains is local
@@ -902,6 +912,17 @@ func (e *Engine) replicateHeld(ctx *faas.Ctx, ev objstore.Event) uint64 {
 			return 0 // deleted concurrently; the DELETE event converges us
 		case err != nil:
 			continue // transient fault: burn a retry, keep the same version
+		}
+		if head.ETag != "" && head.ETag == dstETag {
+			// The chased head is the version the destination already held
+			// when this task started — the event was stale and its
+			// successor has landed. Writing it again would be a duplicate
+			// final write; resolve up to the head instead.
+			ctx.Span.Set("deduped", true)
+			e.tasksDeduped.Inc()
+			e.releaseTask(key)
+			e.Tracker.ResolveSpan(key, head.Seq, clock.Now(), ctx.Span)
+			return head.Seq
 		}
 		etag, seq, size, evTime = head.ETag, head.Seq, head.Size, head.Created
 	}
@@ -947,7 +968,7 @@ type execResult struct {
 // replicator function at the planned location — fewer requests per
 // object, so storms that starve the multipart pipeline are ridden out on
 // the simpler path.
-func (e *Engine) execute(ctx *faas.Ctx, sp *telemetry.Span, key, etag string, size int64, plan planner.Plan) execResult {
+func (e *Engine) execute(ctx *faas.Ctx, sp *telemetry.Span, key, etag, dstETag string, size int64, plan planner.Plan) execResult {
 	clock := e.W.Clock
 	if plan.N > 1 && !e.breaker.allow() {
 		sp.Set("degraded", true)
@@ -957,7 +978,7 @@ func (e *Engine) execute(ctx *faas.Ctx, sp *telemetry.Span, key, etag string, si
 	switch {
 	case plan.Local:
 		start := clock.Now()
-		out := e.transferWhole(ctx, sp, key)
+		out := e.transferWhole(ctx, sp, key, dstETag)
 		out.insts = []InstanceStat{{ID: ctx.Instance.ID, Chunks: int(e.chunks(size)), Busy: clock.Since(start)}}
 		out.doneAt = clock.Now()
 		return out
@@ -968,7 +989,7 @@ func (e *Engine) execute(ctx *faas.Ctx, sp *telemetry.Span, key, etag string, si
 		loc.Fn.InvokeSpan(sp, 1, func(rctx *faas.Ctx) {
 			defer group.Done()
 			start := clock.Now()
-			out = e.transferWhole(rctx, rctx.Span, key)
+			out = e.transferWhole(rctx, rctx.Span, key, dstETag)
 			out.insts = []InstanceStat{{ID: rctx.Instance.ID, Chunks: int(e.chunks(size)), Busy: clock.Since(start)}}
 		})
 		group.Wait()
@@ -1015,7 +1036,7 @@ func chunksOf(size, partSize int64) int64 {
 // parameter). The GET is an atomic snapshot, so no optimistic validation
 // is needed on this path: the engine replicates whatever version it read,
 // exactly as in the paper's Figure 13 workflow, and reports its sequence.
-func (e *Engine) transferWhole(ctx *faas.Ctx, sp *telemetry.Span, key string) execResult {
+func (e *Engine) transferWhole(ctx *faas.Ctx, sp *telemetry.Span, key, dstETag string) execResult {
 	src := e.W.Region(e.Rule.Src)
 	dst := e.W.Region(e.Rule.Dst)
 
@@ -1030,6 +1051,16 @@ func (e *Engine) transferWhole(ctx *faas.Ctx, sp *telemetry.Span, key string) ex
 	gsp.End()
 	if err != nil {
 		return execResult{reason: "source read: " + err.Error()}
+	}
+	if obj.ETag != "" && obj.ETag == dstETag {
+		// The snapshot just read is the version the destination already
+		// holds (a stale notification that arrived after its successor
+		// landed, or a redrive racing a completed transfer). Skip the
+		// write: the key is converged at this version, and putting it
+		// again would be a duplicate final write.
+		sp.Set("deduped", true)
+		e.tasksDeduped.Inc()
+		return execResult{ok: true, seq: obj.Seq, etag: obj.ETag}
 	}
 	rng := simrand.New("engine-single", ctx.Instance.ID, key, obj.ETag)
 	ssp := sp.Child("setup")
@@ -1442,8 +1473,8 @@ func (e *Engine) replicator(ctx *faas.Ctx, ds *distState, p *pool, src, dst, loc
 	fairNext := fairLo
 
 	batch := max(e.Rule.ClaimBatch, 1)
-	var claimed []int64          // parts claimed by the last pool update, not yet fetched
-	poolRem := ds.parts          // parts remaining in the pool at the last claim
+	var claimed []int64 // parts claimed by the last pool update, not yet fetched
+	poolRem := ds.parts // parts remaining in the pool at the last claim
 
 	claim := func(fctx *faas.Ctx) int64 {
 		if e.Rule.Scheduling == FairDispatch {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"container/heap"
 	"sync"
 	"time"
 
@@ -21,16 +22,30 @@ type DelayRecord struct {
 	Delay     time.Duration
 }
 
+// trackerShards is the pending-state fan-out. Power of two so the key
+// hash folds with a mask; 16 keeps the fixed per-poll cost (one heap peek
+// per shard) negligible while bounding each shard's map to 1/16 of the
+// backlog.
+const trackerShards = 16
+
 // Tracker resolves replication delays. Every source event registers here
 // when the notification arrives; completions resolve all registered events
 // of the key whose version is not newer than the replicated one, so
 // SLO-bounded batching and lock-coalesced versions are measured correctly.
+//
+// Pending state is sharded by key hash, and each shard keeps a min-heap
+// on event time with lazy deletion, so the watermark queries the burn-rate
+// evaluator polls every round (OldestPending, OverdueCount) cost one heap
+// peek / bounded heap walk per shard instead of a scan over every pending
+// event in the fleet.
 type Tracker struct {
-	mu       sync.Mutex
-	pending  map[string][]pendingEvent
-	resolved map[string]uint64 // per-key high-water mark of resolved versions
-	records  []DelayRecord
-	pendingN int // total pending events (backlog depth)
+	shards [trackerShards]trackerShard
+
+	// mu guards the resolved-record log and the instrument wiring; the
+	// per-shard locks guard pending state. Records still append in global
+	// resolve order, so exported delay series are unchanged by sharding.
+	mu      sync.Mutex
+	records []DelayRecord
 
 	delayHist *telemetry.Histogram // optional; nil no-ops
 
@@ -44,18 +59,113 @@ type Tracker struct {
 	oldestMS *telemetry.Gauge
 }
 
+type trackerShard struct {
+	mu       sync.Mutex
+	pending  map[string][]pendingEvent
+	resolved map[string]uint64 // per-key high-water mark of resolved versions
+	n        int               // live pending events in this shard
+
+	// byTime orders the shard's pending events by (at, key, seq) — a total
+	// order, so heap contents are a pure function of the event sequence.
+	// Resolution deletes lazily: entries whose (key, seq) is no longer in
+	// pending are skipped on peek and swept out by rebuilds once the dead
+	// outnumber the live.
+	byTime evHeap
+	dead   int
+}
+
 type pendingEvent struct {
 	seq  uint64
 	size int64
 	at   time.Time
 }
 
+// heapEv is one pending event's heap entry.
+type heapEv struct {
+	at  time.Time
+	key string
+	seq uint64
+}
+
+type evHeap []heapEv
+
+func (h evHeap) Len() int { return len(h) }
+func (h evHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].seq < h[j].seq
+}
+func (h evHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *evHeap) Push(x any)   { *h = append(*h, x.(heapEv)) }
+func (h *evHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker {
-	return &Tracker{
-		pending:  make(map[string][]pendingEvent),
-		resolved: make(map[string]uint64),
+	t := &Tracker{}
+	for i := range t.shards {
+		t.shards[i].pending = make(map[string][]pendingEvent)
+		t.shards[i].resolved = make(map[string]uint64)
 	}
+	return t
+}
+
+// shard routes a key to its pending shard (FNV-1a, inlined to avoid the
+// hash.Hash allocation on every notification).
+func (t *Tracker) shard(key string) *trackerShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &t.shards[h&(trackerShards-1)]
+}
+
+// alive reports whether the heap entry still refers to a pending event.
+// Caller holds the shard lock; per-key slices hold the few unresolved
+// versions of one object, so the scan is constant-time in practice.
+func (s *trackerShard) alive(ev heapEv) bool {
+	for _, p := range s.pending[ev.key] {
+		if p.seq == ev.seq {
+			return true
+		}
+	}
+	return false
+}
+
+// pruneTop pops dead entries off the heap until the min is live (or the
+// heap is empty). Caller holds the shard lock.
+func (s *trackerShard) pruneTop() {
+	for len(s.byTime) > 0 && !s.alive(s.byTime[0]) {
+		heap.Pop(&s.byTime)
+		s.dead--
+	}
+}
+
+// sweep rebuilds the heap from the pending map once dead entries
+// outnumber live ones, bounding heap size at 2x the live backlog. Caller
+// holds the shard lock.
+func (s *trackerShard) sweep() {
+	if s.dead <= s.n {
+		return
+	}
+	s.byTime = s.byTime[:0]
+	for key, evs := range s.pending {
+		for _, p := range evs {
+			s.byTime = append(s.byTime, heapEv{at: p.at, key: key, seq: p.seq})
+		}
+	}
+	heap.Init(&s.byTime)
+	s.dead = 0
 }
 
 // SetTelemetry feeds every resolved delay into hist (the paper's
@@ -86,18 +196,22 @@ func (t *Tracker) SetWatermarks(lag *telemetry.Histogram, backlog telemetry.Mirr
 // dedupe that keeps at-least-once notification delivery from causing
 // duplicate replication work.
 func (t *Tracker) OnSource(ev objstore.Event) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if ev.Seq <= t.resolved[ev.Key] {
+	s := t.shard(ev.Key)
+	s.mu.Lock()
+	if ev.Seq <= s.resolved[ev.Key] {
+		s.mu.Unlock()
 		return false
 	}
-	for _, p := range t.pending[ev.Key] {
+	for _, p := range s.pending[ev.Key] {
 		if p.seq == ev.Seq {
+			s.mu.Unlock()
 			return false
 		}
 	}
-	t.pending[ev.Key] = append(t.pending[ev.Key], pendingEvent{seq: ev.Seq, size: ev.Size, at: ev.Time})
-	t.pendingN++
+	s.pending[ev.Key] = append(s.pending[ev.Key], pendingEvent{seq: ev.Seq, size: ev.Size, at: ev.Time})
+	heap.Push(&s.byTime, heapEv{at: ev.Time, key: ev.Key, seq: ev.Seq})
+	s.n++
+	s.mu.Unlock()
 	t.backlog.Add(1)
 	return true
 }
@@ -113,40 +227,55 @@ func (t *Tracker) Resolve(key string, seq uint64, done time.Time) {
 // histograms, linking the bucket to the completing task's trace if that
 // trace survives retention. A nil span resolves without exemplars.
 func (t *Tracker) ResolveSpan(key string, seq uint64, done time.Time, sp *telemetry.Span) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if seq > t.resolved[key] {
-		t.resolved[key] = seq
+	s := t.shard(key)
+	s.mu.Lock()
+	if seq > s.resolved[key] {
+		s.resolved[key] = seq
 	}
-	evs := t.pending[key]
+	evs := s.pending[key]
+	var hits []pendingEvent
 	remaining := evs[:0]
 	for _, ev := range evs {
 		if ev.seq <= seq {
-			d := done.Sub(ev.at)
-			t.records = append(t.records, DelayRecord{
-				Key:       key,
-				Seq:       ev.seq,
-				Size:      ev.size,
-				EventTime: ev.at,
-				DoneTime:  done,
-				Delay:     d,
-			})
-			secs := simclock.ToSeconds(d)
-			t.delayHist.Observe(secs)
-			t.lagHist.Observe(secs)
-			sp.Exemplar(t.delayHist, secs)
-			sp.Exemplar(t.lagHist, secs)
-			t.pendingN--
-			t.backlog.Add(-1)
+			hits = append(hits, ev)
 		} else {
 			remaining = append(remaining, ev)
 		}
 	}
-	if len(remaining) == 0 {
-		delete(t.pending, key)
-	} else {
-		t.pending[key] = append([]pendingEvent(nil), remaining...)
+	if len(hits) > 0 {
+		if len(remaining) == 0 {
+			delete(s.pending, key)
+		} else {
+			s.pending[key] = remaining
+		}
+		s.n -= len(hits)
+		s.dead += len(hits)
+		s.sweep()
 	}
+	s.mu.Unlock()
+	if len(hits) == 0 {
+		return
+	}
+
+	t.mu.Lock()
+	for _, ev := range hits {
+		d := done.Sub(ev.at)
+		t.records = append(t.records, DelayRecord{
+			Key:       key,
+			Seq:       ev.seq,
+			Size:      ev.size,
+			EventTime: ev.at,
+			DoneTime:  done,
+			Delay:     d,
+		})
+		secs := simclock.ToSeconds(d)
+		t.delayHist.Observe(secs)
+		t.lagHist.Observe(secs)
+		sp.Exemplar(t.delayHist, secs)
+		sp.Exemplar(t.lagHist, secs)
+		t.backlog.Add(-1)
+	}
+	t.mu.Unlock()
 }
 
 // Records returns a copy of the resolved delay records.
@@ -169,39 +298,39 @@ func (t *Tracker) DelaysSeconds() []float64 {
 
 // PendingFor reports whether any event for key awaits resolution.
 func (t *Tracker) PendingFor(key string) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.pending[key]) > 0
+	s := t.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending[key]) > 0
 }
 
 // PendingCount reports events that have not been resolved yet.
 func (t *Tracker) PendingCount() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	n := 0
-	for _, evs := range t.pending {
-		n += len(evs)
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += s.n
+		s.mu.Unlock()
 	}
 	return n
 }
 
 // OldestPending returns the age at `now` of the oldest unreplicated
 // source event, or 0 when nothing is pending — the watermark behind the
-// oldest-unreplicated-age gauge.
+// oldest-unreplicated-age gauge. One pruned heap peek per shard.
 func (t *Tracker) OldestPending(now time.Time) time.Duration {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.oldestPendingLocked(now)
-}
-
-func (t *Tracker) oldestPendingLocked(now time.Time) time.Duration {
 	var oldest time.Duration
-	for _, evs := range t.pending {
-		for _, ev := range evs {
-			if age := now.Sub(ev.at); age > oldest {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		s.pruneTop()
+		if len(s.byTime) > 0 {
+			if age := now.Sub(s.byTime[0].at); age > oldest {
 				oldest = age
 			}
 		}
+		s.mu.Unlock()
 	}
 	return oldest
 }
@@ -211,28 +340,42 @@ func (t *Tracker) oldestPendingLocked(now time.Time) time.Duration {
 // their natural poll points (the virtual clock only advances while
 // actors sleep, so the tracker cannot self-schedule a sampling timer).
 func (t *Tracker) SampleWatermarks(now time.Time) time.Duration {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	age := t.oldestPendingLocked(now)
+	age := t.OldestPending(now)
 	t.oldestMS.Set(age.Milliseconds())
 	return age
 }
 
 // OverdueCount reports how many pending events have waited longer than
 // target at `now` — the burn-rate evaluator's in-flight "bad" events,
-// which catches fault windows where nothing resolves at all.
+// which catches fault windows where nothing resolves at all. The heap
+// property bounds the walk: a subtree is pruned as soon as its root is
+// younger than the threshold, so cost scales with the answer (plus any
+// not-yet-swept dead entries), not the backlog.
 func (t *Tracker) OverdueCount(now time.Time, target time.Duration) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	cut := now.Add(-target)
 	n := 0
-	for _, evs := range t.pending {
-		for _, ev := range evs {
-			if now.Sub(ev.at) > target {
-				n++
-			}
-		}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += s.overdueFrom(0, cut)
+		s.mu.Unlock()
 	}
 	return n
+}
+
+// overdueFrom counts live heap entries strictly older than cut in the
+// subtree rooted at i. Dead entries still carry a valid lower bound for
+// their subtree, so they prune correctly; they just do not count. Caller
+// holds the shard lock.
+func (s *trackerShard) overdueFrom(i int, cut time.Time) int {
+	if i >= len(s.byTime) || !s.byTime[i].at.Before(cut) {
+		return 0
+	}
+	n := 0
+	if s.alive(s.byTime[i]) {
+		n++
+	}
+	return n + s.overdueFrom(2*i+1, cut) + s.overdueFrom(2*i+2, cut)
 }
 
 // ResolvedStats counts delay records resolved at or after cut, and how
@@ -256,7 +399,5 @@ func (t *Tracker) ResolvedStats(cut time.Time, target time.Duration) (total, bad
 
 // BacklogDepth returns the current pending-event depth.
 func (t *Tracker) BacklogDepth() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.pendingN
+	return t.PendingCount()
 }

@@ -167,6 +167,33 @@ type BenchFleet struct {
 	CostUSD        float64 `json:"cost_usd"`
 }
 
+// BenchFleetDay is the fleet-day replay's regression row
+// (experiments.RunFleetDay, emitted alongside BenchFleet under
+// BenchConfig.Fleet). Convergence, duplicate final writes and DLQ depth
+// are hard bars; replicated objects must not shrink (the amplification
+// fabric is part of the scenario); the rate fields — populated only when
+// the run measured wall clock — gate the simulator's own speed: sim_rate
+// halving is an event-loop collapse, rule_sim_rate under 50k means a
+// full-scale fleet day no longer replays at interactive wall clock, and
+// allocs/object creeping up is the allocation discipline eroding.
+type BenchFleetDay struct {
+	Name              string  `json:"name"`
+	Rules             int     `json:"rules"`
+	Entries           int     `json:"entries"`
+	Ops               int     `json:"ops"`
+	ReplicatedObjects int64   `json:"replicated_objects"`
+	ConvergencePct    float64 `json:"convergence_pct"`
+	DupFinalWrites    int     `json:"dup_final_writes"`
+	DLQ               int     `json:"dlq"`
+	Pending           int     `json:"pending"`
+	Starved           int64   `json:"starved"`
+	VirtualHours      float64 `json:"virtual_hours"`
+	CostUSD           float64 `json:"cost_usd"`
+	SimRate           float64 `json:"sim_rate,omitempty"`
+	RuleSimRate       float64 `json:"rule_sim_rate,omitempty"`
+	AllocsPerObject   float64 `json:"allocs_per_object,omitempty"`
+}
+
 // BenchReport is the BENCH_*.json document: the canonical quick suite's
 // delay/cost/attribution measurements, deterministic for a given
 // configuration (two identically-configured runs are byte-identical).
@@ -178,6 +205,7 @@ type BenchReport struct {
 	CrashSweep  []BenchCrash      `json:"crash_sweep,omitempty"`
 	Scrub       []BenchScrub      `json:"scrub,omitempty"`
 	Fleet       []BenchFleet      `json:"fleet,omitempty"`
+	FleetDay    []BenchFleetDay   `json:"fleet_day,omitempty"`
 }
 
 // benchScenario is one canonical replication workload.
@@ -330,6 +358,28 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 			LagP99MaxS:     fr.LagP99MaxS,
 			LagP99SpreadS:  fr.LagP99SpreadS,
 			CostUSD:        fr.CostUSD,
+		})
+
+		fd, err := RunFleetDay(FleetDayConfig{Quick: cfg.Quick, MeasureRates: cfg.MeasureSimRate})
+		if err != nil {
+			return nil, fmt.Errorf("bench fleet-day: %w", err)
+		}
+		rep.FleetDay = append(rep.FleetDay, BenchFleetDay{
+			Name:              "fleet-day",
+			Rules:             fd.Rules,
+			Entries:           fd.Entries,
+			Ops:               fd.Ops,
+			ReplicatedObjects: fd.ReplicatedObjects,
+			ConvergencePct:    fd.ConvergencePct,
+			DupFinalWrites:    fd.DupFinalWrites,
+			DLQ:               fd.DLQ,
+			Pending:           fd.Pending,
+			Starved:           fd.Starved,
+			VirtualHours:      fd.VirtualHours,
+			CostUSD:           fd.CostUSD,
+			SimRate:           fd.SimRate,
+			RuleSimRate:       fd.RuleSimRate,
+			AllocsPerObject:   fd.AllocsPerObject,
 		})
 	}
 	return rep, nil
@@ -662,6 +712,52 @@ func CompareBench(baseline, got *BenchReport, tol BenchTolerance) []string {
 			regs = append(regs, fmt.Sprintf("fleet %s: cost $%.6f -> $%.6f (tol %.0f%%)", old.Name, old.CostUSD, f.CostUSD, 100*tol.rel()))
 		}
 	}
+
+	// Fleet-day replay: exactly-once and convergence are hard bars, the
+	// replicated-object count must not shrink (the fan-out fabric is part
+	// of the scenario), and — when both runs measured wall clock — the
+	// rate fields gate the simulator's own speed. SimRate uses a halving
+	// threshold rather than the usual tolerance because wall-clock noise
+	// on shared runners is real but an event-loop collapse is larger
+	// still; RuleSimRate 50k is the absolute interactive-replay floor
+	// (a full 24h thousand-rule day in under half an hour).
+	newDay := make(map[string]BenchFleetDay, len(got.FleetDay))
+	for _, f := range got.FleetDay {
+		newDay[f.Name] = f
+	}
+	for _, old := range baseline.FleetDay {
+		f, ok := newDay[old.Name]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("fleet-day %s: scenario missing from new report", old.Name))
+			continue
+		}
+		if f.ConvergencePct < 100 {
+			regs = append(regs, fmt.Sprintf("fleet-day %s: convergence %.2f%% (must be 100%%)", old.Name, f.ConvergencePct))
+		}
+		if f.DupFinalWrites > 0 {
+			regs = append(regs, fmt.Sprintf("fleet-day %s: %d duplicate final writes (must be 0)", old.Name, f.DupFinalWrites))
+		}
+		if f.DLQ > 0 || f.Pending > 0 {
+			regs = append(regs, fmt.Sprintf("fleet-day %s: %d DLQ / %d pending after drain (must be 0)", old.Name, f.DLQ, f.Pending))
+		}
+		if f.ReplicatedObjects < old.ReplicatedObjects {
+			regs = append(regs, fmt.Sprintf("fleet-day %s: replicated objects %d -> %d", old.Name, old.ReplicatedObjects, f.ReplicatedObjects))
+		}
+		if old.SimRate > 0 && f.SimRate > 0 {
+			if f.SimRate < old.SimRate/2 {
+				regs = append(regs, fmt.Sprintf("fleet-day %s: sim rate collapsed %.0fx -> %.0fx", old.Name, old.SimRate, f.SimRate))
+			}
+			if f.RuleSimRate < 50_000 {
+				regs = append(regs, fmt.Sprintf("fleet-day %s: rule-sim rate %.0f below the 50000 interactive floor", old.Name, f.RuleSimRate))
+			}
+		}
+		if old.AllocsPerObject > 0 && f.AllocsPerObject > old.AllocsPerObject*1.5 {
+			regs = append(regs, fmt.Sprintf("fleet-day %s: allocs/object %.0f -> %.0f", old.Name, old.AllocsPerObject, f.AllocsPerObject))
+		}
+		if tol.exceeds(old.CostUSD, f.CostUSD, 1e-5) {
+			regs = append(regs, fmt.Sprintf("fleet-day %s: cost $%.6f -> $%.6f (tol %.0f%%)", old.Name, old.CostUSD, f.CostUSD, 100*tol.rel()))
+		}
+	}
 	return regs
 }
 
@@ -716,6 +812,21 @@ func (r *BenchReport) Print(out io.Writer) {
 			fprintf(out, "%-26s %5d %8.1f%% %4d %4d %7d %7.1f%% %8.2f %8.2f %10.4f\n",
 				f.Name, f.Rules, f.ConvergencePct, f.DupFinalWrites, f.DLQ, f.Starved,
 				f.QuotaUtilPct, f.LagP99SpreadS, f.LagP99MaxS, f.CostUSD)
+		}
+	}
+	if len(r.FleetDay) > 0 {
+		fprintf(out, "%-26s %5s %8s %9s %4s %4s %9s %10s %7s\n",
+			"fleet-day replay", "rules", "objects", "converge", "dup", "dlq", "sim_rate", "rule_rate", "allocs")
+		for _, f := range r.FleetDay {
+			rate, rrate, allocs := "-", "-", "-"
+			if f.SimRate > 0 {
+				rate = fmt.Sprintf("%.0fx", f.SimRate)
+				rrate = fmt.Sprintf("%.0f", f.RuleSimRate)
+				allocs = fmt.Sprintf("%.0f", f.AllocsPerObject)
+			}
+			fprintf(out, "%-26s %5d %8d %8.1f%% %4d %4d %9s %10s %7s\n",
+				f.Name, f.Rules, f.ReplicatedObjects, f.ConvergencePct, f.DupFinalWrites, f.DLQ,
+				rate, rrate, allocs)
 		}
 	}
 }

@@ -1,0 +1,406 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	areplica "repro"
+	"repro/internal/cloud"
+	"repro/internal/objstore"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// FleetDayConfig configures the fleet-day replay: a thousand-rule
+// topology replaying a full virtual day of the bursty IBM-COS-like
+// trace, sized so fan-out amplification yields on the order of a million
+// replicated objects. The scenario is the simulator's hot-path gate —
+// its sim_rate row is how CI notices the event loop, scheduler, tracker
+// or planner getting slower.
+type FleetDayConfig struct {
+	// Rules is the total rule count (default 1000; Quick trims to 120).
+	// Three quarters of the fleet is 16-way fan-out groups — the
+	// amplification that turns a quarter-million trace ops into a million
+	// replica writes — plus two 3-hop chains, one 3-region mesh, and
+	// direct rules filling the remainder.
+	Rules int
+	// Day is the trace's virtual span (default 24h; Quick 90 min).
+	Day time.Duration
+	// Ops is the approximate trace operation count (default 260000;
+	// Quick 6000). The generator's bursts make the realized count drift
+	// a few percent.
+	Ops   int
+	Quick bool
+
+	// FaaSConcurrency and KVOpsPerSec are the shared per-lane quotas
+	// (defaults 256 and 20000 — wide enough that the day's bursts queue
+	// briefly instead of dead-lettering).
+	FaaSConcurrency int
+	KVOpsPerSec     float64
+	// MaxObjectBytes clamps trace object sizes (default 4 MB): every
+	// transfer takes the inline local plan, keeping the scenario a
+	// control-plane and event-loop stress, not a data-plane one.
+	MaxObjectBytes int64
+
+	// MeasureRates populates the wall-clock-derived fields (SimRate,
+	// RuleSimRate, AllocsPerObject). Off for byte-identical determinism
+	// runs, exactly like BenchConfig.MeasureSimRate.
+	MeasureRates bool
+}
+
+func (c FleetDayConfig) withDefaults() FleetDayConfig {
+	if c.Rules <= 0 {
+		c.Rules = 1000
+		if c.Quick {
+			c.Rules = 120
+		}
+	}
+	if c.Day <= 0 {
+		c.Day = 24 * time.Hour
+		if c.Quick {
+			c.Day = 90 * time.Minute
+		}
+	}
+	if c.Ops <= 0 {
+		c.Ops = 260000
+		if c.Quick {
+			c.Ops = 6000
+		}
+	}
+	if c.FaaSConcurrency <= 0 {
+		c.FaaSConcurrency = 256
+	}
+	if c.KVOpsPerSec <= 0 {
+		c.KVOpsPerSec = 20000
+	}
+	if c.MaxObjectBytes <= 0 {
+		c.MaxObjectBytes = 4 * MB
+	}
+	return c
+}
+
+// FleetDayResult is the fleet-day replay's outcome. Everything except
+// the three wall-clock-derived rate fields is deterministic for a given
+// configuration.
+type FleetDayResult struct {
+	Rules   int
+	Entries int
+	Ops     int
+
+	// ReplicatedObjects counts replica writes landed on destination
+	// buckets (origin-tagged puts) — the scenario's "million objects".
+	ReplicatedObjects int64
+	ConvergencePct    float64
+	Audited           int
+	Diverged          int
+	Pending           int
+	DLQ               int
+	Redriven          int
+	DupFinalWrites    int
+
+	Admits  int64
+	Defers  int64
+	Starved int64
+	Batches int64
+	CostUSD float64
+
+	// VirtualHours is the simulated span the replay covered (the trace
+	// day plus the drain tail).
+	VirtualHours float64
+	// SimRate is simulated-seconds advanced per wall-second over the
+	// replay window; RuleSimRate multiplies it by the rule count (the
+	// fleet does Rules× the per-rule work in the same virtual span), the
+	// figure the ≥50k interactivity gate is expressed against.
+	// AllocsPerObject is heap allocations per replicated object over the
+	// same window. All three are zero unless MeasureRates was set.
+	SimRate         float64
+	RuleSimRate     float64
+	AllocsPerObject float64
+}
+
+// fleetDayTopology builds the thousand-rule mix: 16-way fan-out groups
+// on three quarters of the budget (sources cycling the three east
+// regions, the first group weight-2 — the hot tenant), two 3-hop chains,
+// one 3-region mesh (priority 1), and direct rules over the ordered
+// region pairs filling the rest.
+func fleetDayTopology(n int) ([]areplica.FleetRule, []fleetEntry, error) {
+	regions := []string{string(AWSEast), string(AzureEast), string(GCPEast)}
+	var rules []areplica.FleetRule
+	var entries []fleetEntry
+
+	const fanWidth = 16
+	fanGroups := (n * 3 / 4) / fanWidth
+	if fanGroups < 1 {
+		fanGroups = 1
+	}
+	for g := 0; g < fanGroups; g++ {
+		src := regions[g%3]
+		bucket := fmt.Sprintf("day-fan-%03d", g)
+		var dsts []areplica.FleetDst
+		for i := 0; i < fanWidth; i++ {
+			// Destinations alternate the two non-source regions.
+			dsts = append(dsts, areplica.FleetDst{
+				Region: regions[(g+1+i%2)%3],
+				Bucket: fmt.Sprintf("%s-dst-%02d", bucket, i),
+			})
+		}
+		fan, err := areplica.FanOut(src, bucket, dsts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		if g == 0 {
+			for i := range fan {
+				fan[i].Weight = 2
+			}
+		}
+		rules = append(rules, fan...)
+		entries = append(entries, fleetEntry{region: src, bucket: bucket})
+	}
+
+	for ci, order := range [][]string{
+		{regions[0], regions[1], regions[2]},
+		{regions[1], regions[2], regions[0]},
+	} {
+		bucket := fmt.Sprintf("day-chain-%c", 'a'+ci)
+		hops := make([]areplica.FleetHop, len(order))
+		for i, r := range order {
+			hops[i] = areplica.FleetHop{Region: r, Bucket: bucket}
+		}
+		chain, err := areplica.Chain(hops...)
+		if err != nil {
+			return nil, nil, err
+		}
+		rules = append(rules, chain...)
+		entries = append(entries, fleetEntry{region: order[0], bucket: bucket})
+	}
+
+	mesh, err := areplica.FullMesh("day-mesh", regions...)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range mesh {
+		mesh[i].Priority = 1
+	}
+	rules = append(rules, mesh...)
+	for i, r := range regions {
+		entries = append(entries, fleetEntry{region: r, bucket: "day-mesh", prefix: fmt.Sprintf("site%d/", i)})
+	}
+
+	type pair struct{ src, dst string }
+	var pairs []pair
+	for _, s := range regions {
+		for _, d := range regions {
+			if s != d {
+				pairs = append(pairs, pair{s, d})
+			}
+		}
+	}
+	for i := 0; len(rules) < n; i++ {
+		p := pairs[i%len(pairs)]
+		bucket := fmt.Sprintf("day-dir-%03d", i)
+		rules = append(rules, areplica.FleetRule{
+			SrcRegion: p.src, SrcBucket: bucket,
+			DstRegion: p.dst, DstBucket: bucket + "-replica",
+		})
+		entries = append(entries, fleetEntry{region: p.src, bucket: bucket})
+	}
+	return rules, entries, nil
+}
+
+// dayWatcher counts replica writes and duplicate final writes on one
+// destination bucket. Unlike dupWatcher it stores one compact entry per
+// key (sequence plus an FNV digest of the ETag) — at a million replica
+// writes the string-keyed double map would dominate the heap.
+type dayWatcher struct {
+	mu   sync.Mutex
+	puts int64
+	dups int
+	last map[string]dayVer
+}
+
+type dayVer struct {
+	seq  uint64
+	etag uint64
+}
+
+func etagHash(etag string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(etag))
+	return h.Sum64()
+}
+
+func (w *dayWatcher) observe(ev objstore.Event) {
+	if ev.Type != objstore.EventPut {
+		return
+	}
+	w.mu.Lock()
+	if ev.Origin != "" {
+		w.puts++
+	}
+	cur := w.last[ev.Key]
+	if ev.Seq > cur.seq {
+		h := etagHash(ev.ETag)
+		if ev.ETag != "" && cur.etag == h {
+			w.dups++
+		}
+		w.last[ev.Key] = dayVer{seq: ev.Seq, etag: h}
+	}
+	w.mu.Unlock()
+}
+
+// quantizeSize rounds a trace object size up to the next power of two
+// (floor 64 KB, clamped to max). Plans depend on size, so quantizing to
+// a handful of distinct sizes turns the planner's fastest-plan memo into
+// a near-perfect cache across a million admissions without changing the
+// workload's character.
+func quantizeSize(size, max int64) int64 {
+	q := int64(64 * 1024)
+	for q < size && q < max {
+		q <<= 1
+	}
+	if q > max {
+		q = max
+	}
+	return q
+}
+
+// RunFleetDay deploys the thousand-rule topology and replays a virtual
+// day of the bursty trace across all entry points, measuring replay
+// throughput alongside the usual convergence and exactly-once bars.
+func RunFleetDay(cfg FleetDayConfig) (*FleetDayResult, error) {
+	cfg = cfg.withDefaults()
+	rules, entries, err := fleetDayTopology(cfg.Rules)
+	if err != nil {
+		return nil, err
+	}
+
+	sim := areplica.NewSim()
+	fl, err := sim.DeployFleet(rules, areplica.FleetOptions{
+		FaaSConcurrency: cfg.FaaSConcurrency,
+		KVOpsPerSec:     cfg.KVOpsPerSec,
+		LaneSlots:       64,
+		ProfileRounds:   profileRounds(true),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var watchers []*dayWatcher
+	seen := make(map[string]bool)
+	for _, r := range rules {
+		id := r.DstRegion + "/" + r.DstBucket
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		w := &dayWatcher{last: make(map[string]dayVer)}
+		rid, err := cloud.ParseRegionID(r.DstRegion)
+		if err != nil {
+			return nil, err
+		}
+		if err := sim.World().Region(rid).Obj.Subscribe(r.DstBucket, w.observe); err != nil {
+			return nil, err
+		}
+		watchers = append(watchers, w)
+	}
+
+	tcfg := trace.DefaultConfig(cfg.Day, float64(cfg.Ops)/cfg.Day.Minutes())
+	tcfg.Seed = "fleet-day"
+	tcfg.Keys = cfg.Ops / 8
+	if tcfg.Keys < 1000 {
+		tcfg.Keys = 1000
+	}
+	ops := trace.Generate(tcfg)
+	for i := range ops {
+		ops[i].Size = quantizeSize(ops[i].Size, cfg.MaxObjectBytes)
+	}
+
+	costBefore := sim.CostTotal()
+	var memBefore runtime.MemStats
+	if cfg.MeasureRates {
+		runtime.ReadMemStats(&memBefore)
+	}
+	virtStart := sim.Now()
+	wallStart := time.Now()
+	trace.Replay(sim.World().Clock, ops, func(op trace.Op) {
+		e := entries[keyShard(op.Key, len(entries))]
+		key := e.prefix + op.Key
+		if op.Type == trace.OpDelete {
+			_ = sim.DeleteObject(e.region, e.bucket, key)
+			return
+		}
+		if _, err := sim.PutObject(e.region, e.bucket, key, op.Size); err != nil {
+			panic(err)
+		}
+	})
+	sim.Wait()
+	redriven := 0
+	for i := 0; i < 3 && fl.DLQTotal() > 0; i++ {
+		redriven += fl.RedriveAll()
+		sim.Wait()
+	}
+	wallSecs := time.Since(wallStart).Seconds()
+	virtSecs := simclock.ToSeconds(sim.Now().Sub(virtStart))
+	fl.PollMonitors()
+
+	res := &FleetDayResult{
+		Rules:        fl.Size(),
+		Entries:      len(entries),
+		Ops:          len(ops),
+		Pending:      fl.PendingTotal(),
+		DLQ:          fl.DLQTotal(),
+		Redriven:     redriven,
+		CostUSD:      sim.CostTotal() - costBefore,
+		VirtualHours: virtSecs / 3600,
+	}
+	for _, w := range watchers {
+		w.mu.Lock()
+		res.ReplicatedObjects += w.puts
+		res.DupFinalWrites += w.dups
+		w.mu.Unlock()
+	}
+	if cfg.MeasureRates && wallSecs > 0 {
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		res.SimRate = virtSecs / wallSecs
+		res.RuleSimRate = res.SimRate * float64(res.Rules)
+		if res.ReplicatedObjects > 0 {
+			res.AllocsPerObject = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(res.ReplicatedObjects)
+		}
+	}
+
+	div, audited, err := fl.Diverged()
+	if err != nil {
+		return nil, err
+	}
+	res.Audited, res.Diverged = audited, div
+	if audited > 0 {
+		res.ConvergencePct = 100 * float64(audited-div) / float64(audited)
+	}
+
+	for _, st := range fl.SchedStats() {
+		res.Admits += st.Admits
+		res.Defers += st.Defers
+		res.Starved += st.Starved
+	}
+	res.Batches = fl.BatchStats().Batches
+	return res, nil
+}
+
+// Print writes the replay summary.
+func (r *FleetDayResult) Print(w io.Writer) {
+	fprintf(w, "Fleet day: %d rules, %d entry points, %d trace ops over %.1f virtual hours\n",
+		r.Rules, r.Entries, r.Ops, r.VirtualHours)
+	fprintf(w, "  %d replicated objects; convergence %.2f%% (%d/%d audited, %d pending, %d DLQ, %d redriven), %d duplicate final writes\n",
+		r.ReplicatedObjects, r.ConvergencePct, r.Audited-r.Diverged, r.Audited, r.Pending, r.DLQ, r.Redriven, r.DupFinalWrites)
+	fprintf(w, "  scheduler: %d admits, %d defers, %d starvation marks, %d batches; cost $%.4f\n",
+		r.Admits, r.Defers, r.Starved, r.Batches, r.CostUSD)
+	if r.SimRate > 0 {
+		fprintf(w, "  throughput: %.0f sim-s/wall-s (%.0f rule-sim-s/wall-s), %.0f allocs/object\n",
+			r.SimRate, r.RuleSimRate, r.AllocsPerObject)
+	}
+}

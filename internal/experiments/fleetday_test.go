@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fleetDayTestConfig trims the fleet-day replay to unit-test size: the
+// full topology mix (fan-out groups, chains, mesh, direct fill) at a
+// fraction of the rule budget, a short virtual window, a few thousand
+// ops.
+func fleetDayTestConfig() FleetDayConfig {
+	return FleetDayConfig{
+		Rules: 60,
+		Day:   45 * time.Minute,
+		Ops:   3000,
+		Quick: true,
+	}
+}
+
+// TestRunFleetDayConverges drives the trimmed fleet day end to end and
+// holds it to the scenario's hard bars: full convergence, an empty DLQ,
+// and zero duplicate final writes — at-least-once delivery with
+// reordered notifications must still land every destination version
+// exactly once.
+func TestRunFleetDayConverges(t *testing.T) {
+	res, err := RunFleetDay(fleetDayTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rules != 60 {
+		t.Errorf("Rules = %d, want 60", res.Rules)
+	}
+	if res.ConvergencePct != 100 {
+		t.Errorf("ConvergencePct = %.2f, want 100 (%d/%d diverged, %d pending)",
+			res.ConvergencePct, res.Diverged, res.Audited, res.Pending)
+	}
+	if res.Pending != 0 || res.DLQ != 0 {
+		t.Errorf("Pending = %d, DLQ = %d, want 0, 0", res.Pending, res.DLQ)
+	}
+	if res.DupFinalWrites != 0 {
+		t.Errorf("DupFinalWrites = %d, want 0", res.DupFinalWrites)
+	}
+	// Fan-out amplification is the scenario's point: replica writes must
+	// comfortably exceed trace ops.
+	if res.ReplicatedObjects < 2*int64(res.Ops) {
+		t.Errorf("ReplicatedObjects = %d for %d ops, want >= 2x amplification", res.ReplicatedObjects, res.Ops)
+	}
+	if res.SimRate != 0 || res.RuleSimRate != 0 || res.AllocsPerObject != 0 {
+		t.Errorf("rate fields populated without MeasureRates: %v %v %v",
+			res.SimRate, res.RuleSimRate, res.AllocsPerObject)
+	}
+}
+
+// TestRunFleetDayDeterministic reruns the same configuration and
+// requires an identical result — the fleet_day bench row is part of the
+// byte-identical determinism gate. The clock's single-runnable actor
+// discipline makes the schedule a pure function of the simulation, so
+// byte-identity holds even under race instrumentation.
+func TestRunFleetDayDeterministic(t *testing.T) {
+	a, err := RunFleetDay(fleetDayTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFleetDay(fleetDayTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same-seed fleet-day runs differ:\n  a = %+v\n  b = %+v", a, b)
+	}
+}
+
+// TestFleetDayTopologyShape pins the topology mix: the requested rule
+// count exactly, fan-out groups on three quarters of the budget, and one
+// distinct entry point per source bucket.
+func TestFleetDayTopologyShape(t *testing.T) {
+	rules, entries, err := fleetDayTopology(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 100 {
+		t.Fatalf("rules = %d, want 100", len(rules))
+	}
+	fan := 0
+	seen := map[string]bool{}
+	for _, e := range entries {
+		id := e.region + "/" + e.bucket + "/" + e.prefix
+		if seen[id] {
+			t.Errorf("duplicate entry %s", id)
+		}
+		seen[id] = true
+	}
+	for _, r := range rules {
+		if len(r.SrcBucket) >= 8 && r.SrcBucket[:8] == "day-fan-" {
+			fan++
+		}
+	}
+	if want := (100 * 3 / 4) / 16 * 16; fan != want {
+		t.Errorf("fan-out rules = %d, want %d", fan, want)
+	}
+}

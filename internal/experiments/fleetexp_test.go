@@ -4,8 +4,6 @@ import (
 	"reflect"
 	"testing"
 	"time"
-
-	"repro/internal/racedetect"
 )
 
 // fleetTestConfig is a trimmed hundred-rule scenario sized for unit
@@ -55,9 +53,6 @@ func TestRunFleetConverges(t *testing.T) {
 // an identical result — the fleet-hundred-rules bench row is gated on
 // byte-identical reports.
 func TestRunFleetDeterministic(t *testing.T) {
-	if racedetect.Enabled {
-		t.Skip("same-seed byte-identity holds under the normal scheduler only; race instrumentation reorders same-virtual-instant wakeups")
-	}
 	a, err := RunFleet(fleetTestConfig())
 	if err != nil {
 		t.Fatal(err)

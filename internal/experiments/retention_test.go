@@ -11,7 +11,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/model"
-	"repro/internal/racedetect"
 	"repro/internal/telemetry"
 )
 
@@ -114,13 +113,9 @@ func promExemplarLines(prom string) []string {
 // different retention seeds differ only in head-sampled traces.
 func TestRetentionChaosAcceptance(t *testing.T) {
 	// Every assertion here compares independent runs (keep-all ground
-	// truth vs sampled vs rerun vs different retention seed), which is
-	// only meaningful when same-seed runs are byte-identical — a property
-	// of the normal scheduler; race instrumentation reorders
-	// same-virtual-instant wakeups (see internal/racedetect).
-	if racedetect.Enabled {
-		t.Skip("cross-run comparisons require the uninstrumented scheduler's same-seed determinism")
-	}
+	// truth vs sampled vs rerun vs different retention seed). The clock's
+	// single-runnable actor discipline makes same-seed runs byte-identical
+	// even under race instrumentation, so nothing is skipped here.
 	const headN = 4
 
 	// Ground truth: a keep-all run classifies every trace the workload

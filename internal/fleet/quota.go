@@ -271,7 +271,15 @@ func (l *Ledger) Stats() []LaneStats {
 		out = append(out, st)
 	}
 	l.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Lane.String() < out[j].Lane.String() })
+	// Sort on the struct fields: Lane.String() inside the comparator would
+	// allocate a fresh key per comparison, O(n log n) garbage per snapshot.
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Lane, out[j].Lane
+		if a.Provider != b.Provider {
+			return a.Provider < b.Provider
+		}
+		return a.Region < b.Region
+	})
 	return out
 }
 

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 	"sync"
@@ -59,9 +60,8 @@ type Scheduler struct {
 }
 
 type pendingDispatch struct {
-	at      time.Time
-	starved bool
-	run     func(done func())
+	at  time.Time
+	run func(done func())
 }
 
 type schedRule struct {
@@ -71,7 +71,12 @@ type schedRule struct {
 	priority int
 	vruntime float64
 	queue    []pendingDispatch
-	maxQueue int
+	// starvedPrefix counts queue entries already marked starved. The queue
+	// is FIFO with non-decreasing arrival times, so marked entries always
+	// form a prefix and starvation scans resume where the last one stopped.
+	starvedPrefix int
+	maxQueue      int
+	heapIdx       int // position in lane.eligible, -1 when not queued
 
 	admitted     int64
 	deferred     int64
@@ -89,11 +94,51 @@ type schedLane struct {
 	id       LaneID
 	inflight int
 	armed    bool
-	rules    []*schedRule // registration order; pump sorts per round
-	nBatches int64        // non-empty pump rounds on this lane
+	// eligible is the persistent admission heap: exactly the rules with
+	// queued work, ordered by (priority desc, vruntime asc, rule ID asc).
+	// The ID tiebreak makes the order total, so the admitted sequence is a
+	// pure function of submissions — heap layout cannot leak into results.
+	eligible ruleHeap
+	nBatches int64 // non-empty pump rounds on this lane
 
 	batches   telemetry.MirrorCounter
 	batchSize telemetry.MirrorHistogram
+}
+
+// ruleHeap implements container/heap over rules with queued work. Rules
+// track their index so membership updates are O(log n) instead of a
+// per-round O(n log n) rebuild of the eligibility set.
+type ruleHeap []*schedRule
+
+func (h ruleHeap) Len() int { return len(h) }
+func (h ruleHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	if a.vruntime != b.vruntime {
+		return a.vruntime < b.vruntime
+	}
+	return a.id < b.id
+}
+func (h ruleHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *ruleHeap) Push(x any) {
+	r := x.(*schedRule)
+	r.heapIdx = len(*h)
+	*h = append(*h, r)
+}
+func (h *ruleHeap) Pop() any {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	old[n-1] = nil
+	r.heapIdx = -1
+	*h = old[:n-1]
+	return r
 }
 
 // NewScheduler returns a Scheduler on clock, attributing quota waits via
@@ -132,7 +177,7 @@ func (s *Scheduler) Register(ruleID, dest string, lane LaneID, weight float64, p
 		}
 		s.lanes[lane] = ln
 	}
-	r := &schedRule{id: ruleID, lane: ln, weight: weight, priority: priority}
+	r := &schedRule{id: ruleID, lane: ln, weight: weight, priority: priority, heapIdx: -1}
 	if m := s.reg; m != nil {
 		dims := []telemetry.Label{telemetry.L("rule", ruleID), telemetry.L("dest", dest)}
 		counter := func(name string) telemetry.MirrorCounter {
@@ -145,7 +190,6 @@ func (s *Scheduler) Register(ruleID, dest string, lane LaneID, weight float64, p
 		r.waitHist = m.HistogramVec("fleet.sched.wait.seconds").Mirror(m.Histogram("fleet.sched.wait.seconds"), dims...)
 	}
 	s.rules[ruleID] = r
-	ln.rules = append(ln.rules, r)
 	return nil
 }
 
@@ -170,6 +214,9 @@ func (s *Scheduler) Submit(ruleID string, run func(done func())) {
 	if len(r.queue) > r.maxQueue {
 		r.maxQueue = len(r.queue)
 	}
+	if r.heapIdx < 0 {
+		heap.Push(&r.lane.eligible, r)
+	}
 	s.arm(r.lane, s.cfg.BatchWindow)
 	s.mu.Unlock()
 }
@@ -191,39 +238,24 @@ func (s *Scheduler) pump(ln *schedLane) {
 	s.mu.Lock()
 	ln.armed = false
 	now := s.clock.Now()
-	for _, r := range ln.rules {
-		for i := range r.queue {
-			if !r.queue[i].starved && now.Sub(r.queue[i].at) > s.cfg.StarveAfter {
-				r.queue[i].starved = true
-				r.starvedCount++
-				r.starved.Inc()
-			}
+	// Starvation marking touches only rules with queued work (heap members)
+	// and, per queue, resumes past the already-marked prefix and stops at
+	// the first entry younger than the threshold — FIFO order means nothing
+	// beyond it can be starved either.
+	for _, r := range ln.eligible {
+		for r.starvedPrefix < len(r.queue) && now.Sub(r.queue[r.starvedPrefix].at) > s.cfg.StarveAfter {
+			r.starvedPrefix++
+			r.starvedCount++
+			r.starved.Inc()
 		}
 	}
-
-	eligible := make([]*schedRule, 0, len(ln.rules))
-	for _, r := range ln.rules {
-		if len(r.queue) > 0 {
-			eligible = append(eligible, r)
-		}
-	}
-	before := func(a, b *schedRule) bool {
-		if a.priority != b.priority {
-			return a.priority > b.priority
-		}
-		if a.vruntime != b.vruntime {
-			return a.vruntime < b.vruntime
-		}
-		return a.id < b.id
-	}
-	sort.Slice(eligible, func(i, j int) bool { return before(eligible[i], eligible[j]) })
 
 	var batch []pendingDispatch
 	quotaGated := false
-	for ln.inflight < s.cfg.LaneSlots && len(eligible) > 0 {
+	for ln.inflight < s.cfg.LaneSlots && len(ln.eligible) > 0 {
 		// Re-selecting the head each iteration keeps fair share exact as
-		// vruntimes move; the slice is small (rules with queued work).
-		r := eligible[0]
+		// vruntimes move; a head admission is one O(log n) sift.
+		r := ln.eligible[0]
 		if s.ledger != nil && s.ledger.Saturated(ln.id) {
 			// Admitting now would just park inside the platform's quota
 			// wait; defer and attribute the wait to the rule that lost out.
@@ -234,6 +266,9 @@ func (s *Scheduler) pump(ln *schedLane) {
 		}
 		it := r.queue[0]
 		r.queue = r.queue[1:]
+		if r.starvedPrefix > 0 {
+			r.starvedPrefix--
+		}
 		r.vruntime += 1 / r.weight
 		r.admitted++
 		r.admits.Inc()
@@ -241,9 +276,9 @@ func (s *Scheduler) pump(ln *schedLane) {
 		ln.inflight++
 		batch = append(batch, it)
 		if len(r.queue) == 0 {
-			eligible = eligible[1:]
+			heap.Pop(&ln.eligible)
 		} else {
-			sort.Slice(eligible, func(i, j int) bool { return before(eligible[i], eligible[j]) })
+			heap.Fix(&ln.eligible, 0)
 		}
 	}
 	if len(batch) > 0 {
@@ -251,11 +286,9 @@ func (s *Scheduler) pump(ln *schedLane) {
 		ln.batches.Inc()
 		ln.batchSize.Observe(float64(len(batch)))
 	}
-	for _, r := range ln.rules {
-		if len(r.queue) > 0 {
-			r.deferred++
-			r.defers.Inc()
-		}
+	for _, r := range ln.eligible {
+		r.deferred++
+		r.defers.Inc()
 	}
 	// Quota-gated with free slots: nothing of ours is inflight to trigger
 	// a done-side re-arm, so poll until the lane's quota drains.
@@ -272,15 +305,14 @@ func (s *Scheduler) pump(ln *schedLane) {
 	}
 }
 
-// onDone returns a lane slot and re-arms the pump if work is queued.
+// onDone returns a lane slot and re-arms the pump if work is queued. The
+// heap's membership invariant (rules with queued work, exactly) makes the
+// check O(1) instead of a scan over every registered rule.
 func (s *Scheduler) onDone(ln *schedLane) {
 	s.mu.Lock()
 	ln.inflight--
-	for _, r := range ln.rules {
-		if len(r.queue) > 0 {
-			s.arm(ln, s.cfg.BatchWindow)
-			break
-		}
+	if len(ln.eligible) > 0 {
+		s.arm(ln, s.cfg.BatchWindow)
 	}
 	s.mu.Unlock()
 }

@@ -1,0 +1,74 @@
+package objstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/pricing"
+	"repro/internal/simclock"
+)
+
+// benchBucket seeds one bucket with n tiny objects, bypassing the metered
+// Put path (request latency and fees are irrelevant here) but going
+// through the same internal state so the sorted-key cache behaves as in
+// production. Shared across benchmark runs — listings never mutate it.
+var benchBucket struct {
+	once sync.Once
+	s    *Store
+}
+
+const benchKeys = 1_000_000
+
+func seededStore(b *testing.B) *Store {
+	b.Helper()
+	benchBucket.once.Do(func() {
+		s := New(simclock.New(epoch), cloud.MustLookup("aws:us-east-1"), pricing.NewMeter())
+		if err := s.CreateBucket("b", false); err != nil {
+			b.Fatal(err)
+		}
+		s.mu.Lock()
+		bk := s.buckets["b"]
+		for i := 0; i < benchKeys; i++ {
+			key := fmt.Sprintf("k-%08d", i)
+			bk.objects[key] = &Object{Meta: Meta{Key: key, Size: 1, ETag: key, Seq: uint64(i) + 1}}
+		}
+		bk.sortedOK = false
+		s.mu.Unlock()
+		benchBucket.s = s
+	})
+	return benchBucket.s
+}
+
+// BenchmarkScanMillionKeys streams the full listing without materializing
+// it: memory stays one page regardless of bucket size.
+func BenchmarkScanMillionKeys(b *testing.B) {
+	s := seededStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := s.Scan("b", "", "")
+		n := 0
+		for _, ok := sc.Next(); ok; _, ok = sc.Next() {
+			n++
+		}
+		if n != benchKeys || sc.Err() != nil {
+			b.Fatalf("scanned %d keys, err %v", n, sc.Err())
+		}
+	}
+}
+
+// BenchmarkListMillionKeys drains the same listing into one slice — the
+// convenience wrapper's cost ceiling over Scan.
+func BenchmarkListMillionKeys(b *testing.B) {
+	s := seededStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metas, err := s.List("b")
+		if err != nil || len(metas) != benchKeys {
+			b.Fatalf("listed %d keys, err %v", len(metas), err)
+		}
+	}
+}

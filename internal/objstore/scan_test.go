@@ -1,0 +1,97 @@
+package objstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestScanEmptyBucket(t *testing.T) {
+	_, s, _ := newStore(t)
+	sc := s.Scan("b", "", "")
+	if _, ok := sc.Next(); ok {
+		t.Fatal("empty bucket yielded an entry")
+	}
+	if sc.Err() != nil {
+		t.Fatalf("err = %v", sc.Err())
+	}
+	if sc.Pages() != 1 {
+		t.Fatalf("pages = %d, want 1 (one LIST confirming emptiness)", sc.Pages())
+	}
+	got, err := s.List("b")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("List = %v entries, err %v", len(got), err)
+	}
+}
+
+func TestScanExactlyOnePage(t *testing.T) {
+	_, s, _ := newStore(t)
+	for i := 0; i < MaxListPage; i++ {
+		s.Put("b", fmt.Sprintf("k-%06d", i), BlobOfSize(1, uint64(i)))
+	}
+	sc := s.Scan("b", "", "")
+	n := 0
+	last := ""
+	for m, ok := sc.Next(); ok; m, ok = sc.Next() {
+		if m.Key <= last {
+			t.Fatalf("out of order: %q after %q", m.Key, last)
+		}
+		last = m.Key
+		n++
+	}
+	if sc.Err() != nil {
+		t.Fatalf("err = %v", sc.Err())
+	}
+	if n != MaxListPage {
+		t.Fatalf("scanned %d entries, want %d", n, MaxListPage)
+	}
+	// A listing of exactly MaxListPage keys must not be reported as
+	// truncated: one full page suffices, no empty trailing fetch.
+	if sc.Pages() != 1 {
+		t.Fatalf("pages = %d, want 1 for an exactly-full page", sc.Pages())
+	}
+
+	// One key past the boundary costs exactly one more page.
+	s.Put("b", "k-zzzzzz", BlobOfSize(1, 9))
+	sc = s.Scan("b", "", "")
+	n = 0
+	for _, ok := sc.Next(); ok; _, ok = sc.Next() {
+		n++
+	}
+	if n != MaxListPage+1 || sc.Pages() != 2 {
+		t.Fatalf("scanned %d entries over %d pages, want %d over 2", n, sc.Pages(), MaxListPage+1)
+	}
+}
+
+func TestScanStartAfterLastKey(t *testing.T) {
+	_, s, _ := newStore(t)
+	keys := []string{"a", "b", "c"}
+	for i, k := range keys {
+		s.Put("b", k, BlobOfSize(1, uint64(i)))
+	}
+	// startAfter strictly past every key: the scan is empty, and the
+	// page-level call agrees (no entries, not truncated).
+	page, truncated, err := s.ListPage("b", "", "c", 0)
+	if err != nil || truncated || len(page) != 0 {
+		t.Fatalf("ListPage after last key = %d entries truncated=%v err=%v", len(page), truncated, err)
+	}
+	sc := s.Scan("b", "", "c")
+	if _, ok := sc.Next(); ok {
+		t.Fatal("scan after last key yielded an entry")
+	}
+	if sc.Err() != nil {
+		t.Fatalf("err = %v", sc.Err())
+	}
+	// Resuming from LastKey mid-scan skips exactly the consumed prefix.
+	sc = s.Scan("b", "", "")
+	if m, ok := sc.Next(); !ok || m.Key != "a" {
+		t.Fatalf("first = %v ok=%v", m.Key, ok)
+	}
+	resumed := s.Scan("b", "", sc.LastKey())
+	var rest []string
+	for m, ok := resumed.Next(); ok; m, ok = resumed.Next() {
+		rest = append(rest, m.Key)
+	}
+	if len(rest) != 2 || rest[0] != "b" || rest[1] != "c" {
+		t.Fatalf("resumed scan = %v, want [b c]", rest)
+	}
+}

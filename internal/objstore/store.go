@@ -104,11 +104,32 @@ type bucket struct {
 	name       string
 	versioning bool
 	objects    map[string]*Object
+	// sorted caches the bucket's key set in order; sortedOK goes false when
+	// a key is created or deleted (overwrites keep the set) and the cache is
+	// rebuilt lazily on the next listing. Without it every LIST page
+	// re-collects and re-sorts the whole bucket — O(n log n) per page, which
+	// at million-key buckets turns one full listing into an n²logn scan.
+	sorted      []string
+	sortedOK    bool
+	subscribers []func(Event)
 	// noncurrent counts retained non-current versions and their bytes when
 	// versioning is enabled (for storage-cost estimates).
 	noncurrentCount int64
 	noncurrentBytes int64
-	subscribers     []func(Event)
+}
+
+// sortedKeysLocked returns the bucket's key set in order, rebuilding the
+// cache if mutations invalidated it. Caller holds s.mu.
+func (b *bucket) sortedKeysLocked() []string {
+	if !b.sortedOK {
+		b.sorted = b.sorted[:0]
+		for k := range b.objects {
+			b.sorted = append(b.sorted, k)
+		}
+		sort.Strings(b.sorted)
+		b.sortedOK = true
+	}
+	return b.sorted
 }
 
 // Store is one region's object storage service.
@@ -359,11 +380,11 @@ func (s *Store) emitLocked(b *bucket, ev Event) {
 			fn(ev)
 		}
 	}
-	s.clock.Delay(simclock.Seconds(delay)+v.Extra, deliver)
+	s.clock.DelayCall(simclock.Seconds(delay)+v.Extra, deliver)
 	if v.Duplicate {
 		s.notifyDuped.Inc()
 		s.regNotifyDup.Inc()
-		s.clock.Delay(simclock.Seconds(delay)+v.Extra+v.DupExtra, deliver)
+		s.clock.DelayCall(simclock.Seconds(delay)+v.Extra+v.DupExtra, deliver)
 	}
 }
 
@@ -375,9 +396,13 @@ func (s *Store) storeLocked(b *bucket, key string, blob Blob) PutResult {
 // storeOriginLocked is storeLocked with an origin tag on the notification.
 func (s *Store) storeOriginLocked(b *bucket, key string, blob Blob, origin string) PutResult {
 	s.seq++
-	if old, ok := b.objects[key]; ok && b.versioning {
+	old, existed := b.objects[key]
+	if existed && b.versioning {
 		b.noncurrentCount++
 		b.noncurrentBytes += old.Size
+	}
+	if !existed {
+		b.sortedOK = false
 	}
 	obj := &Object{
 		Meta: Meta{Key: key, Size: blob.Size, ETag: blob.ETag(), Seq: s.seq, Created: s.clock.Now()},
@@ -484,6 +509,7 @@ func (s *Store) DeleteWithOrigin(bucketName, key string, origin string) error {
 			b.noncurrentBytes += obj.Size
 		}
 		delete(b.objects, key)
+		b.sortedOK = false
 		s.seq++
 		s.emitLocked(b, Event{Type: EventDelete, Bucket: b.name, Key: key, Seq: s.seq,
 			Time: s.clock.Now(), Origin: origin})
@@ -683,26 +709,91 @@ func (s *Store) HeadMultipart(uploadID string) (MultipartInfo, error) {
 	return s.mpuInfoLocked(uploadID, up), nil
 }
 
-// ListMultiparts enumerates the bucket's in-progress multipart uploads,
-// sorted by id — one metered LIST request, as S3's ListMultipartUploads.
-func (s *Store) ListMultiparts(bucketName string) ([]MultipartInfo, error) {
+// ListMultipartsPage returns up to MaxListPage in-progress uploads for the
+// bucket whose ids sort strictly after startAfter, in id order — one
+// metered LIST request, as S3's paginated ListMultipartUploads.
+func (s *Store) ListMultipartsPage(bucketName, startAfter string) (page []MultipartInfo, truncated bool, err error) {
 	s.sleep(s.getLatency, s.getHist)
 	if err := s.maybeFail(OpMpuList); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.buckets[bucketName]; !ok {
-		return nil, ErrNoSuchBucket
+		return nil, false, ErrNoSuchBucket
 	}
 	s.meter.Add("obj:list", s.book.ObjList)
-	var out []MultipartInfo
+	ids := make([]string, 0, len(s.uploads))
 	for id, up := range s.uploads {
-		if up.bucket == bucketName {
-			out = append(out, s.mpuInfoLocked(id, up))
+		if up.bucket == bucketName && id > startAfter {
+			ids = append(ids, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sort.Strings(ids)
+	if len(ids) > MaxListPage {
+		ids, truncated = ids[:MaxListPage], true
+	}
+	page = make([]MultipartInfo, len(ids))
+	for i, id := range ids {
+		page[i] = s.mpuInfoLocked(id, s.uploads[id])
+	}
+	return page, truncated, nil
+}
+
+// MultipartScanner streams a bucket's in-progress uploads page by page,
+// mirroring Scanner for object listings.
+type MultipartScanner struct {
+	s      *Store
+	bucket string
+	after  string
+	page   []MultipartInfo
+	i      int
+	done   bool
+	err    error
+}
+
+// ScanMultiparts starts a streaming listing of the bucket's in-progress
+// multipart uploads in id order.
+func (s *Store) ScanMultiparts(bucketName string) *MultipartScanner {
+	return &MultipartScanner{s: s, bucket: bucketName}
+}
+
+// Next returns the next in-progress upload, fetching pages as needed.
+func (sc *MultipartScanner) Next() (MultipartInfo, bool) {
+	for sc.i >= len(sc.page) {
+		if sc.done || sc.err != nil {
+			return MultipartInfo{}, false
+		}
+		page, truncated, err := sc.s.ListMultipartsPage(sc.bucket, sc.after)
+		if err != nil {
+			sc.err = err
+			return MultipartInfo{}, false
+		}
+		sc.page, sc.i, sc.done = page, 0, !truncated
+		if len(page) > 0 {
+			sc.after = page[len(page)-1].ID
+		}
+	}
+	info := sc.page[sc.i]
+	sc.i++
+	return info, true
+}
+
+// Err returns the error that ended the scan, if any.
+func (sc *MultipartScanner) Err() error { return sc.err }
+
+// ListMultiparts enumerates the bucket's in-progress multipart uploads,
+// sorted by id: a thin wrapper draining ScanMultiparts, one metered LIST
+// request per page.
+func (s *Store) ListMultiparts(bucketName string) ([]MultipartInfo, error) {
+	var out []MultipartInfo
+	sc := s.ScanMultiparts(bucketName)
+	for info, ok := sc.Next(); ok; info, ok = sc.Next() {
+		out = append(out, info)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -765,40 +856,101 @@ func (s *Store) ListPage(bucketName, prefix, startAfter string, max int) (page [
 	if max <= 0 || max > MaxListPage {
 		max = MaxListPage
 	}
-	keys := make([]string, 0, len(b.objects))
-	for k := range b.objects {
-		if strings.HasPrefix(k, prefix) && k > startAfter {
-			keys = append(keys, k)
+	keys := b.sortedKeysLocked()
+	// The page starts at the first key both inside the prefix range and
+	// strictly after the cursor — two binary searches on the cached order.
+	lo := sort.SearchStrings(keys, prefix)
+	if startAfter != "" {
+		if after := sort.Search(len(keys), func(i int) bool { return keys[i] > startAfter }); after > lo {
+			lo = after
 		}
 	}
-	sort.Strings(keys)
-	if len(keys) > max {
-		keys, truncated = keys[:max], true
+	hi := lo
+	for hi < len(keys) && hi-lo < max && strings.HasPrefix(keys[hi], prefix) {
+		hi++
 	}
-	page = make([]Meta, len(keys))
-	for i, k := range keys {
+	truncated = hi < len(keys) && strings.HasPrefix(keys[hi], prefix)
+	page = make([]Meta, hi-lo)
+	for i, k := range keys[lo:hi] {
 		page[i] = b.objects[k].Meta
 	}
 	return page, truncated, nil
 }
 
+// Scanner streams a bucket listing page by page: each page fetch is one
+// metered LIST request, but the caller consumes entries one at a time and
+// the full listing is never materialized. A transient page failure ends
+// the scan with Err; LastKey is the resume cursor for a fresh Scan.
+type Scanner struct {
+	s              *Store
+	bucket, prefix string
+	after          string
+	page           []Meta
+	i              int
+	pages          int
+	done           bool
+	err            error
+}
+
+// Scan starts a streaming listing of keys under prefix sorting strictly
+// after startAfter. No request is issued until the first Next call.
+func (s *Store) Scan(bucketName, prefix, startAfter string) *Scanner {
+	return &Scanner{s: s, bucket: bucketName, prefix: prefix, after: startAfter}
+}
+
+// Next returns the next entry in key order, fetching the next page when
+// the current one is exhausted. It returns false at the end of the
+// listing or on error (check Err).
+func (sc *Scanner) Next() (Meta, bool) {
+	for sc.i >= len(sc.page) {
+		if sc.done || sc.err != nil {
+			return Meta{}, false
+		}
+		page, truncated, err := sc.s.ListPage(sc.bucket, sc.prefix, sc.after, MaxListPage)
+		sc.pages++
+		if err != nil {
+			sc.err = err
+			return Meta{}, false
+		}
+		sc.page, sc.i, sc.done = page, 0, !truncated
+		if len(page) > 0 {
+			sc.after = page[len(page)-1].Key
+		}
+	}
+	m := sc.page[sc.i]
+	sc.i++
+	return m, true
+}
+
+// Err returns the error that ended the scan, if any.
+func (sc *Scanner) Err() error { return sc.err }
+
+// Pages returns how many LIST requests the scan has issued.
+func (sc *Scanner) Pages() int { return sc.pages }
+
+// LastKey returns the last key handed out by Next — the startAfter cursor
+// a caller resumes from after a transient failure.
+func (sc *Scanner) LastKey() string {
+	if sc.i > 0 && sc.i <= len(sc.page) {
+		return sc.page[sc.i-1].Key
+	}
+	return sc.after
+}
+
 // List returns the current metadata of every object in a bucket, sorted by
-// key: a convenience wrapper that pages through ListPage, costing one LIST
-// request per MaxListPage keys.
+// key: a thin wrapper draining the Scan iterator, costing one LIST request
+// per MaxListPage keys. Callers that can process entries incrementally
+// should Scan instead.
 func (s *Store) List(bucketName string) ([]Meta, error) {
 	var out []Meta
-	startAfter := ""
-	for {
-		page, truncated, err := s.ListPage(bucketName, "", startAfter, MaxListPage)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, page...)
-		if !truncated {
-			return out, nil
-		}
-		startAfter = page[len(page)-1].Key
+	sc := s.Scan(bucketName, "", "")
+	for m, ok := sc.Next(); ok; m, ok = sc.Next() {
+		out = append(out, m)
 	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // TotalUsage sums storage across all buckets (accounting helper).

@@ -77,11 +77,17 @@ func TestZeroSLOReturnsFastestPlan(t *testing.T) {
 	if p.Compliant {
 		t.Fatal("zero SLO cannot be compliant")
 	}
-	// Verify it really is the fastest over the sweep.
+	// Verify it really is the fastest over the sweep, evaluating each
+	// candidate exactly as PlanWith does (adaptive part size, pipelined)
+	// so the comparison is apples-to-apples.
 	for n := 1; n <= pl.MaxParallel; n *= 2 {
 		for _, loc := range []cloud.RegionID{src, dst} {
 			local := n == 1 && loc == src
-			d, err := pl.M.ReplTime(src, dst, loc, 1<<30, n, local)
+			var mo model.Opts
+			if n > 1 {
+				mo = model.Opts{Chunk: pl.PartSizeFor(src, dst, loc, 1<<30, n), Pipelined: true}
+			}
+			d, err := pl.M.ReplTimeOpts(src, dst, loc, 1<<30, n, local, mo)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,19 +1,25 @@
 // Package simclock provides a deterministic virtual clock for
 // discrete-event simulation of distributed systems.
 //
-// The clock tracks a set of goroutines ("actors"). Virtual time advances
-// only when every tracked actor is blocked in Sleep or Event.Wait; at that
-// moment the clock jumps to the earliest pending timer and wakes the actors
-// scheduled there. Hours of simulated activity therefore execute in
-// milliseconds of wall time, and timing behaviour is independent of host
-// load.
+// The clock tracks a set of goroutines ("actors") and runs them under a
+// cooperative single-runnable discipline: exactly one actor executes at a
+// time, and the rest wait in a FIFO ready queue or sleep on the timer
+// heap. Virtual time advances only when the ready queue is empty and the
+// running actor has blocked in Sleep or Event.Wait; at that moment the
+// clock jumps to the earliest pending timer and queues the actors
+// scheduled there in creation order. Hours of simulated activity
+// therefore execute in milliseconds of wall time, and — because the
+// interleaving is chosen by the clock, never by the Go runtime — two
+// identically-seeded simulations take byte-identical trajectories
+// regardless of host load, GC pauses, preemption, or GOMAXPROCS.
 //
 // Rules for actors:
 //
 //   - Spawn concurrent simulated work with Clock.Go (never the go statement),
 //     so the clock can account for runnable actors.
 //   - Block only via Clock.Sleep, Event.Wait, or Group.Wait. Short critical
-//     sections guarded by sync.Mutex are fine: the holder remains runnable.
+//     sections guarded by sync.Mutex are fine: the holder keeps the run
+//     token and nothing else executes until it blocks on the clock.
 //   - The goroutine that calls New is itself tracked and may drive the
 //     simulation directly.
 //
@@ -30,15 +36,41 @@ import (
 
 // Clock is a virtual clock. Create one with New.
 type Clock struct {
-	mu      sync.Mutex
-	now     time.Time
-	active  int // tracked goroutines that are currently runnable
-	blocked int // tracked goroutines blocked on events (not timers)
-	timers  timerHeap
-	seq     uint64
-	idlers  []chan struct{} // Quiesce waiters
-	stats   Stats
+	mu        sync.Mutex
+	now       time.Time
+	running   bool // one tracked actor currently holds the run token
+	ready     []readyEnt
+	readyHead int // ready[:readyHead] already granted; pop-front without shifting
+	blocked   int // tracked actors blocked on events (not timers)
+	timers    timerHeap
+	seq       uint64
+	idlers    []chan struct{} // Quiesce waiters
+	stats     Stats
+
+	// workers parks idle pooled actors for GoCall; wakeChs recycles wake
+	// channels. Both exist because event-dense simulations (a million
+	// replay operations, each a short-lived actor with a handful of sleeps)
+	// otherwise spend their wall clock on goroutine spawns and channel
+	// allocations. Parked workers and pooled channels are invisible to the
+	// accounting above; the pool is drained whenever the simulation fully
+	// quiesces so idle clocks hold no goroutines.
+	workers []*worker
+	wakeChs []chan struct{}
 }
+
+// readyEnt is one queued turn: either an actor parked on its wake channel
+// (Sleep, Event.Wait, Quiesce, a Go start) or a pooled worker waiting to
+// be handed a function.
+type readyEnt struct {
+	ch chan struct{} // actor to grant the run token
+	w  *worker       // pooled worker to hand fn
+	fn func()
+}
+
+// maxWorkers bounds the parked-actor pool; beyond it workers exit instead
+// of parking. It caps idle memory, not concurrency — GoCall spawns fresh
+// workers whenever the pool runs dry.
+const maxWorkers = 256
 
 // Stats reports counters about clock activity, useful in tests.
 type Stats struct {
@@ -48,9 +80,9 @@ type Stats struct {
 }
 
 // New returns a virtual clock whose time starts at start. The calling
-// goroutine is tracked as the first actor.
+// goroutine is tracked as the first actor and holds the run token.
 func New(start time.Time) *Clock {
-	return &Clock{now: start, active: 1}
+	return &Clock{now: start, running: true}
 }
 
 // Now returns the current virtual time.
@@ -72,30 +104,60 @@ func (c *Clock) Stats() Stats {
 	return c.stats
 }
 
+// getWakeLocked returns a pooled buffered wake channel.
+func (c *Clock) getWakeLocked() chan struct{} {
+	if n := len(c.wakeChs); n > 0 {
+		ch := c.wakeChs[n-1]
+		c.wakeChs = c.wakeChs[:n-1]
+		return ch
+	}
+	return make(chan struct{}, 1)
+}
+
+// putWake recycles a drained wake channel. The grant was a buffered send,
+// not a close, so the channel is clean for reuse; no other goroutine holds
+// a reference once the waiter has woken.
+func (c *Clock) putWake(ch chan struct{}) {
+	c.mu.Lock()
+	if len(c.wakeChs) < maxWorkers {
+		c.wakeChs = append(c.wakeChs, ch)
+	}
+	c.mu.Unlock()
+}
+
 // Sleep blocks the calling actor for d of virtual time. A non-positive d
 // returns immediately without yielding.
 func (c *Clock) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	ch := make(chan struct{})
 	c.mu.Lock()
+	ch := c.getWakeLocked()
 	c.stats.Sleeps++
 	c.seq++
 	heap.Push(&c.timers, &timer{at: c.now.Add(d), seq: c.seq, ch: ch})
-	c.blockLocked()
+	c.yieldLocked()
 	c.mu.Unlock()
 	<-ch
+	c.putWake(ch)
 }
 
 // Go starts fn as a tracked actor. fn may freely call Sleep and wait on
-// events; the actor is untracked automatically when fn returns.
+// events; the actor is untracked automatically when fn returns. The new
+// actor joins the back of the ready queue — it first runs when the
+// actors ahead of it have had their turns.
 func (c *Clock) Go(fn func()) {
 	c.mu.Lock()
-	c.active++
 	c.stats.Spawned++
+	start := c.getWakeLocked()
+	c.ready = append(c.ready, readyEnt{ch: start})
+	if !c.running {
+		c.dispatchLocked()
+	}
 	c.mu.Unlock()
 	go func() {
+		<-start
+		c.putWake(start)
 		defer c.exit()
 		fn()
 	}()
@@ -109,72 +171,167 @@ func (c *Clock) Delay(d time.Duration, fn func()) {
 	})
 }
 
+// worker is one pooled actor goroutine. While parked (blocked receiving
+// on ch) it is untracked — invisible to the clock's accounting — and it
+// re-enters as a tracked actor when the dispatcher hands it a function.
+type worker struct {
+	c  *Clock
+	ch chan func()
+}
+
+func (w *worker) loop() {
+	for fn := range w.ch {
+		fn()
+		c := w.c
+		c.mu.Lock()
+		park := len(c.workers) < maxWorkers
+		if park {
+			c.workers = append(c.workers, w)
+		}
+		// Parking and the token release happen under the same lock, so a
+		// GoCall that grabs this worker next simply queues on the buffered
+		// channel until the loop comes back around.
+		c.yieldLocked()
+		c.mu.Unlock()
+		if !park {
+			return
+		}
+	}
+}
+
+// GoCall runs fn as a tracked actor on a pooled goroutine: semantically
+// identical to Go, but per-call cost is a channel send instead of a
+// goroutine spawn. Event-dense hot paths (trace replay, notification
+// delivery, scheduler batch launches, function executions) route through
+// here; Go remains for long-lived or rarely spawned actors.
+func (c *Clock) GoCall(fn func()) {
+	c.mu.Lock()
+	c.stats.Spawned++
+	var w *worker
+	if n := len(c.workers); n > 0 {
+		w = c.workers[n-1]
+		c.workers[n-1] = nil
+		c.workers = c.workers[:n-1]
+	}
+	fresh := w == nil
+	if fresh {
+		w = &worker{c: c, ch: make(chan func(), 1)}
+	}
+	c.ready = append(c.ready, readyEnt{w: w, fn: fn})
+	if !c.running {
+		c.dispatchLocked()
+	}
+	c.mu.Unlock()
+	if fresh {
+		go w.loop()
+	}
+}
+
+// DelayCall runs fn as a pooled tracked actor after d of virtual time —
+// Delay on the GoCall pool.
+func (c *Clock) DelayCall(d time.Duration, fn func()) {
+	c.GoCall(func() {
+		c.Sleep(d)
+		fn()
+	})
+}
+
 // Quiesce blocks the calling actor until every other tracked actor has
 // finished and no timers remain; virtual time advances as needed. It is the
 // usual way for a test or driver to run the simulation to completion.
 func (c *Clock) Quiesce() {
 	c.mu.Lock()
-	if c.active == 1 && c.timers.Len() == 0 && c.blocked == 0 {
+	if len(c.ready) == c.readyHead && c.timers.Len() == 0 && c.blocked == 0 {
 		c.mu.Unlock()
 		return
 	}
-	ch := make(chan struct{})
+	ch := c.getWakeLocked()
 	c.idlers = append(c.idlers, ch)
-	c.blockLocked()
+	c.yieldLocked()
 	c.mu.Unlock()
 	<-ch
+	c.putWake(ch)
 }
 
 func (c *Clock) exit() {
 	c.mu.Lock()
-	c.active--
-	if c.active == 0 {
-		c.advanceLocked()
-	}
+	c.yieldLocked()
 	c.mu.Unlock()
 }
 
-// blockLocked marks the caller as no longer runnable and, if it was the
-// last runnable actor, advances virtual time. The caller must hold c.mu and
-// must block on its wake channel after releasing it.
-func (c *Clock) blockLocked() {
-	c.active--
-	if c.active == 0 {
-		c.advanceLocked()
+// yieldLocked releases the run token and hands it to the next actor. The
+// caller must hold c.mu and, if it queued itself (timer, event waiter,
+// idler), must block on its wake channel after releasing the lock.
+func (c *Clock) yieldLocked() {
+	c.running = false
+	c.dispatchLocked()
+}
+
+// popReadyLocked removes and returns the front of the ready queue.
+func (c *Clock) popReadyLocked() readyEnt {
+	e := c.ready[c.readyHead]
+	c.ready[c.readyHead] = readyEnt{}
+	c.readyHead++
+	if c.readyHead == len(c.ready) {
+		c.ready = c.ready[:0]
+		c.readyHead = 0
+	} else if c.readyHead > 64 && c.readyHead*2 >= len(c.ready) {
+		n := copy(c.ready, c.ready[c.readyHead:])
+		for i := n; i < len(c.ready); i++ {
+			c.ready[i] = readyEnt{}
+		}
+		c.ready = c.ready[:n]
+		c.readyHead = 0
 	}
+	return e
 }
 
-// unblockLocked marks one actor runnable again (used by Event.Trigger).
-func (c *Clock) unblockLocked() {
-	c.active++
-}
-
-// advanceLocked is called with zero runnable actors. It advances time to
-// the next timer, or wakes Quiesce waiters when the simulation is fully
-// drained, or panics on deadlock.
-func (c *Clock) advanceLocked() {
-	if c.timers.Len() > 0 {
-		c.stats.Advances++
-		c.now = c.timers[0].at
-		for c.timers.Len() > 0 && !c.timers[0].at.After(c.now) {
-			t := heap.Pop(&c.timers).(*timer)
-			c.active++
-			close(t.ch)
+// dispatchLocked hands the run token to the next ready actor. With the
+// queue empty it advances virtual time to the next timer, or wakes
+// Quiesce waiters when the simulation is fully drained, or panics on
+// deadlock. Ready entries are granted strictly FIFO and due timers are
+// queued in creation order, so the schedule is a pure function of the
+// simulation — never of the Go runtime.
+func (c *Clock) dispatchLocked() {
+	for {
+		if len(c.ready) > c.readyHead {
+			e := c.popReadyLocked()
+			c.running = true
+			if e.w != nil {
+				e.w.ch <- e.fn // buffered; the worker is parked on the receive
+			} else {
+				e.ch <- struct{}{} // buffered; the actor recycles the channel
+			}
+			return
+		}
+		if c.timers.Len() > 0 {
+			c.stats.Advances++
+			c.now = c.timers[0].at
+			for c.timers.Len() > 0 && !c.timers[0].at.After(c.now) {
+				t := heap.Pop(&c.timers).(*timer)
+				c.ready = append(c.ready, readyEnt{ch: t.ch})
+			}
+			continue
+		}
+		if c.blocked > 0 && len(c.idlers) == 0 {
+			panic(fmt.Sprintf("simclock: deadlock at %s: %d actor(s) blocked on events with no pending timers",
+				c.now.Format(time.RFC3339), c.blocked))
+		}
+		if len(c.idlers) > 0 {
+			// Fully drained (aside from event waiters that can only be woken by
+			// the idlers themselves): resume the Quiesce callers and release the
+			// parked worker pool, so a drained clock pins no goroutines.
+			for _, w := range c.workers {
+				close(w.ch)
+			}
+			c.workers = nil
+			for _, ch := range c.idlers {
+				c.ready = append(c.ready, readyEnt{ch: ch})
+			}
+			c.idlers = nil
+			continue
 		}
 		return
-	}
-	if c.blocked > 0 && len(c.idlers) == 0 {
-		panic(fmt.Sprintf("simclock: deadlock at %s: %d actor(s) blocked on events with no pending timers",
-			c.now.Format(time.RFC3339), c.blocked))
-	}
-	if len(c.idlers) > 0 {
-		// Fully drained (aside from event waiters that can only be woken by
-		// the idlers themselves): resume the Quiesce callers.
-		for _, ch := range c.idlers {
-			c.active++
-			close(ch)
-		}
-		c.idlers = nil
 	}
 }
 

@@ -17,17 +17,19 @@ func (c *Clock) NewEvent() *Event {
 // Wait blocks the calling actor until the event is triggered. If the event
 // has already been triggered, Wait returns immediately.
 func (e *Event) Wait() {
-	e.c.mu.Lock()
+	c := e.c
+	c.mu.Lock()
 	if e.done {
-		e.c.mu.Unlock()
+		c.mu.Unlock()
 		return
 	}
-	ch := make(chan struct{})
+	ch := c.getWakeLocked()
 	e.waiters = append(e.waiters, ch)
-	e.c.blocked++
-	e.c.blockLocked()
-	e.c.mu.Unlock()
+	c.blocked++
+	c.yieldLocked()
+	c.mu.Unlock()
 	<-ch
+	c.putWake(ch)
 }
 
 // Triggered reports whether the event has been triggered.
@@ -37,20 +39,24 @@ func (e *Event) Triggered() bool {
 	return e.done
 }
 
-// Trigger fires the event and wakes all waiters. Triggering an already
-// triggered event is a no-op.
+// Trigger fires the event and queues all waiters, in the order they began
+// waiting, behind the actors already in the ready queue. Triggering an
+// already triggered event is a no-op.
 func (e *Event) Trigger() {
-	e.c.mu.Lock()
+	c := e.c
+	c.mu.Lock()
 	if !e.done {
 		e.done = true
 		for _, ch := range e.waiters {
-			e.c.blocked--
-			e.c.unblockLocked()
-			close(ch)
+			c.blocked--
+			c.ready = append(c.ready, readyEnt{ch: ch})
 		}
 		e.waiters = nil
+		if !c.running {
+			c.dispatchLocked()
+		}
 	}
-	e.c.mu.Unlock()
+	c.mu.Unlock()
 }
 
 // Group is a counting barrier on a virtual clock, analogous to

@@ -21,9 +21,31 @@ func Seed(labels ...string) int64 {
 	return int64(h.Sum64())
 }
 
+// source is a splitmix64 generator. The simulator creates a fresh
+// generator per entity (often per task or per transfer leg), so seeding
+// cost is on the hot path: math/rand's default lagged-Fibonacci source
+// runs a 607-round warm-up per Seed, which profiled as ~a third of a
+// fleet replay's CPU. Splitmix64 seeds in O(1), passes BigCrush, and its
+// stream is a pure function of the 64-bit seed — determinism is
+// unchanged, only the draw values differ from the old source (baselines
+// were regenerated when it landed).
+type source struct{ state uint64 }
+
+func (s *source) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (s *source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *source) Seed(seed int64) { s.state = uint64(seed) }
+
 // New returns a rand.Rand seeded from the labels.
 func New(labels ...string) *rand.Rand {
-	return rand.New(rand.NewSource(Seed(labels...)))
+	return rand.New(&source{state: uint64(Seed(labels...))})
 }
 
 // NewIndexed returns a rand.Rand seeded from the labels plus an integer

@@ -63,6 +63,55 @@ func canonicalLabels(labels []Label) string {
 	return b.String()
 }
 
+// labelInterner caches canonical strings for the 1- and 2-label sets that
+// dominate instrument lookups ({rule}, {rule,dest}, {provider,region}).
+// Label is comparable, so small fixed-size arrays key the cache directly
+// and a hit costs two map probes with zero allocations — at fleet scale
+// (a thousand rules × a dozen families) the same label sets recur across
+// every family, and re-sorting + re-rendering them per With call was the
+// registry's dominant allocation source. Larger sets fall through to
+// canonicalLabels; the process-wide cache is safe because the canonical
+// form depends only on the labels themselves.
+type labelInterner struct {
+	mu  sync.Mutex
+	one map[[1]Label]string
+	two map[[2]Label]string
+}
+
+var interned = labelInterner{
+	one: make(map[[1]Label]string),
+	two: make(map[[2]Label]string),
+}
+
+// key returns the canonical child key for labels, interning small sets.
+func (in *labelInterner) key(labels []Label) string {
+	switch len(labels) {
+	case 0:
+		return ""
+	case 1:
+		k := [1]Label{labels[0]}
+		in.mu.Lock()
+		s, ok := in.one[k]
+		if !ok {
+			s = canonicalLabels(labels)
+			in.one[k] = s
+		}
+		in.mu.Unlock()
+		return s
+	case 2:
+		k := [2]Label{labels[0], labels[1]}
+		in.mu.Lock()
+		s, ok := in.two[k]
+		if !ok {
+			s = canonicalLabels(labels)
+			in.two[k] = s
+		}
+		in.mu.Unlock()
+		return s
+	}
+	return canonicalLabels(labels)
+}
+
 // CounterVec is a family of counters sharing one name, distinguished by
 // labels. With returns an ordinary *Counter, so hot paths hold the child
 // once and pay the same allocation-free cost as an unlabelled counter. A
@@ -78,7 +127,7 @@ func (v *CounterVec) With(labels ...Label) *Counter {
 	if v == nil {
 		return nil
 	}
-	key := canonicalLabels(labels)
+	key := interned.key(labels)
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	c, ok := v.children[key]
@@ -102,7 +151,7 @@ func (v *GaugeVec) With(labels ...Label) *Gauge {
 	if v == nil {
 		return nil
 	}
-	key := canonicalLabels(labels)
+	key := interned.key(labels)
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	g, ok := v.children[key]
@@ -128,7 +177,7 @@ func (v *HistogramVec) With(labels ...Label) *Histogram {
 	if v == nil {
 		return nil
 	}
-	key := canonicalLabels(labels)
+	key := interned.key(labels)
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	h, ok := v.children[key]

@@ -215,8 +215,8 @@ func TestRetentionAnomaliesAlwaysKept(t *testing.T) {
 func TestRetentionSlowThresholdAndQuantile(t *testing.T) {
 	// Absolute threshold: a root longer than SlowThreshold is kept.
 	pol := &RetentionPolicy{SlowThreshold: 50 * time.Millisecond}
-	fast := &Span{Start: time.Unix(0, 0), Finish: time.Unix(0, int64(10 * time.Millisecond)), ended: true}
-	slow := &Span{Start: time.Unix(0, 0), Finish: time.Unix(0, int64(200 * time.Millisecond)), ended: true}
+	fast := &Span{Start: time.Unix(0, 0), Finish: time.Unix(0, int64(10*time.Millisecond)), ended: true}
+	slow := &Span{Start: time.Unix(0, 0), Finish: time.Unix(0, int64(200*time.Millisecond)), ended: true}
 	if v, keep := pol.Decide(fast, []*Span{fast}); keep {
 		t.Fatalf("fast trace kept as %q", v)
 	}

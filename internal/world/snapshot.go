@@ -66,21 +66,24 @@ func (w *World) Snapshot() Snapshot {
 // accounting shortcut. It returns the metadata in key order plus the
 // number of LIST page requests it issued.
 func (w *World) BucketListing(region cloud.RegionID, bucket, prefix string) ([]objstore.Meta, int, error) {
-	s := w.Region(region)
+	sc := w.BucketScan(region, bucket, prefix, "")
 	var out []objstore.Meta
-	startAfter, pages := "", 0
-	for {
-		page, truncated, err := s.Obj.ListPage(bucket, prefix, startAfter, objstore.MaxListPage)
-		if err != nil {
-			return nil, pages, err
-		}
-		pages++
-		out = append(out, page...)
-		if !truncated {
-			return out, pages, nil
-		}
-		startAfter = page[len(page)-1].Key
+	for m, ok := sc.Next(); ok; m, ok = sc.Next() {
+		out = append(out, m)
 	}
+	if err := sc.Err(); err != nil {
+		return nil, sc.Pages(), err
+	}
+	return out, sc.Pages(), nil
+}
+
+// BucketScan streams a bucket's current objects under prefix through the
+// metered, paginated LIST API without materializing the listing — the
+// path large-bucket consumers (anti-entropy tree builds) use so memory
+// and per-page metering both stay proportional to what is consumed.
+// startAfter is the resume cursor for retrying a failed scan.
+func (w *World) BucketScan(region cloud.RegionID, bucket, prefix, startAfter string) *objstore.Scanner {
+	return w.Region(region).Obj.Scan(bucket, prefix, startAfter)
 }
 
 // Print writes the snapshot, omitting idle regions.
